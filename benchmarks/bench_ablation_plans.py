@@ -1,0 +1,69 @@
+"""E8 ablation (ours): physical-plan cover policies (Section 4.3).
+
+The paper replaces a pruned gram by the AND of *all* its indexed
+substrings; the obvious cost-based refinements use only the rarest one
+or two.  Fewer lookups mean fewer postings read, at the price of a
+(possibly) larger candidate set — this ablation measures both sides on
+the presuf index, where covers matter most.
+"""
+
+import pytest
+
+from repro.bench.queries import BENCHMARK_QUERIES
+from repro.bench.report import format_table
+from repro.bench.runner import run_cover_policy_ablation
+from repro.engine.free import FreeEngine
+from repro.iomodel.diskmodel import DiskModel
+from repro.plan.physical import CoverPolicy
+
+
+@pytest.fixture(scope="module")
+def policy_rows(workload):
+    return run_cover_policy_ablation(workload)
+
+
+def test_cover_policy_report(policy_rows, emit, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit("ablation_cover_policy", format_table(
+        policy_rows,
+        title="Ablation: cover policy over the presuf index "
+              "(mean across Figure 8 queries)",
+    ))
+
+
+def test_all_policy_reads_most_postings(policy_rows):
+    by_policy = {row["policy"]: row for row in policy_rows}
+    assert by_policy["all"]["postings_read"] >= \
+        by_policy["best"]["postings_read"]
+
+
+def test_all_policy_tightest_candidates(policy_rows):
+    by_policy = {row["policy"]: row for row in policy_rows}
+    assert by_policy["all"]["mean_candidates"] <= \
+        by_policy["best"]["mean_candidates"]
+
+
+def test_policies_agree_on_answers(workload):
+    """Cover choice must never change the result set."""
+    counts = {}
+    for policy in CoverPolicy:
+        engine = FreeEngine(
+            workload.corpus, workload.presuf,
+            disk=DiskModel(), cover_policy=policy,
+        )
+        counts[policy] = [
+            engine.search(p, collect_matches=False).n_matches
+            for p in BENCHMARK_QUERIES.values()
+        ]
+    assert counts[CoverPolicy.ALL] == counts[CoverPolicy.BEST]
+    assert counts[CoverPolicy.ALL] == counts[CoverPolicy.CHEAPEST2]
+
+
+@pytest.mark.parametrize("policy", [p.value for p in CoverPolicy])
+def test_bench_policy_query(benchmark, workload, policy):
+    engine = FreeEngine(
+        workload.corpus, workload.presuf,
+        disk=DiskModel(), cover_policy=policy,
+    )
+    benchmark(engine.search, BENCHMARK_QUERIES["clinton"],
+              collect_matches=False)

@@ -1,0 +1,80 @@
+"""E7 ablation (ours): postings codec and set-operation microbenchmarks.
+
+Quantifies the substrate choices of S6: gap-varint compression ratio,
+decode throughput, galloping vs naive intersection on skewed list sizes,
+and k-way union — the operations every physical plan executes.
+"""
+
+import random
+
+import pytest
+
+from repro.index.postings import (
+    PostingsList,
+    decode_gaps,
+    encode_gaps,
+    intersect_sorted,
+    union_many,
+)
+
+
+def make_ids(n, universe, seed):
+    rng = random.Random(seed)
+    return sorted(rng.sample(range(universe), n))
+
+
+@pytest.fixture(scope="module")
+def dense_ids():
+    return make_ids(50_000, 60_000, 1)
+
+
+@pytest.fixture(scope="module")
+def sparse_ids():
+    return make_ids(500, 1_000_000, 2)
+
+
+def test_bench_encode_dense(benchmark, dense_ids):
+    data = benchmark(encode_gaps, dense_ids)
+    # compression sanity: ~1 byte per posting on dense lists
+    assert len(data) < 2 * len(dense_ids)
+
+
+def test_bench_decode_dense(benchmark, dense_ids):
+    data = encode_gaps(dense_ids)
+    ids = benchmark(decode_gaps, data)
+    assert ids == dense_ids
+
+
+def test_bench_encode_sparse(benchmark, sparse_ids):
+    data = benchmark(encode_gaps, sparse_ids)
+    assert len(data) <= 3 * len(sparse_ids)
+
+
+def test_bench_intersect_balanced(benchmark):
+    a = make_ids(20_000, 100_000, 3)
+    b = make_ids(20_000, 100_000, 4)
+    result = benchmark(intersect_sorted, a, b)
+    assert result == sorted(set(a) & set(b))
+
+
+def test_bench_intersect_skewed(benchmark):
+    """Galloping's sweet spot: a tiny list against a huge one."""
+    small = make_ids(50, 1_000_000, 5)
+    big = make_ids(200_000, 1_000_000, 6)
+    result = benchmark(intersect_sorted, small, big)
+    assert result == sorted(set(small) & set(big))
+
+
+def test_bench_union_kway(benchmark):
+    lists = [make_ids(5_000, 100_000, seed) for seed in range(8)]
+    result = benchmark(union_many, lists)
+    assert result == sorted(set().union(*map(set, lists)))
+
+
+def test_bench_postings_roundtrip(benchmark):
+    ids = make_ids(10_000, 500_000, 9)
+
+    def roundtrip():
+        return PostingsList.from_sorted_ids(ids).ids()
+
+    assert benchmark(roundtrip) == ids

@@ -1,0 +1,56 @@
+"""E6 ablation (ours): sweeping the usefulness threshold c.
+
+The paper fixes c = 0.1 and "does not attempt to optimize this
+threshold value".  This ablation maps the tradeoff: smaller c admits
+fewer grams (smaller index) but filters borderline queries less; larger
+c grows the index with diminishing returns.  The c = random/sequential
+cost rationale of Section 3.1 predicts a sweet spot near 1/multiplier.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.bench.runner import run_threshold_ablation
+
+THRESHOLDS = (0.02, 0.05, 0.1, 0.2, 0.4)
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(workload):
+    return run_threshold_ablation(
+        workload.corpus, thresholds=THRESHOLDS
+    )
+
+
+def test_threshold_ablation_report(ablation_rows, workload, emit, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit("ablation_threshold", format_table(
+        ablation_rows,
+        title="Ablation: usefulness threshold c "
+              f"(corpus scan io = {workload.corpus.total_chars:,})",
+    ))
+
+
+def test_threshold_keys_shrink_with_c(ablation_rows):
+    """Larger c moves the minimal-useful frontier to shorter grams,
+    which form a strictly smaller antichain: key count decreases."""
+    keys = [row["gram_keys"] for row in ablation_rows]
+    assert keys == sorted(keys, reverse=True)
+
+
+def test_threshold_candidates_shrink_with_c(ablation_rows):
+    """Larger c indexes more (commoner) grams, so plans can filter at
+    least as well: mean candidates weakly decrease."""
+    candidates = [row["mean_candidates"] for row in ablation_rows]
+    assert candidates[-1] <= candidates[0]
+
+
+def test_threshold_sweet_spot_near_cost_ratio(ablation_rows):
+    """Section 3.1's rationale: with a 10x random-access penalty the
+    good threshold is near 0.1 — the extremes must not beat the c = 0.1
+    configuration on mean query I/O."""
+    by_c = {row["threshold_c"]: row["mean_query_io"] for row in
+            ablation_rows}
+    paper_c = by_c[0.1]
+    assert paper_c <= by_c[max(by_c)] * 1.05
+    assert paper_c <= by_c[min(by_c)] * 1.25

@@ -1,0 +1,54 @@
+"""E3 / Figure 10: improvement over Scan as a function of result size.
+
+Paper's finding: the multigram index's speedup grows as the result set
+shrinks — ~300x in the best case (`powerpc`), shrinking towards 1x for
+queries with large result sets (reading many candidate units costs as
+much as scanning).
+"""
+
+import pytest
+
+from repro.bench.queries import BEST_CASE_QUERY, NULL_PLAN_QUERIES
+from repro.bench.report import format_table
+from repro.bench.runner import run_fig10, run_fig9
+
+
+@pytest.fixture(scope="module")
+def fig10_rows(workload):
+    return run_fig10(workload, fig9_rows=run_fig9(workload))
+
+
+def test_fig10_report(fig10_rows, workload, emit, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit("fig10", format_table(
+        fig10_rows,
+        columns=["query", "result_size", "improvement_io",
+                 "improvement_wall"],
+        title="Figure 10: result size vs improvement "
+              "(improvement = scan cost / multigram cost)",
+    ))
+
+
+def test_fig10_shape_trend(fig10_rows):
+    """Improvement broadly decreases as result size increases: the
+    best indexed query beats the worst indexed query, and the
+    correlation between log(result size) and improvement is negative."""
+    import math
+
+    indexed = [
+        r for r in fig10_rows if r["query"] not in NULL_PLAN_QUERIES
+    ]
+    sizes = [math.log10(max(r["result_size"], 1)) for r in indexed]
+    gains = [math.log10(max(r["improvement_io"], 0.1)) for r in indexed]
+    n = len(indexed)
+    mean_s = sum(sizes) / n
+    mean_g = sum(gains) / n
+    cov = sum((s - mean_s) * (g - mean_g) for s, g in zip(sizes, gains))
+    assert cov < 0, "improvement should shrink as result size grows"
+
+
+def test_fig10_shape_best_case(fig10_rows):
+    """powerpc (rarest) achieves the paper's order of magnitude: the
+    improvement is at least 100x at benchmark scale."""
+    best = next(r for r in fig10_rows if r["query"] == BEST_CASE_QUERY)
+    assert best["improvement_io"] > 100, best

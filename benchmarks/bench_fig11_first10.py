@@ -1,0 +1,72 @@
+"""E4 / Figure 11: response time for the first 10 answers.
+
+Paper's findings: the indexed engines answer the first 10 matches in
+consistently tiny time; Scan fluctuates wildly — it is *worst* when
+matches are rare (`sigmod`, `ebay` in the paper) because it must read
+most of the corpus before finding 10 matches; on average the multigram
+index gives a ~20x reduction.
+"""
+
+import pytest
+
+from repro.bench.queries import BENCHMARK_QUERIES, NULL_PLAN_QUERIES
+from repro.bench.report import format_bar_chart, format_table
+from repro.bench.runner import run_fig11
+
+
+@pytest.fixture(scope="module")
+def fig11_rows(workload):
+    return run_fig11(workload, k=10)
+
+
+def test_fig11_report(fig11_rows, workload, emit, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = format_table(
+        fig11_rows,
+        columns=["query", "scan_s", "multigram_s", "complete_s",
+                 "scan_io", "multigram_io", "complete_io",
+                 "scan_units_read", "multigram_units_read"],
+        title="Figure 11: response time for first 10 results",
+    )
+    chart = format_bar_chart(
+        [str(r["query"]) for r in fig11_rows],
+        {
+            "scan": [float(r["scan_io"]) for r in fig11_rows],
+            "multigram": [float(r["multigram_io"]) for r in fig11_rows],
+        },
+        log=True,
+        title="Figure 11 (simulated I/O to first 10, log scale)",
+    )
+    emit("fig11", table + "\n\n" + chart)
+
+
+def test_fig11_shape_index_consistent(fig11_rows):
+    """The multigram engine's first-10 cost is consistently small:
+    its worst indexed query costs a small fraction of the worst Scan."""
+    indexed = [
+        r for r in fig11_rows if r["query"] not in NULL_PLAN_QUERIES
+    ]
+    worst_multigram = max(float(r["multigram_io"]) for r in indexed)
+    worst_scan = max(float(r["scan_io"]) for r in indexed)
+    assert worst_multigram * 3 < worst_scan
+
+
+def test_fig11_shape_scan_fluctuates(fig11_rows):
+    """Scan's first-10 cost varies by orders of magnitude with result
+    density, unlike the indexed engines."""
+    scan_costs = [max(float(r["scan_io"]), 1) for r in fig11_rows]
+    assert max(scan_costs) / min(scan_costs) > 30
+
+
+def test_fig11_shape_rare_queries_worst_for_scan(fig11_rows):
+    """Scan's worst case is a rare query (few matches -> long scan)."""
+    worst = max(fig11_rows, key=lambda r: float(r["scan_io"]))
+    assert worst["query"] in ("sigmod", "ebay", "powerpc", "mp3",
+                              "clinton", "stanford")
+
+
+@pytest.mark.parametrize("query", ["sigmod", "script"])
+def test_bench_first10_multigram(benchmark, workload, query):
+    engine = workload.engines()["multigram"]
+    pattern = BENCHMARK_QUERIES[query]
+    benchmark(engine.first_k, pattern, 10)

@@ -1,0 +1,127 @@
+"""E2 / Figure 9: total execution time per query, Scan vs indexes.
+
+Paper's findings: for most queries the indexed engines beat Scan by
+orders of magnitude; for `zip`, `phone`, `html` the plan has no index
+entry to use, so performance equals Scan (and crucially, is not worse);
+Multigram averages within ~32% of Complete.
+
+The printed table reports wall seconds and the hardware-independent
+simulated I/O cost; the shape assertions run on the I/O cost.
+"""
+
+import pytest
+
+from repro.bench.queries import (
+    BENCHMARK_QUERIES,
+    BEST_CASE_QUERY,
+    NULL_PLAN_QUERIES,
+)
+from repro.bench.report import format_bar_chart, format_table
+from repro.bench.runner import run_fig9
+
+
+@pytest.fixture(scope="module")
+def fig9_rows(workload):
+    return run_fig9(workload)
+
+
+def test_fig9_report(fig9_rows, workload, emit, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = format_table(
+        fig9_rows,
+        columns=[
+            "query", "matches", "scan_s", "multigram_s", "complete_s",
+            "scan_io", "multigram_io", "complete_io",
+            "multigram_candidates",
+        ],
+        title=f"Figure 9: total execution time "
+              f"({len(workload.corpus)} pages)",
+    )
+    chart = format_bar_chart(
+        [str(r["query"]) for r in fig9_rows],
+        {
+            "scan": [float(r["scan_io"]) for r in fig9_rows],
+            "multigram": [float(r["multigram_io"]) for r in fig9_rows],
+            "complete": [float(r["complete_io"]) for r in fig9_rows],
+        },
+        log=True,
+        title="Figure 9 (simulated I/O, log scale)",
+    )
+    emit("fig9", table + "\n\n" + chart)
+
+
+def test_fig9_shape_null_queries_equal_scan(fig9_rows):
+    """zip/phone/html: index lookup finds nothing; cost == Scan's."""
+    by_query = {r["query"]: r for r in fig9_rows}
+    for name in NULL_PLAN_QUERIES:
+        row = by_query[name]
+        assert row["multigram_candidates"] == row["scan_candidates"], name
+        # identical scan path -> identical simulated I/O
+        assert row["multigram_io"] == pytest.approx(
+            row["scan_io"], rel=0.01
+        ), name
+
+
+def test_fig9_shape_indexed_queries_win_big(fig9_rows):
+    """Rare indexed queries beat Scan by >= 10x simulated I/O; the
+    large-result `script` query still gains, just modestly (the paper's
+    "improvement depends on result size")."""
+    by_query = {r["query"]: r for r in fig9_rows}
+    for name in BENCHMARK_QUERIES:
+        if name in NULL_PLAN_QUERIES:
+            continue
+        row = by_query[name]
+        improvement = row["scan_io"] / max(row["multigram_io"], 1)
+        if name == "script":
+            assert improvement > 1.2, (name, improvement)
+        else:
+            assert improvement > 10, (name, improvement)
+
+
+def test_fig9_shape_best_case_is_rarest(fig9_rows):
+    """The largest improvement comes from one of the rarest queries
+    (the paper's best case, powerpc, has ~1 result; at our scale the
+    equally-rare mp3 can tie it)."""
+    improvements = {
+        r["query"]: r["scan_io"] / max(r["multigram_io"], 1)
+        for r in fig9_rows
+    }
+    sizes = {r["query"]: r["matches"] for r in fig9_rows}
+    best = max(improvements, key=improvements.get)
+    assert sizes[best] <= 3, (best, sizes[best])
+    assert improvements[BEST_CASE_QUERY] > 50
+
+
+def test_fig9_shape_multigram_close_to_complete(fig9_rows):
+    """Multigram stays within a small factor of the Complete optimum
+    on average (paper: 32% slower)."""
+    ratios = []
+    for row in fig9_rows:
+        if row["query"] in NULL_PLAN_QUERIES:
+            continue
+        ratios.append(
+            row["multigram_io"] / max(row["complete_io"], 1)
+        )
+    mean_ratio = sum(ratios) / len(ratios)
+    assert mean_ratio < 3.0, mean_ratio
+
+
+@pytest.mark.parametrize("query", ["powerpc", "clinton", "script"])
+def test_bench_multigram_query(benchmark, workload, query):
+    """Wall-clock microbenchmark: one indexed query end to end."""
+    engines = workload.engines()
+    engine = engines["multigram"]
+    pattern = BENCHMARK_QUERIES[query]
+    benchmark(engine.search, pattern, collect_matches=False)
+
+
+@pytest.mark.parametrize("query", ["powerpc", "zip"])
+def test_bench_scan_query(benchmark, workload, query):
+    """Wall-clock microbenchmark: the Scan baseline on the same query."""
+    engines = workload.engines()
+    engine = engines["scan"]
+    pattern = BENCHMARK_QUERIES[query]
+    benchmark.pedantic(
+        engine.search, args=(pattern,),
+        kwargs={"collect_matches": False}, rounds=2, iterations=1,
+    )

@@ -1,0 +1,122 @@
+"""Prior-work comparison (Section 1.1): suffix array vs multigram index.
+
+The paper argues suffix structures give exact any-substring lookup but
+cost Θ(corpus) (or more) in space, while the multigram index is a small
+filter that pays a confirmation step.  This experiment quantifies both
+sides on one corpus: index bytes, build time, per-query candidates and
+simulated I/O across the Figure 8 benchmark.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.queries import BENCHMARK_QUERIES
+from repro.bench.report import format_table
+from repro.corpus.synthesis import build_corpus
+from repro.engine.free import FreeEngine
+from repro.index.builder import build_multigram_index
+from repro.index.suffixarray import SuffixArrayIndex
+from repro.iomodel.diskmodel import DiskModel
+
+#: Suffix-array construction is O(n log^2 n) pure Python; keep this
+#: comparison corpus modest.
+SA_PAGES = 150
+
+
+@pytest.fixture(scope="module")
+def sa_corpus():
+    return build_corpus(n_pages=SA_PAGES, seed=31)
+
+
+@pytest.fixture(scope="module")
+def comparison_rows(sa_corpus):
+    rows = []
+    t0 = time.perf_counter()
+    multigram = build_multigram_index(
+        sa_corpus, threshold=0.1, max_gram_len=10
+    )
+    mg_build = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    suffix_array = SuffixArrayIndex(sa_corpus)
+    sa_build = time.perf_counter() - t0
+
+    for name, index, build_s, index_bytes, guard in (
+        ("multigram", multigram, mg_build,
+         multigram.stats.postings_bytes + multigram.stats.key_bytes,
+         None),
+        ("suffixarray", suffix_array, sa_build,
+         suffix_array.index_bytes, None),
+        # The SA indexes *every* gram, so common-gram queries produce
+        # huge candidate sets that random-read the corpus (Example
+        # 2.1's warning); the cost guard falls back to scanning when
+        # candidates exceed 1/random_multiplier of the corpus.
+        ("suffixarray+guard", suffix_array, sa_build,
+         suffix_array.index_bytes, 0.1),
+    ):
+        engine = FreeEngine(
+            sa_corpus, index, disk=DiskModel(),
+            min_candidate_ratio=guard,
+        )
+        total_io = 0.0
+        total_candidates = 0
+        for pattern in BENCHMARK_QUERIES.values():
+            engine.disk.reset()
+            report = engine.search(pattern, collect_matches=False)
+            total_io += report.io_cost
+            total_candidates += report.n_candidates
+        rows.append({
+            "index": name,
+            "build_s": round(build_s, 2),
+            "index_bytes": index_bytes,
+            "bytes_per_corpus_char": round(
+                index_bytes / sa_corpus.total_chars, 2
+            ),
+            "mean_query_io": round(total_io / len(BENCHMARK_QUERIES)),
+            "mean_candidates": round(
+                total_candidates / len(BENCHMARK_QUERIES), 1
+            ),
+        })
+    return rows
+
+
+def test_prior_work_report(comparison_rows, sa_corpus, emit, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit("prior_work_suffixarray", format_table(
+        comparison_rows,
+        title=f"Prior work: multigram vs suffix array "
+              f"({SA_PAGES} pages, {sa_corpus.total_chars:,} chars)",
+    ))
+
+
+def test_suffix_array_is_theta_corpus(comparison_rows):
+    """The paper's size objection to suffix structures."""
+    by_name = {row["index"]: row for row in comparison_rows}
+    assert by_name["suffixarray"]["bytes_per_corpus_char"] >= 1.0
+    assert (
+        by_name["multigram"]["index_bytes"]
+        < by_name["suffixarray"]["index_bytes"]
+    )
+
+
+def test_suffix_array_candidates_at_least_as_tight(comparison_rows):
+    """Exact postings can never be looser than gram-filter candidates."""
+    by_name = {row["index"]: row for row in comparison_rows}
+    assert (
+        by_name["suffixarray"]["mean_candidates"]
+        <= by_name["multigram"]["mean_candidates"] + 0.01
+    )
+
+
+def test_bench_sa_lookup(benchmark, sa_corpus):
+    index = SuffixArrayIndex(sa_corpus)
+
+    def lookups():
+        index._cache.clear()
+        return (
+            len(index.lookup("sigmod")),
+            len(index.lookup("motorola")),
+            len(index.lookup("stanford.edu")),
+        )
+
+    benchmark(lookups)

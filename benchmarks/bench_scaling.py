@@ -1,0 +1,49 @@
+"""Scaling experiment: improvement factor vs corpus size.
+
+The paper measures 4.5 GB; we measure megabytes.  The bridge between
+the two is this experiment: for a rare query with a ~fixed number of
+results, Scan cost is linear in corpus size while the indexed cost is
+~flat (postings + a constant number of unit reads), so the improvement
+factor grows ~linearly with N — extrapolating directly to the paper's
+two-to-three orders of magnitude at its 2000x larger scale.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.bench.runner import run_scaling
+
+PAGE_COUNTS = (300, 600, 1200, 2400)
+
+
+@pytest.fixture(scope="module")
+def scaling_rows():
+    return run_scaling(page_counts=PAGE_COUNTS)
+
+
+def test_scaling_report(scaling_rows, emit, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit("scaling", format_table(
+        scaling_rows,
+        title="Scaling: multigram improvement vs corpus size "
+              "(powerpc query, ~fixed result count)",
+    ))
+
+
+def test_scan_cost_scales_linearly(scaling_rows):
+    first, last = scaling_rows[0], scaling_rows[-1]
+    size_ratio = last["corpus_chars"] / first["corpus_chars"]
+    cost_ratio = last["scan_io"] / first["scan_io"]
+    assert cost_ratio == pytest.approx(size_ratio, rel=0.05)
+
+
+def test_improvement_grows_with_corpus(scaling_rows):
+    improvements = [row["improvement"] for row in scaling_rows]
+    assert improvements[-1] > improvements[0] * 2, improvements
+
+
+def test_index_cost_stays_sublinear(scaling_rows):
+    first, last = scaling_rows[0], scaling_rows[-1]
+    size_ratio = last["corpus_chars"] / first["corpus_chars"]
+    index_ratio = last["multigram_io"] / max(first["multigram_io"], 1)
+    assert index_ratio < size_ratio / 2

@@ -1,0 +1,89 @@
+"""E1 / Table 3: construction time and size of the three gram indexes.
+
+Paper's Table 3 (700k pages, 4.5 GB):
+
+                      Complete        Multigram      Suffix
+  Construction time   63 h            8 h 23 min     6 h 10 min
+  Number of gram-keys 103,151,302     988,627        64,656
+  Number of postings  18,193,048,399  1,744,677,072  820,396,717
+
+Shape contract (checked by assertions below, reported in the table):
+Multigram keys a small fraction of Complete's; Suffix keys a small
+fraction of Multigram's; postings Complete > Multigram > Suffix with
+Suffix ~ half of Multigram; Suffix builds faster than Multigram, both
+far faster than Complete per indexed posting.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.bench.runner import run_table3
+from repro.corpus.synthesis import build_corpus
+from repro.index.builder import build_multigram_index
+from repro.index.kgram import build_complete_index
+
+#: Build-benchmark corpus: smaller than the workload so pytest-benchmark
+#: can afford a few rounds of full index construction.
+BUILD_PAGES = 250
+
+
+@pytest.fixture(scope="module")
+def build_corpus_small():
+    return build_corpus(n_pages=BUILD_PAGES, seed=3)
+
+
+def test_table3_report(workload, emit, benchmark):
+    rows = benchmark.pedantic(
+        run_table3, args=(workload,), rounds=1, iterations=1
+    )
+    emit("table3", format_table(
+        rows,
+        title=f"Table 3: index construction ({len(workload.corpus)} pages,"
+              f" {workload.corpus.total_chars:,} chars, c = "
+              f"{workload.threshold})",
+    ))
+    by_name = {row["index"]: row for row in rows}
+    # Shape assertions (the paper's qualitative claims).
+    assert by_name["multigram"]["gram_keys"] < (
+        0.25 * by_name["complete"]["gram_keys"]
+    )
+    assert by_name["suffix"]["gram_keys"] < (
+        0.5 * by_name["multigram"]["gram_keys"]
+    )
+    assert by_name["multigram"]["postings"] < by_name["complete"]["postings"]
+    assert by_name["suffix"]["postings"] < (
+        0.7 * by_name["multigram"]["postings"]
+    )
+
+
+def test_build_multigram(benchmark, build_corpus_small):
+    index = benchmark.pedantic(
+        build_multigram_index,
+        args=(build_corpus_small,),
+        kwargs={"threshold": 0.1, "max_gram_len": 10},
+        rounds=2,
+        iterations=1,
+    )
+    assert index.is_prefix_free()
+
+
+def test_build_presuf(benchmark, build_corpus_small):
+    index = benchmark.pedantic(
+        build_multigram_index,
+        args=(build_corpus_small,),
+        kwargs={"threshold": 0.1, "max_gram_len": 10, "presuf": True},
+        rounds=2,
+        iterations=1,
+    )
+    assert len(index) > 0
+
+
+def test_build_complete(benchmark, build_corpus_small):
+    index = benchmark.pedantic(
+        build_complete_index,
+        args=(build_corpus_small,),
+        kwargs={"k_values": range(2, 9)},
+        rounds=2,
+        iterations=1,
+    )
+    assert len(index) > 0

@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures and result-file plumbing.
+
+Every benchmark module writes its printed table to
+``benchmarks/results/<name>.txt`` (pytest captures stdout, so files are
+the reliable artifact) and also prints it for ``-s`` runs.  The heavy
+workload is session-scoped: the corpus and all three indexes build once.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.workloads import default_workload
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Benchmark scale.  Override with FREE_BENCH_PAGES=N in the environment.
+BENCH_PAGES = int(os.environ.get("FREE_BENCH_PAGES", "1200"))
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return default_workload(n_pages=BENCH_PAGES)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """emit(name, text): print a report and persist it to results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as out:
+            out.write(text + "\n")
+
+    return _emit

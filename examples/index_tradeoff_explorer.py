@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Explore the index-size vs query-performance tradeoff.
+
+Sweeps the usefulness threshold ``c`` (Definition 3.4) and the presuf
+shell option (Section 3.2) over one corpus and prints, for each
+configuration: key count, postings count, and the mean simulated query
+cost over the Figure 8 benchmark.  This is the tradeoff the paper tunes
+by hand ("c will be chosen based on several system parameters") — here
+you can watch it move.
+
+Run:  python examples/index_tradeoff_explorer.py
+"""
+
+from repro import DiskModel, FreeEngine, build_corpus, build_multigram_index
+from repro.bench.queries import BENCHMARK_QUERIES
+from repro.bench.report import format_table
+
+
+def evaluate(corpus, threshold: float, presuf: bool) -> dict:
+    index = build_multigram_index(
+        corpus, threshold=threshold, max_gram_len=10, presuf=presuf
+    )
+    engine = FreeEngine(corpus, index, disk=DiskModel())
+    total_io = 0.0
+    full_scans = 0
+    for pattern in BENCHMARK_QUERIES.values():
+        engine.disk.reset()
+        report = engine.search(pattern, collect_matches=False)
+        total_io += report.io_cost
+        full_scans += report.used_full_scan
+    return {
+        "c": threshold,
+        "presuf": "yes" if presuf else "no",
+        "keys": index.stats.n_keys,
+        "postings": index.stats.n_postings,
+        "index_bytes": index.stats.postings_bytes + index.stats.key_bytes,
+        "mean_query_io": round(total_io / len(BENCHMARK_QUERIES)),
+        "full_scan_queries": full_scans,
+    }
+
+
+def main() -> None:
+    print("building corpus (500 pages)...")
+    corpus = build_corpus(n_pages=500, seed=5)
+    scan_io = corpus.total_chars  # cost of one sequential scan
+
+    rows = []
+    for threshold in (0.02, 0.05, 0.1, 0.2, 0.4):
+        for presuf in (False, True):
+            print(f"  building c={threshold} presuf={presuf}...")
+            rows.append(evaluate(corpus, threshold, presuf))
+
+    print()
+    print(format_table(rows, title="index size vs mean query cost "
+                                   f"(sequential scan io = {scan_io:,})"))
+    print()
+    print("Reading the table: smaller c pushes the minimal-useful"
+          " frontier to longer\ngrams (more keys, smaller postings) but"
+          " leaves borderline queries unfiltered;\nlarger c indexes"
+          " common grams whose fat candidate sets cost more than they\n"
+          "save.  The sweet spot sits near c = 1/random-penalty = 0.1"
+          " (Section 3.1),\nand the presuf shell cuts the index ~3x at"
+          " almost no query cost (Figure 12).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Example 1.2: data mining with frequency-ranked regex answers.
+
+"How does one find the middle name of Thomas Edison?"  Issue a regex
+with a hole where the unknown is, and rank the matching strings by how
+often they occur — the paper reports the top answer was
+"Thomas Alva Edison".  The same trick recovers President Clinton's
+middle name (Figure 8's `clinton` benchmark query).
+
+Run:  python examples/middle_name_miner.py
+"""
+
+from repro import FreeEngine, build_corpus, build_multigram_index
+
+
+def mine(engine: FreeEngine, question: str, pattern: str) -> None:
+    print(f"Q: {question}")
+    print(f"   regex: {pattern}")
+    ranked = engine.frequency_ranked(pattern, top=5)
+    if not ranked:
+        print("   (no matches)")
+        return
+    for rank, (text, count) in enumerate(ranked, start=1):
+        marker = "  <-- most frequent answer" if rank == 1 else ""
+        print(f"   {rank}. [{count:3d}x] {text!r}{marker}")
+    print()
+
+
+def main() -> None:
+    # Boost the relevant features so a small demo corpus has data.
+    corpus = build_corpus(
+        n_pages=800,
+        seed=17,
+        feature_probs={"edison": 0.08, "clinton": 0.05},
+    )
+    index = build_multigram_index(corpus, threshold=0.1, max_gram_len=10)
+    engine = FreeEngine(corpus, index)
+
+    mine(
+        engine,
+        "What is the middle name of Thomas Edison?",
+        r"Thomas \a+ Edison",
+    )
+    mine(
+        engine,
+        "What is the middle name of President Clinton?",
+        r"william\s+[a-z]+\s+clinton",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Benchmark harness: Figure 8 queries, workloads, runners, reports.
+
+- :mod:`repro.bench.queries` — the ten benchmark regexes of Figure 8;
+- :mod:`repro.bench.workloads` — standard corpus/index configurations,
+  cached so every benchmark module shares one build;
+- :mod:`repro.bench.runner` — experiment drivers, one per table/figure;
+- :mod:`repro.bench.report` — ASCII table rendering.
+"""
+
+from repro.bench.queries import BENCHMARK_QUERIES
+from repro.bench.workloads import Workload, default_workload
+
+__all__ = ["BENCHMARK_QUERIES", "Workload", "default_workload"]

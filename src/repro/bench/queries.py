@@ -1,0 +1,64 @@
+"""The ten benchmark regular expressions of Figure 8.
+
+The queries were solicited from IBM Almaden researchers; our copy of the
+paper garbles two of the ten patterns (`ebay`, `zip`), which we
+reconstruct from their names, descriptions and measured behaviour
+(DESIGN.md section 3).  The set deliberately spans the whole difficulty
+spectrum:
+
+=========  =====================================================
+query      index character
+=========  =====================================================
+mp3        rare gram ``.mp3`` + useless gram ``<a href=`` (Ex. 1.1)
+ebay       moderately rare literals under an OR
+zip        only short digit/letter classes -> plan collapses to NULL
+html       no literal grams at all -> NULL
+clinton    two useful grams ANDed across ``\\s+`` gaps
+powerpc    rarest literals; the paper's best case (~300x)
+script     literals present on ~half of all pages
+phone      digit classes only -> NULL
+sigmod     long tag gram + bounded gap ``.{0,200}`` + rare ``sigmod``
+stanford   one long rare gram ``stanford.edu``
+=========  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+BENCHMARK_QUERIES: Dict[str, str] = {
+    # 1. MP3 file pointers (Example 1.1).
+    "mp3": r'<a href=("|\')?[^>]*\.mp3("|\')?>',
+    # 2. eBay auction mentions (reconstructed; see module docstring).
+    "ebay": r"ebay.*(auction|bidder)",
+    # 3. Address lines with US ZIP codes (reconstructed): built purely
+    #    from character classes and 1-char literals, so that — as the
+    #    paper reports — *no* index (not even Complete, whose grams
+    #    start at length 2) has an entry to look up.
+    "zip": r"\a+,\s[a-z][a-z]\s\d\d\d\d\d",
+    # 4. Invalid HTML: a '<' reopened before the previous tag closed.
+    "html": r"<[^>]*<",
+    # 5. Middle name of President Clinton.
+    "clinton": r"william\s+[a-z]+\s+clinton",
+    # 6. Motorola PowerPC chip part numbers.
+    "powerpc": r"motorola.*(xpc|mpc)[0-9]+[0-9a-z]*",
+    # 7. HTML scripts on web pages.
+    "script": r"<script>.*</script>",
+    # 8. US phone numbers.
+    "phone": r"(\(\d\d\d\) |\d\d\d-)\d\d\d-\d\d\d\d",
+    # 9. SIGMOD papers and their locations.
+    "sigmod": (
+        r'<a\s+href\s*=\s*("|\')?[^>]*(\.ps|\.pdf)("|\')?>'
+        r".{0,200}sigmod"
+    ),
+    # 10. Stanford email addresses.
+    "stanford": r"(\a|\d|-|_|\.)+((\a|\d)+\.)*stanford\.edu",
+}
+
+#: Queries whose plan is expected to collapse to NULL (no index help);
+#: Figure 9's "only for 3 regular expressions (zip, phone, html), Scan
+#: shows comparable performance".
+NULL_PLAN_QUERIES = ("zip", "phone", "html")
+
+#: The paper's best case: the rarest query (Figure 10, ~300x).
+BEST_CASE_QUERY = "powerpc"

@@ -1,0 +1,84 @@
+"""ASCII reporting for benchmark runs (the printed tables/figures)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as a fixed-width ASCII table."""
+    if not rows:
+        return (title + "\n(empty)") if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        {col: _fmt(row.get(col, "")) for col in columns} for row in rows
+    ]
+    widths = {
+        col: max(len(col), *(len(r[col]) for r in rendered))
+        for col in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for r in rendered:
+        lines.append(
+            " | ".join(r[col].rjust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 40,
+    log: bool = False,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Render grouped horizontal bars (the textual Figure 9/11/12)."""
+    import math
+
+    values = [v for vs in series.values() for v in vs]
+    peak = max(values) if values else 1.0
+    floor = min((v for v in values if v > 0), default=1.0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    name_width = max(len(n) for n in series)
+    for i, label in enumerate(labels):
+        lines.append(f"{label}:")
+        for name, vs in series.items():
+            value = vs[i]
+            if log and value > 0 and peak > floor:
+                frac = (math.log10(value) - math.log10(floor)) / (
+                    math.log10(peak) - math.log10(floor)
+                )
+            else:
+                frac = value / peak if peak else 0.0
+            bar = "#" * max(1 if value > 0 else 0, int(frac * width))
+            lines.append(
+                f"  {name.ljust(name_width)} |{bar} {_fmt(value)}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,208 @@
+"""Command-line front end: ``free synth | build | search | explain | bench``.
+
+Typical session::
+
+    free synth --pages 1000 --out corpus.img
+    free build corpus.img --out corpus.idx --threshold 0.1 --presuf
+    free search corpus.img corpus.idx 'motorola.*(xpc|mpc)[0-9]+'
+    free explain corpus.img corpus.idx '(Bill|William).*Clinton'
+    free bench --pages 800 --experiment fig9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import report as report_mod
+from repro.bench import runner as runner_mod
+from repro.bench.workloads import default_workload
+from repro.corpus.store import DiskCorpus
+from repro.corpus.synthesis import build_corpus
+from repro.engine.free import FreeEngine
+from repro.engine.results import frequency_ranked
+from repro.errors import FreeError
+from repro.index.builder import build_multigram_index
+from repro.index.serialize import load_index, save_index
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "func"):
+        parser.print_help()
+        return 2
+    try:
+        return args.func(args)
+    except FreeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="free",
+        description="FREE: fast regular expression indexing engine",
+    )
+    sub = parser.add_subparsers()
+
+    p_synth = sub.add_parser("synth", help="generate a synthetic web corpus")
+    p_synth.add_argument("--pages", type=int, default=1000)
+    p_synth.add_argument("--seed", type=int, default=42)
+    p_synth.add_argument("--out", required=True, help="corpus image path")
+    p_synth.set_defaults(func=_cmd_synth)
+
+    p_build = sub.add_parser("build", help="build a multigram index")
+    p_build.add_argument("corpus", help="corpus image path")
+    p_build.add_argument("--out", required=True, help="index image path")
+    p_build.add_argument("--threshold", type=float, default=0.1)
+    p_build.add_argument("--max-gram-len", type=int, default=10)
+    p_build.add_argument(
+        "--presuf", action="store_true",
+        help="apply the shortest common suffix rule",
+    )
+    p_build.set_defaults(func=_cmd_build)
+
+    p_search = sub.add_parser("search", help="run a regex query")
+    p_search.add_argument("corpus")
+    p_search.add_argument("index")
+    p_search.add_argument("pattern")
+    p_search.add_argument("--limit", type=int, default=None)
+    p_search.add_argument(
+        "--ranked", action="store_true",
+        help="print matching strings by frequency (Example 1.2)",
+    )
+    p_search.set_defaults(func=_cmd_search)
+
+    p_explain = sub.add_parser("explain", help="show the access plan")
+    p_explain.add_argument("corpus")
+    p_explain.add_argument("index")
+    p_explain.add_argument("pattern")
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_estimate = sub.add_parser(
+        "estimate",
+        help="predict result size by corpus sampling (no index needed)",
+    )
+    p_estimate.add_argument("corpus")
+    p_estimate.add_argument("pattern")
+    p_estimate.add_argument("--sample", type=int, default=64)
+    p_estimate.add_argument("--seed", type=int, default=0)
+    p_estimate.set_defaults(func=_cmd_estimate)
+
+    p_bench = sub.add_parser("bench", help="run paper experiments")
+    p_bench.add_argument("--pages", type=int, default=None)
+    p_bench.add_argument(
+        "--experiment",
+        choices=[
+            "table3", "fig9", "fig10", "fig11", "fig12",
+            "threshold", "policy", "all",
+        ],
+        default="all",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def _cmd_synth(args) -> int:
+    corpus = build_corpus(n_pages=args.pages, seed=args.seed)
+    DiskCorpus.save(args.out, corpus)
+    print(
+        f"wrote {len(corpus)} pages "
+        f"({corpus.total_chars:,} chars) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_build(args) -> int:
+    with DiskCorpus(args.corpus) as corpus:
+        index = build_multigram_index(
+            corpus,
+            threshold=args.threshold,
+            max_gram_len=args.max_gram_len,
+            presuf=args.presuf,
+        )
+    save_index(index, args.out)
+    stats = index.stats
+    print(
+        f"built {index.kind} index: {stats.n_keys:,} keys, "
+        f"{stats.n_postings:,} postings, "
+        f"{stats.corpus_scans} corpus scans, "
+        f"{stats.construction_seconds:.2f}s -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_search(args) -> int:
+    with DiskCorpus(args.corpus) as corpus:
+        engine = FreeEngine(corpus, load_index(args.index))
+        report = engine.search(args.pattern, limit=args.limit)
+        print(report.summary())
+        if args.ranked:
+            for text, count in frequency_ranked(report.matches, top=20):
+                print(f"{count:6d}  {text!r}")
+        else:
+            for match in report.matches[:20]:
+                print(f"  unit {match.doc_id}: {match.text!r}")
+            if len(report.matches) > 20:
+                print(f"  ... {len(report.matches) - 20} more")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    with DiskCorpus(args.corpus) as corpus:
+        engine = FreeEngine(corpus, load_index(args.index))
+        print(engine.explain(args.pattern))
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    from repro.plan.sampling import SampledSelectivityEstimator
+
+    with DiskCorpus(args.corpus) as corpus:
+        estimator = SampledSelectivityEstimator(
+            corpus, sample_size=args.sample, seed=args.seed
+        )
+        selectivity = estimator.regex_selectivity(args.pattern)
+        lo, hi = estimator.confidence_interval(selectivity)
+        expected = estimator.expected_matching_units(args.pattern)
+    print(
+        f"sel({args.pattern!r}) ~ {selectivity:.4f} "
+        f"(95% CI [{lo:.4f}, {hi:.4f}]) over {estimator.sample_size} "
+        f"sampled units -> ~{expected:.0f} matching units expected"
+    )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    workload = (
+        default_workload(n_pages=args.pages)
+        if args.pages
+        else default_workload()
+    )
+    experiments = {
+        "table3": lambda: runner_mod.run_table3(workload),
+        "fig9": lambda: runner_mod.run_fig9(workload),
+        "fig10": lambda: runner_mod.run_fig10(workload),
+        "fig11": lambda: runner_mod.run_fig11(workload),
+        "fig12": lambda: runner_mod.run_fig12(workload),
+        "threshold": lambda: runner_mod.run_threshold_ablation(
+            workload.corpus
+        ),
+        "policy": lambda: runner_mod.run_cover_policy_ablation(workload),
+    }
+    paper_artifacts = ["table3", "fig9", "fig10", "fig11", "fig12"]
+    names = (
+        paper_artifacts if args.experiment == "all" else [args.experiment]
+    )
+    for name in names:
+        rows = experiments[name]()
+        print(report_mod.format_table(rows, title=f"== {name} =="))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Corpus substrate: data units, stores, and the synthetic web.
+
+The paper's corpus is 700,000 web pages crawled in 1999 (4.5 GB) — not
+available, so this subpackage provides the substitution described in
+DESIGN.md:
+
+- :mod:`repro.corpus.document` — the *data unit* (Definition 3.1's unit
+  of indexing: one web page);
+- :mod:`repro.corpus.store` — in-memory and disk-backed corpus stores
+  with sequential iteration and random access;
+- :mod:`repro.corpus.synthesis` — a deterministic generator of HTML-like
+  pages with *planted features* whose document frequencies are
+  controlled parameters, so every benchmark query's selectivity is known
+  by construction;
+- :mod:`repro.corpus.webgraph` / :mod:`repro.corpus.crawler` — a
+  synthetic hyperlink graph and a breadth-first crawler over it (the
+  "web crawler" box of Figure 1).
+"""
+
+from repro.corpus.document import DataUnit
+from repro.corpus.store import CorpusStore, DiskCorpus, InMemoryCorpus
+from repro.corpus.synthesis import CorpusConfig, SyntheticWeb, build_corpus
+
+__all__ = [
+    "DataUnit",
+    "CorpusStore",
+    "InMemoryCorpus",
+    "DiskCorpus",
+    "CorpusConfig",
+    "SyntheticWeb",
+    "build_corpus",
+]

@@ -1,0 +1,102 @@
+"""A simulated breadth-first web crawler (Figure 1's first box).
+
+The crawler walks a :class:`repro.corpus.webgraph.WebGraph`, fetching
+page content from a :class:`PageServer` (which renders pages with the
+synthetic generator and embeds the graph's hyperlinks), deduplicates
+URLs, honours a fetch budget, and emits a corpus with dense doc ids in
+crawl order — the input to the index construction engine.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.corpus.document import DataUnit
+from repro.corpus.store import InMemoryCorpus
+from repro.corpus.synthesis import CorpusConfig, SyntheticWeb
+from repro.corpus.webgraph import WebGraph
+
+_HREF = re.compile(r'href="([^"]+)"')
+
+
+class PageServer:
+    """Serves synthetic pages addressed by URL, with graph hyperlinks.
+
+    The server rewrites each page's random hyperlinks to point at the
+    web graph's out-links, so a crawl discovers exactly the graph.
+    """
+
+    def __init__(self, web: SyntheticWeb, graph: WebGraph):
+        if web.config.n_pages < graph.n_pages:
+            raise ValueError(
+                "synthetic web must cover every graph node "
+                f"({web.config.n_pages} pages < {graph.n_pages} nodes)"
+            )
+        self._web = web
+        self._graph = graph
+        self._url_to_id: Dict[str, int] = {
+            web.url_of(i): i for i in range(graph.n_pages)
+        }
+        self.fetch_count = 0
+
+    def url_of(self, page_id: int) -> str:
+        return self._web.url_of(page_id)
+
+    def fetch(self, url: str) -> Optional[Tuple[str, List[str]]]:
+        """Return (html, out-link urls) or None for a dead URL."""
+        page_id = self._url_to_id.get(url)
+        if page_id is None:
+            return None
+        self.fetch_count += 1
+        html = self._web.page(page_id).text
+        links = [
+            self._web.url_of(dst) for dst in self._graph.out_links(page_id)
+        ]
+        # Replace the generator's decorative links with the graph's, so
+        # that the extracted link set is exactly the graph edge set.
+        html = _HREF.sub(lambda m: m.group(0), html)
+        return html, links
+
+    def __len__(self) -> int:
+        return self._graph.n_pages
+
+
+class Crawler:
+    """Breadth-first crawl with URL dedup and a page budget."""
+
+    def __init__(self, server: PageServer, max_pages: Optional[int] = None):
+        self._server = server
+        self.max_pages = max_pages if max_pages is not None else len(server)
+
+    def crawl(self, seed_urls: Iterable[str]) -> InMemoryCorpus:
+        """Crawl from the seeds; returns units in crawl (BFS) order."""
+        frontier = deque(seed_urls)
+        visited = set(frontier)
+        units: List[DataUnit] = []
+        while frontier and len(units) < self.max_pages:
+            url = frontier.popleft()
+            fetched = self._server.fetch(url)
+            if fetched is None:
+                continue
+            html, links = fetched
+            units.append(DataUnit(len(units), html, url))
+            for link in links:
+                if link not in visited:
+                    visited.add(link)
+                    frontier.append(link)
+        return InMemoryCorpus(units)
+
+
+def crawl_synthetic_web(
+    n_pages: int,
+    seed: int = 42,
+    max_pages: Optional[int] = None,
+) -> InMemoryCorpus:
+    """End-to-end convenience: graph + server + BFS crawl from the core."""
+    web = SyntheticWeb(CorpusConfig(n_pages=n_pages, seed=seed))
+    graph = WebGraph(n_pages, seed=seed)
+    server = PageServer(web, graph)
+    crawler = Crawler(server, max_pages=max_pages)
+    return crawler.crawl([server.url_of(0)])

@@ -1,0 +1,328 @@
+"""Synthetic web corpus with planted, frequency-controlled features.
+
+The paper's evaluation corpus (700k pages crawled in 1999) is not
+available, so we substitute a *deterministic generator* of HTML-like
+pages.  Two properties make the substitution preserve the paper's
+observable behaviour (DESIGN.md section 3):
+
+1. **Background text is web-like**: a Zipf-distributed pseudo-English
+   vocabulary inside an HTML skeleton, so gram selectivities fall off
+   with gram length the way they do on real pages, and structural grams
+   (``<a href=``, ``<p>``) are nearly universal — exactly the property
+   Example 2.1 turns on.
+2. **Planted features have controlled document frequencies**: each
+   benchmark query of Figure 8 has a corresponding feature planted with
+   a configurable per-page probability, so the *selectivity of every
+   benchmark regex is a knob*, and the paper's qualitative axes (rare
+   query -> huge speedup; classes-only query -> no index help) hold by
+   construction.
+
+Generation is reproducible: ``CorpusConfig(seed=...)`` fixes every page.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.corpus.document import DataUnit
+from repro.corpus.store import InMemoryCorpus
+
+# ---------------------------------------------------------------------------
+# Vocabulary
+# ---------------------------------------------------------------------------
+
+_ONSETS = [
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s",
+    "t", "v", "w", "br", "cl", "cr", "dr", "fl", "gr", "pl", "pr", "sl",
+    "sp", "st", "tr", "th", "sh", "ch",
+]
+_NUCLEI = ["a", "e", "i", "o", "u", "ai", "ea", "ee", "io", "ou"]
+_CODAS = ["", "", "n", "r", "s", "t", "l", "m", "d", "ck", "ng", "st", "rd"]
+
+
+def make_vocabulary(size: int, rng: random.Random) -> List[str]:
+    """``size`` distinct pseudo-English words, 1-4 syllables each."""
+    words = []
+    seen = set()
+    while len(words) < size:
+        n_syllables = rng.choice((1, 2, 2, 2, 3, 3, 4))
+        word = "".join(
+            rng.choice(_ONSETS) + rng.choice(_NUCLEI) + rng.choice(_CODAS)
+            for _ in range(n_syllables)
+        )
+        if word not in seen and 2 <= len(word) <= 18:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+class ZipfSampler:
+    """Samples vocabulary ranks with P(rank k) proportional to 1/k^s."""
+
+    def __init__(self, words: List[str], exponent: float = 1.05):
+        self._words = words
+        weights = [1.0 / (k ** exponent) for k in range(1, len(words) + 1)]
+        total = 0.0
+        self._cum = []
+        for w in weights:
+            total += w
+            self._cum.append(total)
+
+    def sample(self, rng: random.Random, n: int) -> List[str]:
+        return rng.choices(self._words, cum_weights=self._cum, k=n)
+
+
+# ---------------------------------------------------------------------------
+# Feature renderers (one per Figure 8 benchmark query, plus extras)
+# ---------------------------------------------------------------------------
+
+_STATES = ["ca", "ny", "tx", "wa", "il"]
+_FIRST_NAMES = ["john", "mary", "wei", "anita", "carlos", "yuki", "raj"]
+
+#: Middle names used for the "Thomas ... Edison" demo (Example 1.2):
+#: "Alva" dominates so frequency ranking surfaces the right answer.
+_EDISON_MIDDLE = ["Alva"] * 8 + ["A"] * 1 + ["Young"] * 1
+
+
+def _words_of(sampler: ZipfSampler, rng: random.Random, n: int) -> str:
+    return " ".join(sampler.sample(rng, n))
+
+
+def render_mp3(sampler, rng) -> str:
+    quote = rng.choice(['"', "'", ""])
+    name = sampler.sample(rng, 1)[0]
+    track = rng.randrange(100)
+    return (
+        f'<a href={quote}http://media.example.net/{name}{track}.mp3'
+        f"{quote}>{name} song</a>"
+    )
+
+
+def render_ebay(sampler, rng) -> str:
+    middle = _words_of(sampler, rng, rng.randrange(2, 6))
+    kind = rng.choice(["auction", "bidder"])
+    return f"visit ebay for the {middle} {kind} today"
+
+
+def render_zip(sampler, rng) -> str:
+    city = sampler.sample(rng, 1)[0]
+    state = rng.choice(_STATES)
+    code = rng.randrange(10000, 99999)
+    return f"our office: {city}, {state} {code}"
+
+
+def render_phone(sampler, rng) -> str:
+    area = rng.randrange(200, 999)
+    mid = rng.randrange(200, 999)
+    tail = rng.randrange(1000, 9999)
+    if rng.random() < 0.5:
+        return f"call ({area}) {mid}-{tail} now"
+    return f"call {area}-{mid}-{tail} now"
+
+
+def render_bad_html(sampler, rng) -> str:
+    word = sampler.sample(rng, 1)[0]
+    return rng.choice([
+        f"<b {word} <i>nested</i>",
+        f"<{word} << {word}",
+        "<a <a>broken</a>",
+    ])
+
+
+def render_clinton(sampler, rng) -> str:
+    middle = rng.choice(["jefferson"] * 6 + ["j"] + ["blythe"])
+    return f"president william {middle} clinton spoke"
+
+
+def render_powerpc(sampler, rng) -> str:
+    prefix = rng.choice(["xpc", "mpc"])
+    number = rng.choice([603, 604, 740, 750, 7400, 7410])
+    suffix = rng.choice(["", "e", "ev", "x"])
+    filler = _words_of(sampler, rng, rng.randrange(1, 4))
+    return f"the motorola {filler} {prefix}{number}{suffix} processor"
+
+
+def render_script(sampler, rng) -> str:
+    var = sampler.sample(rng, 1)[0]
+    return f"<script>var {var} = {rng.randrange(100)};</script>"
+
+
+def render_sigmod(sampler, rng) -> str:
+    quote = rng.choice(['"', "'", ""])
+    name = sampler.sample(rng, 1)[0]
+    ext = rng.choice([".ps", ".pdf"])
+    gap = _words_of(sampler, rng, rng.randrange(1, 8))
+    return (
+        f"<a href={quote}http://dbs.example.edu/papers/{name}{ext}"
+        f"{quote}>{name}</a> {gap} appeared in sigmod"
+    )
+
+
+def render_stanford(sampler, rng) -> str:
+    user = rng.choice(_FIRST_NAMES) + rng.choice(["", ".", "_", "-"]) + \
+        sampler.sample(rng, 1)[0][:6]
+    # Hosts are always non-empty: the Figure 8 stanford query requires a
+    # class-matching character directly before "stanford.edu", and "@"
+    # is not in the class — bare user@stanford.edu would never match.
+    host = rng.choice(["cs.", "ee.", "www-db.", "www."])
+    return f"contact {user}@{host}stanford.edu for details"
+
+
+def render_edison(sampler, rng) -> str:
+    middle = rng.choice(_EDISON_MIDDLE)
+    return f"the inventor Thomas {middle} Edison held many patents"
+
+
+#: Default per-page planting probabilities.  Chosen so the Figure 8
+#: benchmark spans the paper's whole spectrum: `powerpc` rarest (best
+#: case), `zip`/`phone`/`html` frequent but without useful grams,
+#: `script` just under the usefulness threshold (indexed, but with a
+#: large result set -> modest improvement, the Figure 10 tail).
+DEFAULT_FEATURES: Dict[str, float] = {
+    "mp3": 0.004,
+    "ebay": 0.006,
+    "zip": 0.20,
+    "phone": 0.20,
+    "bad_html": 0.25,
+    "clinton": 0.003,
+    "powerpc": 0.0025,
+    "script": 0.06,
+    "sigmod": 0.002,
+    "stanford": 0.005,
+    "edison": 0.01,
+}
+
+_RENDERERS: Dict[str, Callable] = {
+    "mp3": render_mp3,
+    "ebay": render_ebay,
+    "zip": render_zip,
+    "phone": render_phone,
+    "bad_html": render_bad_html,
+    "clinton": render_clinton,
+    "powerpc": render_powerpc,
+    "script": render_script,
+    "sigmod": render_sigmod,
+    "stanford": render_stanford,
+    "edison": render_edison,
+}
+
+
+# ---------------------------------------------------------------------------
+# Page generation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Knobs of the synthetic web.
+
+    Attributes:
+        n_pages: number of data units to generate.
+        seed: master seed; same config -> identical corpus.
+        vocabulary_size: distinct background words.
+        zipf_exponent: skew of the background word distribution.
+        mean_paragraphs: average ``<p>`` blocks per page.
+        words_per_paragraph: average words per block.
+        feature_probs: per-feature planting probability overrides
+            (missing features fall back to :data:`DEFAULT_FEATURES`).
+    """
+
+    n_pages: int = 1000
+    seed: int = 42
+    vocabulary_size: int = 4000
+    zipf_exponent: float = 1.05
+    mean_paragraphs: int = 4
+    words_per_paragraph: int = 30
+    feature_probs: Dict[str, float] = field(default_factory=dict)
+
+    def probability(self, feature: str) -> float:
+        if feature in self.feature_probs:
+            return self.feature_probs[feature]
+        return DEFAULT_FEATURES.get(feature, 0.0)
+
+    def with_pages(self, n_pages: int) -> "CorpusConfig":
+        return replace(self, n_pages=n_pages)
+
+
+class SyntheticWeb:
+    """Deterministic page factory; page i depends only on (seed, i)."""
+
+    def __init__(self, config: Optional[CorpusConfig] = None):
+        self.config = config or CorpusConfig()
+        seed_rng = random.Random(self.config.seed)
+        self._vocab = make_vocabulary(self.config.vocabulary_size, seed_rng)
+        self._sampler = ZipfSampler(self._vocab, self.config.zipf_exponent)
+        self._hosts = [
+            f"www.{word}.{tld}"
+            for word, tld in zip(
+                self._vocab[: 64], ["com", "org", "net", "edu"] * 16
+            )
+        ]
+
+    def url_of(self, page_id: int) -> str:
+        host = self._hosts[page_id % len(self._hosts)]
+        return f"http://{host}/page{page_id}.html"
+
+    def page(self, page_id: int) -> DataUnit:
+        """Generate page ``page_id`` (deterministic in seed and id)."""
+        rng = random.Random(f"{self.config.seed}:{page_id}")
+        cfg = self.config
+        sampler = self._sampler
+        parts: List[str] = []
+        title = " ".join(sampler.sample(rng, 3))
+        parts.append(f"<html><head><title>{title}</title></head><body>")
+        parts.append(f"<h1>{title}</h1>")
+
+        features = [
+            name
+            for name in _RENDERERS
+            if rng.random() < cfg.probability(name)
+        ]
+        n_paragraphs = max(1, rng.randrange(1, 2 * cfg.mean_paragraphs))
+        slots = [
+            rng.randrange(n_paragraphs) for _ in features
+        ]
+        for p in range(n_paragraphs):
+            n_words = max(
+                4, int(rng.gauss(cfg.words_per_paragraph,
+                                 cfg.words_per_paragraph / 3))
+            )
+            body = " ".join(sampler.sample(rng, n_words))
+            parts.append(f"<p>{body}</p>")
+            for feature, slot in zip(features, slots):
+                if slot == p:
+                    parts.append(
+                        "<p>" + _RENDERERS[feature](sampler, rng) + "</p>"
+                    )
+            if rng.random() < 0.8:
+                # Ordinary hyperlink: makes sel(<a href=) ~ 1 as on the
+                # real web (Example 2.1's "useless gram").
+                target = rng.randrange(max(cfg.n_pages, 1))
+                anchor = " ".join(sampler.sample(rng, 2))
+                parts.append(
+                    f'<a href="{self.url_of(target)}">{anchor}</a>'
+                )
+        parts.append("</body></html>")
+        return DataUnit(page_id, "\n".join(parts), self.url_of(page_id))
+
+    def pages(self) -> List[DataUnit]:
+        return [self.page(i) for i in range(self.config.n_pages)]
+
+    def corpus(self) -> InMemoryCorpus:
+        """Generate the whole configured corpus."""
+        return InMemoryCorpus(self.pages())
+
+
+def build_corpus(
+    n_pages: int = 1000,
+    seed: int = 42,
+    feature_probs: Optional[Dict[str, float]] = None,
+) -> InMemoryCorpus:
+    """One-call corpus builder used by examples, tests and benchmarks."""
+    config = CorpusConfig(
+        n_pages=n_pages,
+        seed=seed,
+        feature_probs=dict(feature_probs or {}),
+    )
+    return SyntheticWeb(config).corpus()

@@ -1,0 +1,85 @@
+"""A synthetic hyperlink graph for the crawler substrate.
+
+FREE's Figure 1 starts with a web crawler.  We model the web it crawls
+as a directed graph over page ids built by *preferential attachment*
+(new pages link mostly to already-popular pages), which reproduces the
+heavy-tailed in-degree distribution of the real web — so crawl order and
+coverage behave plausibly.
+
+The graph is its own small substrate: deterministic under a seed,
+queryable for out-links, and independent of page *content* (content is
+the :class:`repro.corpus.synthesis.SyntheticWeb`'s job).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+
+class WebGraph:
+    """A seeded preferential-attachment digraph over ``n_pages`` nodes.
+
+    Node 0..seed_core-1 form a fully-connected core; every later node
+    draws ``out_degree`` targets, each chosen preferentially (an
+    endpoint of an existing edge) with probability ``preference`` and
+    uniformly otherwise.
+    """
+
+    def __init__(
+        self,
+        n_pages: int,
+        out_degree: int = 8,
+        preference: float = 0.8,
+        seed: int = 7,
+        seed_core: int = 5,
+    ):
+        if n_pages < 1:
+            raise ValueError("n_pages must be >= 1")
+        self.n_pages = n_pages
+        rng = random.Random(seed)
+        self._links: List[List[int]] = [[] for _ in range(n_pages)]
+        endpoints: List[int] = []
+
+        core = min(seed_core, n_pages)
+        for src in range(core):
+            for dst in range(core):
+                if src != dst:
+                    self._links[src].append(dst)
+                    endpoints.append(dst)
+
+        for src in range(core, n_pages):
+            targets = set()
+            for _ in range(out_degree):
+                if endpoints and rng.random() < preference:
+                    dst = rng.choice(endpoints)
+                else:
+                    dst = rng.randrange(src)  # only link to existing pages
+                if dst != src:
+                    targets.add(dst)
+            for dst in sorted(targets):
+                self._links[src].append(dst)
+                endpoints.append(dst)
+            # Give every page one in-link from the core so a crawl from
+            # the core can reach the whole graph.
+            back = rng.randrange(core) if core else 0
+            self._links[back].append(src)
+            endpoints.append(src)
+
+    def out_links(self, page_id: int) -> Sequence[int]:
+        """Pages that ``page_id`` links to."""
+        return tuple(self._links[page_id])
+
+    def in_degree_histogram(self) -> Dict[int, int]:
+        """Histogram of in-degrees (tests assert the heavy tail)."""
+        in_deg = [0] * self.n_pages
+        for links in self._links:
+            for dst in links:
+                in_deg[dst] += 1
+        histogram: Dict[int, int] = {}
+        for deg in in_deg:
+            histogram[deg] = histogram.get(deg, 0) + 1
+        return histogram
+
+    def __len__(self) -> int:
+        return self.n_pages

@@ -1,0 +1,68 @@
+"""Physical plan execution: postings operations -> candidate set.
+
+Evaluates the Boolean plan bottom-up with the set operations of
+:mod:`repro.index.postings` (galloping AND, heap-merge OR).  The result
+is either a sorted candidate id list or ``None``, meaning "every data
+unit" — the executor deliberately never materializes the full id range
+so a NULL plan costs nothing and the engine can choose a sequential
+scan instead.
+
+Postings reads are charged to the :class:`DiskModel` so the simulated
+cost of a query includes its index I/O, not only its unit reads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import PlanError
+from repro.index.multigram import GramIndex
+from repro.index.postings import intersect_many, union_many
+from repro.iomodel.diskmodel import DiskModel
+from repro.plan.physical import PAll, PAnd, PLookup, POr, PhysNode, PhysicalPlan
+
+
+def execute_plan(
+    plan: PhysicalPlan,
+    index: GramIndex,
+    disk: Optional[DiskModel] = None,
+) -> Optional[List[int]]:
+    """Evaluate ``plan`` to a sorted candidate id list.
+
+    Returns ``None`` when the plan is (or collapses to) ALL — the caller
+    must fall back to scanning every unit.
+    """
+    return _evaluate(plan.root, index, disk)
+
+
+def _evaluate(
+    node: PhysNode,
+    index: GramIndex,
+    disk: Optional[DiskModel],
+) -> Optional[List[int]]:
+    if isinstance(node, PAll):
+        return None
+    if isinstance(node, PLookup):
+        plist = index.lookup(node.key)
+        if disk is not None:
+            disk.charge_postings(len(plist))
+        return plist.ids()
+    if isinstance(node, PAnd):
+        # ALL children are identities for AND; evaluate the rest.
+        child_sets = []
+        for child in node.children:
+            result = _evaluate(child, index, disk)
+            if result is not None:
+                child_sets.append(result)
+        if not child_sets:
+            return None
+        return intersect_many(child_sets)
+    if isinstance(node, POr):
+        child_sets = []
+        for child in node.children:
+            result = _evaluate(child, index, disk)
+            if result is None:
+                return None  # one unconstrained branch floods the OR
+            child_sets.append(result)
+        return union_many(child_sets)
+    raise PlanError(f"unknown physical node {type(node).__name__}")

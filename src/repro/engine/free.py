@@ -1,0 +1,245 @@
+"""FreeEngine: the end-to-end runtime matching engine (Figure 3).
+
+The query path is the paper's three phases:
+
+1. **query parsing** — pattern text to AST;
+2. **plan generation** — logical plan (Figure 5), then physical plan
+   against the attached index (Section 4.3);
+3. **execution** — postings operations produce the candidate units,
+   which are read (random access) and confirmed with the automaton
+   matcher; matching strings are extracted with ``finditer``.
+
+When the physical plan collapses to NULL, or when no index is attached,
+the engine reads the corpus sequentially instead — the Scan baseline is
+literally this engine without an index.
+
+Every execution reports wall time *and* simulated I/O cost; the
+benchmarks compare the figures' shapes on the simulated cost, which does
+not depend on the host machine.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.corpus.document import DataUnit
+from repro.corpus.store import CorpusStore
+from repro.engine.executor import execute_plan
+from repro.engine.results import Match, SearchReport, frequency_ranked
+from repro.index.multigram import GramIndex
+from repro.iomodel.diskmodel import DiskModel
+from repro.plan.cost import PlanCost, estimate_cost
+from repro.plan.logical import LogicalPlan
+from repro.plan.physical import CoverPolicy, PhysicalPlan
+from repro.regex.matcher import Matcher
+
+
+class FreeEngine:
+    """A corpus + (optional) index + matcher, ready for queries.
+
+    Args:
+        corpus: the data units.
+        index: a :class:`GramIndex`; None turns this engine into the
+            raw-scan baseline.
+        backend: matcher backend, "dfa" (default) or "re".
+        disk: simulated disk for I/O cost accounting (fresh one made if
+            omitted).
+        cover_policy: how pruned grams map to lookups (Section 4.3).
+        min_candidate_ratio: optimizer guard — if the candidate set
+            exceeds this fraction of the corpus, prefer a sequential
+            scan (None disables; the paper's runtime always uses the
+            index when any key is available).
+        distribute: enable alternation distribution in plan generation
+            (stronger grams; the paper's deferred optimization).
+    """
+
+    def __init__(
+        self,
+        corpus: CorpusStore,
+        index: Optional[GramIndex] = None,
+        backend: str = "dfa",
+        disk: Optional[DiskModel] = None,
+        cover_policy: Union[CoverPolicy, str] = CoverPolicy.ALL,
+        min_candidate_ratio: Optional[float] = None,
+        distribute: bool = False,
+    ):
+        self.corpus = corpus
+        self.index = index
+        self.backend = backend
+        self.disk = disk if disk is not None else DiskModel()
+        self.cover_policy = CoverPolicy(cover_policy)
+        self.min_candidate_ratio = min_candidate_ratio
+        self.distribute = distribute
+        self._matcher_cache: dict = {}
+
+    @property
+    def name(self) -> str:
+        return "scan" if self.index is None else "free"
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self, pattern: str) -> Tuple[LogicalPlan, Optional[PhysicalPlan]]:
+        """Phases 1-2: parse and compile; physical plan None without index."""
+        logical = LogicalPlan.from_pattern(
+            pattern, distribute=self.distribute
+        )
+        if self.index is None:
+            return logical, None
+        physical = PhysicalPlan.compile(logical, self.index, self.cover_policy)
+        return logical, physical
+
+    def explain(self, pattern: str) -> str:
+        """Human-readable plan dump (CLI ``free explain``)."""
+        logical, physical = self.plan(pattern)
+        parts = [logical.pretty()]
+        if physical is not None:
+            parts.append(physical.pretty())
+            cost = estimate_cost(physical, self.index, self.corpus.total_chars,
+                                 self.disk)
+            parts.append(
+                f"estimated: selectivity={cost.selectivity:.4f}, "
+                f"candidates~{cost.candidate_units:.0f}, "
+                f"io={cost.io_cost:.0f} (scan io={cost.scan_io_cost:.0f})"
+            )
+        else:
+            parts.append("(no index attached: sequential scan)")
+        return "\n".join(parts)
+
+    # -- execution -----------------------------------------------------------
+
+    def search(
+        self,
+        pattern: str,
+        limit: Optional[int] = None,
+        collect_matches: bool = True,
+    ) -> SearchReport:
+        """Run a query end to end.
+
+        Args:
+            pattern: the regex.
+            limit: stop after this many *matches* have been produced
+                (the first-k streaming mode of Section 5.4).
+            collect_matches: False counts matches without keeping the
+                strings (saves memory on huge result sets).
+        """
+        report = SearchReport(pattern=pattern, engine=self.name)
+        io_before = self.disk.snapshot()
+
+        plan_started = time.perf_counter()
+        matcher = self._matcher(pattern)
+        candidates = self._candidates(pattern)
+        if candidates is not None and self.min_candidate_ratio is not None:
+            if len(candidates) > self.min_candidate_ratio * len(self.corpus):
+                candidates = None  # optimizer chose the sequential scan
+        report.plan_seconds = time.perf_counter() - plan_started
+
+        execute_started = time.perf_counter()
+        if candidates is None:
+            report.used_full_scan = True
+            report.n_candidates = len(self.corpus)
+            units: Iterable[DataUnit] = self._scan_units()
+        else:
+            report.n_candidates = len(candidates)
+            units = self._fetch_units(candidates)
+
+        self._confirm(units, matcher, report, limit, collect_matches)
+        report.execute_seconds = time.perf_counter() - execute_started
+
+        io_after = self.disk.snapshot()
+        report.io_cost = io_after["total_cost"] - io_before["total_cost"]
+        report.io_detail = {
+            key: io_after[key] - io_before[key] for key in io_after
+        }
+        return report
+
+    def first_k(self, pattern: str, k: int = 10) -> SearchReport:
+        """The Section 5.4 measurement: stop at the first k matches."""
+        return self.search(pattern, limit=k)
+
+    def count(self, pattern: str) -> int:
+        """Total number of matching strings in the corpus."""
+        return self.search(pattern, collect_matches=False).n_matches
+
+    def frequency_ranked(
+        self, pattern: str, top: Optional[int] = None
+    ) -> List[Tuple[str, int]]:
+        """Matching strings by descending frequency (Example 1.2)."""
+        report = self.search(pattern)
+        return frequency_ranked(report.matches, top=top)
+
+    # -- internals -----------------------------------------------------------
+
+    def _candidates(self, pattern: str) -> Optional[List[int]]:
+        """Plan and execute the index side of the query.
+
+        Returns a sorted candidate id list, or None for "scan
+        everything".  Subclasses (e.g. the segmented engine) override
+        this hook.
+        """
+        _logical, physical = self.plan(pattern)
+        if physical is None or physical.is_full_scan:
+            return None
+        return execute_plan(physical, self.index, self.disk)
+
+    def _matcher(self, pattern: str) -> Matcher:
+        matcher = self._matcher_cache.get(pattern)
+        if matcher is None:
+            matcher = Matcher(pattern, backend=self.backend)
+            self._matcher_cache[pattern] = matcher
+        return matcher
+
+    def _scan_units(self) -> Iterator[DataUnit]:
+        """Sequential pass over the corpus, charged as streaming I/O."""
+        for unit in self.corpus:
+            self.disk.charge_sequential(len(unit.text))
+            yield unit
+
+    def _fetch_units(self, doc_ids: List[int]) -> Iterator[DataUnit]:
+        """Random access to candidate units, charged per unit."""
+        for doc_id in doc_ids:
+            unit = self.corpus.get(doc_id)
+            self.disk.charge_random(len(unit.text))
+            yield unit
+
+    def _confirm(
+        self,
+        units: Iterable[DataUnit],
+        matcher: Matcher,
+        report: SearchReport,
+        limit: Optional[int],
+        collect_matches: bool,
+    ) -> None:
+        """Phase 3 confirmation: run the matcher over candidate units."""
+        n_matches = 0
+        for unit in units:
+            report.n_units_read += 1
+            if matcher.prefilter_rejects(unit.text):
+                # Anchoring prefilter (grep-style): a unit failing a
+                # mandatory-literal clause provably contains no match.
+                continue
+            unit_matched = False
+            for start, end in matcher.finditer(unit.text):
+                unit_matched = True
+                n_matches += 1
+                if collect_matches:
+                    report.matches.append(
+                        Match(unit.doc_id, start, end, unit.text[start:end])
+                    )
+                if limit is not None and n_matches >= limit:
+                    break
+            if unit_matched:
+                report.matching_units += 1
+            if limit is not None and n_matches >= limit:
+                report.truncated = True
+                break
+        report.n_matches_found = n_matches
+
+    def estimate(self, pattern: str) -> Optional[PlanCost]:
+        """Predicted cost of the current plan (None without an index)."""
+        _logical, physical = self.plan(pattern)
+        if physical is None:
+            return None
+        return estimate_cost(
+            physical, self.index, self.corpus.total_chars, self.disk
+        )

@@ -1,0 +1,97 @@
+"""Search results: match records, reports, and frequency ranking.
+
+Example 1.2 motivates returning "matching strings in the order of their
+occurrence frequencies": issuing ``Thomas \\a+ Edison`` should surface
+``Thomas Alva Edison`` as the top answer.  :func:`frequency_ranked`
+implements that aggregation over a report's matches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Match:
+    """One matching substring in one data unit."""
+
+    doc_id: int
+    start: int
+    end: int
+    text: str
+
+    def __post_init__(self):
+        if self.start > self.end:
+            raise ValueError("match start after end")
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        return (self.start, self.end)
+
+
+@dataclass
+class SearchReport:
+    """Everything one query execution produced and measured.
+
+    Attributes:
+        pattern: the query.
+        engine: "free" | "scan".
+        matches: matching substrings found (possibly truncated by a
+            ``limit``; see ``truncated``).
+        matching_units: count of data units containing >= 1 match.
+        n_candidates: candidate units the plan produced (== corpus size
+            for a full scan).
+        n_units_read: units actually read during confirmation.
+        used_full_scan: True when the plan collapsed to NULL.
+        truncated: True when a first-k limit stopped the execution.
+        plan_seconds: time in parse + plan generation.
+        execute_seconds: time in postings ops + confirmation.
+        io_cost: simulated I/O cost (char-read units; see DiskModel).
+        io_detail: DiskModel counter snapshot.
+    """
+
+    pattern: str
+    engine: str
+    matches: List[Match] = field(default_factory=list)
+    n_matches_found: int = 0
+    matching_units: int = 0
+    n_candidates: int = 0
+    n_units_read: int = 0
+    used_full_scan: bool = False
+    truncated: bool = False
+    plan_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    io_cost: float = 0.0
+    io_detail: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.plan_seconds + self.execute_seconds
+
+    @property
+    def n_matches(self) -> int:
+        """Matches found (valid even when strings were not collected)."""
+        return self.n_matches_found
+
+    def match_strings(self) -> List[str]:
+        return [m.text for m in self.matches]
+
+    def summary(self) -> str:
+        mode = "full scan" if self.used_full_scan else "index"
+        return (
+            f"{self.pattern!r} [{self.engine}/{mode}]: "
+            f"{self.n_matches} matches in {self.matching_units} units "
+            f"({self.n_candidates} candidates, {self.n_units_read} read) "
+            f"in {self.total_seconds * 1000:.1f} ms, io={self.io_cost:.0f}"
+        )
+
+
+def frequency_ranked(
+    matches: List[Match], top: Optional[int] = None
+) -> List[Tuple[str, int]]:
+    """Matching strings ranked by occurrence count (Example 1.2)."""
+    counter = Counter(m.text for m in matches)
+    ranked = counter.most_common(top)
+    return ranked

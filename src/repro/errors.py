@@ -1,0 +1,51 @@
+"""Exception hierarchy for the FREE reproduction.
+
+Every error raised by this package derives from :class:`FreeError`, so
+callers can catch package failures with a single ``except`` clause while
+still distinguishing parse errors from index/plan/engine failures.
+"""
+
+from __future__ import annotations
+
+
+class FreeError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class RegexSyntaxError(FreeError):
+    """A regular expression could not be parsed.
+
+    Carries the pattern and the character offset where parsing failed so
+    interactive front ends can point at the offending position.
+    """
+
+    def __init__(self, message: str, pattern: str = "", position: int = -1):
+        self.pattern = pattern
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at position {position} in {pattern!r})"
+        super().__init__(message)
+
+
+class IndexError_(FreeError):
+    """An index could not be built, loaded, or queried.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``; exported as ``IndexBuildError`` from the package root.
+    """
+
+
+class PlanError(FreeError):
+    """A logical or physical access plan could not be produced."""
+
+
+class CorpusError(FreeError):
+    """A corpus store rejected an operation (missing unit, bad id...)."""
+
+
+class SerializationError(FreeError):
+    """An index or corpus image on disk is malformed or truncated."""
+
+
+# Friendlier public alias.
+IndexBuildError = IndexError_

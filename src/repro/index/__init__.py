@@ -1,0 +1,54 @@
+"""Index layer: postings, gram selection, and the multigram index.
+
+Implements Section 3 of the paper:
+
+- :mod:`repro.index.postings` — compressed postings lists with merge
+  operations (S6);
+- :mod:`repro.index.directory` — the in-memory key directory, a trie
+  supporting "which keys occur inside this gram" queries (S10);
+- :mod:`repro.index.builder` — Algorithm 3.1, the a-priori level-wise
+  miner for minimal useful grams (S7);
+- :mod:`repro.index.kgram` — the Complete baseline: all k-grams for a
+  range of k (S8);
+- :mod:`repro.index.presuf` — the presuf shell / shortest common suffix
+  rule (S9, Observation 3.13);
+- :mod:`repro.index.multigram` — the queryable :class:`GramIndex` (S10);
+- :mod:`repro.index.serialize` — on-disk index images;
+- :mod:`repro.index.stats` — construction and size statistics (Table 3
+  rows).
+"""
+
+from repro.index.builder import MultigramIndexBuilder, build_multigram_index
+from repro.index.kgram import build_complete_index
+from repro.index.multigram import GramIndex
+from repro.index.parallel import (
+    ParallelMultigramBuilder,
+    build_multigram_index_parallel,
+)
+from repro.index.pcy import PCYHashFilter
+from repro.index.postings import PostingsList
+from repro.index.presuf import presuf_shell
+from repro.index.segmented import (
+    Segment,
+    SegmentedFreeEngine,
+    SegmentedGramIndex,
+)
+from repro.index.stats import IndexStats
+from repro.index.suffixarray import SuffixArrayIndex
+
+__all__ = [
+    "GramIndex",
+    "PostingsList",
+    "IndexStats",
+    "MultigramIndexBuilder",
+    "build_multigram_index",
+    "build_complete_index",
+    "presuf_shell",
+    "PCYHashFilter",
+    "Segment",
+    "SegmentedGramIndex",
+    "SegmentedFreeEngine",
+    "SuffixArrayIndex",
+    "ParallelMultigramBuilder",
+    "build_multigram_index_parallel",
+]

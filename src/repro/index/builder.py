@@ -1,0 +1,255 @@
+"""Algorithm 3.1: mining the minimal useful grams (a-priori style).
+
+The builder makes level-wise passes over the corpus, exactly as the
+paper's Figure 4 pseudo-code, with the paper's own optimization of
+counting several gram lengths per scan ("in the first iteration of the
+algorithm, we may find useless grams for both k = 1 and 2, not just for
+k = 1" — Section 3.1):
+
+1. maintain ``expand``, the frontier of *useless* grams;
+2. in each pass, count the document frequency of every gram whose
+   (k-1)-prefix is in ``expand``, for a batch of lengths;
+3. grams with ``sel <= c`` are *minimal useful* -> index keys
+   (their prefixes are all useless, so they are minimal);
+   the rest join the next frontier;
+4. a final pass builds the postings lists for the selected keys.
+
+Theorem 3.9 guarantees the key set is prefix-free, every key is useful,
+and every useful gram has an indexed prefix.  With ``presuf=True`` the
+key set is further reduced to its presuf shell before the postings pass
+(Section 3.2), yielding the paper's "Suffix" index.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.corpus.store import CorpusStore
+from repro.errors import IndexBuildError
+from repro.index.directory import KeyTrie
+from repro.index.multigram import GramIndex
+from repro.index.pcy import PCYHashFilter
+from repro.index.postings import PostingsList
+from repro.index.presuf import presuf_shell
+from repro.index.stats import IndexStats
+
+
+class MultigramIndexBuilder:
+    """Configurable builder for multigram / presuf indexes.
+
+    Args:
+        threshold: the usefulness threshold c (Definition 3.4); the
+            paper's experiments use 0.1.
+        max_gram_len: key-length cutoff (the paper cuts off at 10).
+        presuf: apply the shortest common suffix rule (Section 3.2).
+        lengths_per_pass: how many gram lengths to count per corpus
+            scan (the paper's multi-length optimization; 1 reproduces
+            the plain Figure 4 loop).
+        hash_filter_bits: enable PCY-style hash prefiltering with
+            2**bits buckets per gram length (see
+            :mod:`repro.index.pcy`); None disables.  The selected key
+            set is identical either way — the filter only avoids exact
+            counting for grams it can prove useful.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.1,
+        max_gram_len: int = 10,
+        presuf: bool = False,
+        lengths_per_pass: int = 2,
+        hash_filter_bits: Optional[int] = None,
+    ):
+        if not 0.0 <= threshold <= 1.0:
+            raise IndexBuildError(
+                f"threshold c must be in [0, 1], got {threshold}"
+            )
+        if max_gram_len < 1:
+            raise IndexBuildError("max_gram_len must be >= 1")
+        if lengths_per_pass < 1:
+            raise IndexBuildError("lengths_per_pass must be >= 1")
+        self.threshold = threshold
+        self.max_gram_len = max_gram_len
+        self.presuf = presuf
+        self.lengths_per_pass = lengths_per_pass
+        self.hash_filter_bits = hash_filter_bits
+
+    # -- key selection (the mining loop) -----------------------------------
+
+    def select_keys(self, corpus: CorpusStore, stats: IndexStats) -> Set[str]:
+        """Run the level-wise miner; returns the minimal useful grams."""
+        n_docs = len(corpus)
+        if n_docs == 0:
+            return set()
+        max_count = self.threshold * n_docs  # sel(x) <= c  <=>  M(x) <= c*N
+        keys: Set[str] = set()
+        expand: Set[str] = {""}  # the zero-length gram, as in Figure 4
+        filters: Dict[int, PCYHashFilter] = {}
+        k = 1
+        while expand and k <= self.max_gram_len:
+            lengths = list(range(
+                k, min(k + self.lengths_per_pass, self.max_gram_len + 1)
+            ))
+            next_lengths = [
+                length for length in range(
+                    lengths[-1] + 1,
+                    min(lengths[-1] + self.lengths_per_pass,
+                        self.max_gram_len) + 1,
+                )
+            ] if self.hash_filter_bits is not None else []
+            counts, sure, new_filters = self._count_pass(
+                corpus, expand, lengths, filters, next_lengths, max_count
+            )
+            stats.corpus_scans += 1
+            stats.pass_candidates.append(len(counts))
+            stats.hash_filtered.append(
+                sum(len(s) for s in sure.values())
+            )
+            # Resolve lengths in order: usefulness at length k decides
+            # which (k+1)-candidates were validly counted.
+            for length in lengths:
+                new_expand: Set[str] = set()
+                for gram in sure.get(length, ()):
+                    if gram[:-1] in expand:
+                        keys.add(gram)  # proven useful without counting
+                for gram, count in counts.items():
+                    if len(gram) != length:
+                        continue
+                    if gram[:-1] not in expand:
+                        continue  # prefix turned out useful; skip
+                    if count <= max_count:
+                        keys.add(gram)  # minimal useful gram
+                    else:
+                        new_expand.add(gram)
+                expand = new_expand
+            filters = new_filters
+            k = lengths[-1] + 1
+        return keys
+
+    def _count_pass(
+        self,
+        corpus: CorpusStore,
+        expand: Set[str],
+        lengths: List[int],
+        filters: Dict[int, PCYHashFilter],
+        next_lengths: List[int],
+        max_count: float,
+    ):
+        """One corpus scan: document frequencies of candidate grams.
+
+        A gram of length L is a candidate when its prefix of length
+        ``lengths[0] - 1`` is in ``expand`` (longer lengths in the same
+        batch are counted speculatively and filtered during resolution).
+
+        Returns ``(counts, sure, new_filters)``: exact per-doc counts
+        for grams the PCY filter could not classify, the grams the
+        filter *proved* useful per length, and the bucket arrays built
+        for the next batch's lengths.
+        """
+        prefix_len = lengths[0] - 1
+        counts: Dict[str, int] = {}
+        sure: Dict[int, Set[str]] = {length: set() for length in lengths}
+        new_filters: Dict[int, PCYHashFilter] = {
+            length: PCYHashFilter(self.hash_filter_bits, max_count)
+            for length in next_lengths
+        }
+        max_len = max(lengths[-1], *(next_lengths or [0]))
+        for unit in corpus:
+            text = unit.text
+            n = len(text)
+            seen: Set[str] = set()
+            for i in range(n):
+                base = text[i : i + max_len]
+                # Hash-count next-batch gram occurrences (unconditional:
+                # the next frontier is unknown until resolution).
+                for length, bucket in new_filters.items():
+                    if length <= len(base):
+                        bucket.add(base[:length])
+                if prefix_len and base[:prefix_len] not in expand:
+                    continue
+                for length in lengths:
+                    if length > len(base):
+                        break
+                    seen.add(base[:length])
+            for gram in seen:
+                bucket = filters.get(len(gram))
+                if bucket is not None and bucket.surely_useful(gram):
+                    sure[len(gram)].add(gram)
+                else:
+                    counts[gram] = counts.get(gram, 0) + 1
+        return counts, sure, new_filters
+
+    # -- postings construction ----------------------------------------------
+
+    def build(self, corpus: CorpusStore) -> GramIndex:
+        """Full build: mine keys, optionally shell them, emit postings."""
+        started = time.perf_counter()
+        kind = "presuf" if self.presuf else "multigram"
+        stats = IndexStats(
+            kind=kind,
+            n_docs=len(corpus),
+            corpus_chars=corpus.total_chars,
+        )
+        keys = self.select_keys(corpus, stats)
+        if self.presuf:
+            keys = presuf_shell(keys)
+        postings = build_postings(corpus, keys)
+        stats.corpus_scans += 1  # the final postings scan
+        index = GramIndex(
+            postings,
+            kind=kind,
+            n_docs=len(corpus),
+            threshold=self.threshold,
+            max_gram_len=self.max_gram_len,
+            stats=stats,
+        )
+        stats.fill_sizes(postings)
+        stats.construction_seconds = time.perf_counter() - started
+        return index
+
+
+def build_postings(
+    corpus: CorpusStore, keys: Iterable[str]
+) -> Dict[str, PostingsList]:
+    """The final scan: postings lists for a fixed key set.
+
+    Occurrences are found with a trie walk from every text position;
+    for a prefix-free key set each position contributes at most one key
+    (the pigeonhole step inside Observation 3.8's proof), so this pass
+    is O(corpus size x max key length).
+    """
+    trie = KeyTrie()
+    for key in keys:
+        trie.insert(key)
+    acc: Dict[str, List[int]] = {key: [] for key in trie.iter_keys()}
+    for unit in corpus:
+        text = unit.text
+        doc_hits: Set[str] = set()
+        for i in range(len(text)):
+            for key in trie.keys_starting_at(text, i):
+                doc_hits.add(key)
+        for key in doc_hits:
+            acc[key].append(unit.doc_id)
+    return {
+        key: PostingsList.from_sorted_ids(ids) for key, ids in acc.items()
+    }
+
+
+def build_multigram_index(
+    corpus: CorpusStore,
+    threshold: float = 0.1,
+    max_gram_len: int = 10,
+    presuf: bool = False,
+    lengths_per_pass: int = 2,
+    hash_filter_bits: Optional[int] = None,
+) -> GramIndex:
+    """One-call builder (see :class:`MultigramIndexBuilder`)."""
+    builder = MultigramIndexBuilder(
+        threshold=threshold,
+        max_gram_len=max_gram_len,
+        presuf=presuf,
+        lengths_per_pass=lengths_per_pass,
+        hash_filter_bits=hash_filter_bits,
+    )
+    return builder.build(corpus)

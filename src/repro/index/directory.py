@@ -1,0 +1,116 @@
+"""The index directory: an in-memory trie over gram keys.
+
+"Since the multigram index has a small number of gram keys, the entire
+gram keys can be loaded into the main memory" (Section 5.2).  The
+directory answers the two questions the physical planner asks:
+
+* exact membership — is this gram a key?
+* **covering substrings** — which keys occur as substrings of a given
+  gram?  (Section 4.3: a pruned-but-useful gram is replaced by the AND
+  of its indexed substrings.)
+
+The trie makes the second query cheap: from every start position of the
+gram, walk down while edges exist, reporting each terminal passed.  For
+a prefix-free key set (Theorem 3.9.3) each start position yields at most
+one key, so the walk is O(gram length x max key length) overall.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class _TrieNode:
+    __slots__ = ("children", "key")
+
+    def __init__(self):
+        self.children: Dict[str, _TrieNode] = {}
+        self.key: Optional[str] = None  # set iff a key ends here
+
+
+class KeyTrie:
+    """A character trie over index keys."""
+
+    def __init__(self):
+        self._root = _TrieNode()
+        self._size = 0
+
+    def insert(self, key: str) -> None:
+        if not key:
+            raise ValueError("cannot index the empty gram")
+        node = self._root
+        for ch in key:
+            nxt = node.children.get(ch)
+            if nxt is None:
+                nxt = _TrieNode()
+                node.children[ch] = nxt
+            node = nxt
+        if node.key is None:
+            self._size += 1
+        node.key = key
+
+    def __contains__(self, key: str) -> bool:
+        node = self._find(key)
+        return node is not None and node.key is not None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _find(self, key: str) -> Optional[_TrieNode]:
+        node = self._root
+        for ch in key:
+            node = node.children.get(ch)
+            if node is None:
+                return None
+        return node
+
+    def keys_starting_at(self, text: str, start: int) -> Iterator[str]:
+        """Yield every key equal to ``text[start:start+len(key)]``."""
+        node = self._root
+        i = start
+        n = len(text)
+        while i < n:
+            node = node.children.get(text[i])
+            if node is None:
+                return
+            i += 1
+            if node.key is not None:
+                yield node.key
+
+    def substrings_of(self, gram: str) -> List[str]:
+        """All keys occurring anywhere inside ``gram``, deduplicated.
+
+        This is the planner's availability query (Section 4.3).
+        """
+        found: List[str] = []
+        seen = set()
+        for start in range(len(gram)):
+            for key in self.keys_starting_at(gram, start):
+                if key not in seen:
+                    seen.add(key)
+                    found.append(key)
+        return found
+
+    def iter_keys(self) -> Iterator[str]:
+        """All keys in lexicographic order."""
+        stack = [("", self._root)]
+        # Depth-first with sorted edges gives lexicographic order.
+        while stack:
+            prefix, node = stack.pop()
+            if node.key is not None:
+                yield node.key
+            for ch in sorted(node.children, reverse=True):
+                stack.append((prefix + ch, node.children[ch]))
+
+    def is_prefix_free(self) -> bool:
+        """True iff no key is a proper prefix of another (Thm 3.9.3)."""
+        return self._check_prefix_free(self._root, False)
+
+    def _check_prefix_free(self, node: _TrieNode, saw_key_above: bool) -> bool:
+        if node.key is not None and saw_key_above:
+            return False
+        below = saw_key_above or node.key is not None
+        for child in node.children.values():
+            if not self._check_prefix_free(child, below):
+                return False
+        return True

@@ -1,0 +1,102 @@
+"""The queryable gram index (Figure 2: directory of keys + postings).
+
+:class:`GramIndex` is the shared container for all three index flavours
+of the evaluation — Complete (all k-grams), Multigram (minimal useful
+grams) and Suffix (presuf shell).  It holds:
+
+* a *directory*: the key set, kept wholly in memory as a
+  :class:`~repro.index.directory.KeyTrie` (Section 5.2 stresses the
+  directory is small enough for this), and
+* one :class:`~repro.index.postings.PostingsList` per key.
+
+The planner's two lookups are :meth:`__contains__` (is this gram a key?)
+and :meth:`covering_substrings` (which keys occur inside this gram?).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import IndexBuildError
+from repro.index.directory import KeyTrie
+from repro.index.postings import PostingsList
+from repro.index.stats import IndexStats
+
+
+class GramIndex:
+    """An immutable inverted index from gram keys to postings lists.
+
+    Args:
+        postings: mapping from key to its postings list.
+        kind: "complete" | "multigram" | "presuf" (reporting only).
+        n_docs: corpus size the index was built over.
+        threshold: the usefulness threshold c (None for Complete).
+        max_gram_len: the key-length cutoff used at build time.
+        stats: optional build statistics (filled by the builders).
+    """
+
+    def __init__(
+        self,
+        postings: Dict[str, PostingsList],
+        kind: str,
+        n_docs: int,
+        threshold: Optional[float] = None,
+        max_gram_len: Optional[int] = None,
+        stats: Optional[IndexStats] = None,
+    ):
+        if n_docs < 0:
+            raise IndexBuildError("n_docs must be >= 0")
+        self._postings = dict(postings)
+        self.kind = kind
+        self.n_docs = n_docs
+        self.threshold = threshold
+        self.max_gram_len = max_gram_len
+        self._trie = KeyTrie()
+        for key in self._postings:
+            self._trie.insert(key)
+        self.stats = stats if stats is not None else self._derive_stats()
+
+    def _derive_stats(self) -> IndexStats:
+        stats = IndexStats(kind=self.kind, n_docs=self.n_docs)
+        stats.fill_sizes(self._postings)
+        return stats
+
+    # -- directory queries -------------------------------------------------
+
+    def __contains__(self, gram: str) -> bool:
+        return gram in self._postings
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._postings)
+
+    def lookup(self, gram: str) -> PostingsList:
+        """Postings for an exact key; raises KeyError if absent."""
+        return self._postings[gram]
+
+    def covering_substrings(self, gram: str) -> List[str]:
+        """Keys occurring as substrings of ``gram`` (Section 4.3)."""
+        return self._trie.substrings_of(gram)
+
+    def selectivity(self, gram: str) -> Optional[float]:
+        """sel(gram) per Definition 3.1, or None if not a key."""
+        plist = self._postings.get(gram)
+        if plist is None or self.n_docs == 0:
+            return None
+        return len(plist) / self.n_docs
+
+    @property
+    def trie(self) -> KeyTrie:
+        return self._trie
+
+    def is_prefix_free(self) -> bool:
+        """Theorem 3.9(3) validation hook."""
+        return self._trie.is_prefix_free()
+
+    def __repr__(self) -> str:
+        return (
+            f"GramIndex(kind={self.kind!r}, keys={len(self)}, "
+            f"postings={self.stats.n_postings}, docs={self.n_docs})"
+        )

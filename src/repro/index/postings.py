@@ -1,0 +1,207 @@
+"""Compressed postings lists and their merge operations.
+
+A postings list is a sorted set of doc ids.  We store it gap-compressed:
+consecutive ids are delta-encoded and each delta is written as a LEB128
+varint, the standard layout of production inverted indexes (Lucene,
+codesearch).  Table 3 counts *postings*, so the codec also lets us
+report honest byte sizes for the index-size comparison.
+
+Merge operations implement the Boolean connectives of the access plan:
+
+* AND — pairwise *galloping* (exponential-probe) intersection, ordered
+  smallest-list-first, so the cost is near O(min |a|, |b| * log);
+* OR — k-way heap merge with duplicate elimination.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Optional, Sequence
+
+
+def encode_varint(value: int, out: bytearray) -> None:
+    """Append one LEB128 varint to ``out``."""
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def encode_gaps(sorted_ids: Sequence[int]) -> bytes:
+    """Delta + varint encode a strictly increasing id sequence."""
+    out = bytearray()
+    previous = -1
+    for doc_id in sorted_ids:
+        if doc_id <= previous:
+            raise ValueError("ids must be strictly increasing")
+        encode_varint(doc_id - previous - 1, out)
+        previous = doc_id
+    return bytes(out)
+
+
+def decode_gaps(data: bytes) -> List[int]:
+    """Inverse of :func:`encode_gaps`."""
+    ids: List[int] = []
+    current = -1
+    value = 0
+    shift = 0
+    for byte in data:
+        value |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            shift += 7
+            continue
+        current += value + 1
+        ids.append(current)
+        value = 0
+        shift = 0
+    if shift != 0:
+        raise ValueError("truncated varint in postings data")
+    return ids
+
+
+class PostingsList:
+    """An immutable, gap-compressed sorted set of doc ids."""
+
+    __slots__ = ("_data", "_count")
+
+    def __init__(self, data: bytes, count: int):
+        self._data = data
+        self._count = count
+
+    @staticmethod
+    def from_ids(ids: Iterable[int]) -> "PostingsList":
+        """Build from any iterable of ids (sorted and deduplicated)."""
+        unique = sorted(set(ids))
+        return PostingsList(encode_gaps(unique), len(unique))
+
+    @staticmethod
+    def from_sorted_ids(sorted_ids: Sequence[int]) -> "PostingsList":
+        """Build from an already strictly-increasing sequence (fast path)."""
+        return PostingsList(encode_gaps(sorted_ids), len(sorted_ids))
+
+    def ids(self) -> List[int]:
+        """Decode to a sorted list of doc ids."""
+        return decode_gaps(self._data)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self):
+        return iter(self.ids())
+
+    def __contains__(self, doc_id: int) -> bool:
+        return _binary_search(self.ids(), doc_id)
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed size in bytes (Table 3 size accounting)."""
+        return len(self._data)
+
+    @property
+    def raw(self) -> bytes:
+        return self._data
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, PostingsList)
+            and self._count == other._count
+            and self._data == other._data
+        )
+
+    def __hash__(self):
+        return hash((self._count, self._data))
+
+    def __repr__(self) -> str:
+        return f"PostingsList({self._count} ids, {self.nbytes} bytes)"
+
+
+def _binary_search(ids: List[int], target: int) -> bool:
+    lo, hi = 0, len(ids)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if ids[mid] < target:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo < len(ids) and ids[lo] == target
+
+
+def intersect_sorted(a: List[int], b: List[int]) -> List[int]:
+    """Galloping intersection of two sorted id lists."""
+    if len(a) > len(b):
+        a, b = b, a
+    result: List[int] = []
+    lo = 0
+    n = len(b)
+    for value in a:
+        # Exponential probe forward in b from lo.
+        step = 1
+        hi = lo
+        while hi < n and b[hi] < value:
+            lo = hi + 1
+            hi += step
+            step <<= 1
+        hi = min(hi, n)
+        # Binary search in (lo-1, hi].
+        left, right = lo, hi
+        while left < right:
+            mid = (left + right) // 2
+            if b[mid] < value:
+                left = mid + 1
+            else:
+                right = mid
+        lo = left
+        if lo < n and b[lo] == value:
+            result.append(value)
+            lo += 1
+        elif lo >= n:
+            break
+    return result
+
+
+def intersect_many(lists: Sequence[List[int]]) -> List[int]:
+    """AND of several sorted lists, smallest-first for early shrink."""
+    if not lists:
+        return []
+    ordered = sorted(lists, key=len)
+    result = ordered[0]
+    for other in ordered[1:]:
+        if not result:
+            return []
+        result = intersect_sorted(result, other)
+    return result
+
+
+def union_many(lists: Sequence[List[int]]) -> List[int]:
+    """OR of several sorted lists (k-way heap merge, deduplicated)."""
+    nonempty = [lst for lst in lists if lst]
+    if not nonempty:
+        return []
+    if len(nonempty) == 1:
+        return list(nonempty[0])
+    result: List[int] = []
+    last = -1
+    for value in heapq.merge(*nonempty):
+        if value != last:
+            result.append(value)
+            last = value
+    return result
+
+
+def difference_sorted(a: List[int], b: List[int]) -> List[int]:
+    """Ids in ``a`` but not ``b`` (used by index diagnostics)."""
+    result = []
+    j = 0
+    n = len(b)
+    for value in a:
+        while j < n and b[j] < value:
+            j += 1
+        if j >= n or b[j] != value:
+            result.append(value)
+    return result

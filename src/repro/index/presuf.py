@@ -1,0 +1,69 @@
+"""The presuf shell: the shortest common suffix rule (Section 3.2).
+
+A prefix-free key set can still carry redundant keys: if ``="k`` is
+useful, then ``href="k``, ``ref="k``, ... are all useful too, but their
+discriminating power "essentially comes from the last character" —
+keeping only the shortest suffix loses almost nothing (Example 3.10).
+
+Definition 3.12: ``Y`` is the *presuf shell* of prefix-free ``X`` when
+(1) every ``x`` in ``X`` is in ``Y`` or has a suffix in ``Y``, (2) ``Y``
+is suffix-free, (3) ``Y`` is a subset of ``X``.
+
+Observation 3.13: the shell is unique and computable in O(|X| log |X|)
+— reverse every string, sort lexicographically, and keep a string iff
+the most recently kept string is not a prefix of it.  (If *any* kept
+reversed string is a prefix of the current one, the *latest* kept one
+is: strings between a prefix and its extension in sorted order all share
+that prefix.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+
+def presuf_shell(keys: Iterable[str]) -> Set[str]:
+    """The unique presuf shell of ``keys`` (assumed prefix-free).
+
+    Runs the reverse-then-sort construction of Observation 3.13.
+    """
+    reversed_sorted = sorted(key[::-1] for key in keys)
+    kept_reversed: List[str] = []
+    for rev in reversed_sorted:
+        if kept_reversed and rev.startswith(kept_reversed[-1]):
+            continue  # an already-kept key is a suffix of this one
+        kept_reversed.append(rev)
+    return {rev[::-1] for rev in kept_reversed}
+
+
+def presuf_shell_naive(keys: Iterable[str]) -> Set[str]:
+    """Quadratic reference implementation (test oracle).
+
+    Keeps a key iff no *other* key is a proper suffix of it.  For a
+    prefix-free input this equals :func:`presuf_shell`.
+    """
+    key_set = set(keys)
+    shell = set()
+    for key in key_set:
+        has_proper_suffix = any(
+            key != other and key.endswith(other) for other in key_set
+        )
+        if not has_proper_suffix:
+            shell.add(key)
+    return shell
+
+
+def is_suffix_free(keys: Iterable[str]) -> bool:
+    """Definition 3.11 check (used by tests and index validation)."""
+    reversed_sorted = sorted(key[::-1] for key in keys)
+    for previous, current in zip(reversed_sorted, reversed_sorted[1:]):
+        if current.startswith(previous):
+            return False
+    return True
+
+
+def covers(shell: Set[str], keys: Iterable[str]) -> bool:
+    """Property (1) of Definition 3.12: every key has a suffix in shell."""
+    return all(
+        any(key.endswith(member) for member in shell) for key in keys
+    )

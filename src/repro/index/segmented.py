@@ -1,0 +1,301 @@
+"""Segmented multigram indexes: incremental maintenance for FREE.
+
+The paper builds its index once over a frozen crawl; a deployed engine
+needs to *keep* indexing as the crawler delivers pages.  This module
+adds the standard production answer (the Lucene/codesearch segment
+architecture) on top of the paper's index:
+
+* the corpus is covered by **segments**, each a self-contained
+  :class:`~repro.index.multigram.GramIndex` over its own documents;
+* **adding** documents builds a new small segment (no rebuild);
+* **deleting** a document sets a tombstone (no rebuild);
+* a **merge policy** bounds segment count by rebuilding the smallest
+  segments together, amortizing to the paper's single-index shape.
+
+Query-time, each segment compiles the logical plan against *its own*
+key directory — a gram useful (hence indexed) in one segment may be
+useless in another, so per-segment physical plans differ; soundness
+holds segment-by-segment, therefore globally (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Union
+
+from repro.corpus.document import DataUnit
+from repro.corpus.store import CorpusStore, InMemoryCorpus
+from repro.errors import IndexBuildError
+from repro.index.builder import MultigramIndexBuilder
+from repro.index.multigram import GramIndex
+from repro.iomodel.diskmodel import DiskModel
+
+if TYPE_CHECKING:  # plan/engine layers import this package: defer.
+    from repro.plan.logical import LogicalPlan
+    from repro.plan.physical import CoverPolicy
+
+
+class Segment:
+    """One immutable index shard plus its tombstone set."""
+
+    def __init__(self, global_ids: Sequence[int], index: GramIndex):
+        if len(global_ids) != index.n_docs:
+            raise IndexBuildError(
+                f"segment covers {len(global_ids)} docs but its index "
+                f"was built over {index.n_docs}"
+            )
+        self.global_ids: List[int] = list(global_ids)
+        self.index = index
+        self.deleted: Set[int] = set()  # global ids
+
+    @property
+    def n_docs(self) -> int:
+        return len(self.global_ids)
+
+    @property
+    def n_live(self) -> int:
+        return len(self.global_ids) - len(self.deleted)
+
+    def live_global_ids(self) -> List[int]:
+        return [gid for gid in self.global_ids if gid not in self.deleted]
+
+    def candidates(
+        self,
+        logical: "LogicalPlan",
+        policy: "CoverPolicy",
+        disk: Optional[DiskModel] = None,
+    ) -> List[int]:
+        """Global candidate ids in this segment (tombstones excluded)."""
+        from repro.engine.executor import execute_plan
+        from repro.plan.physical import PhysicalPlan
+
+        physical = PhysicalPlan.compile(logical, self.index, policy)
+        if physical.is_full_scan:
+            return self.live_global_ids()
+        local = execute_plan(physical, self.index, disk)
+        if local is None:
+            return self.live_global_ids()
+        out = []
+        for local_id in local:
+            gid = self.global_ids[local_id]
+            if gid not in self.deleted:
+                out.append(gid)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Segment({self.n_docs} docs, {len(self.deleted)} deleted, "
+            f"{len(self.index)} keys)"
+        )
+
+
+class SegmentedGramIndex:
+    """A growable multigram index made of independent segments."""
+
+    def __init__(self, builder: Optional[MultigramIndexBuilder] = None):
+        self.builder = builder or MultigramIndexBuilder()
+        self.segments: List[Segment] = []
+        self._segment_of: Dict[int, Segment] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        corpus: CorpusStore,
+        segment_docs: int = 256,
+        builder: Optional[MultigramIndexBuilder] = None,
+    ) -> "SegmentedGramIndex":
+        """Index ``corpus`` in fixed-size segments."""
+        if segment_docs < 1:
+            raise IndexBuildError("segment_docs must be >= 1")
+        seg_index = cls(builder)
+        batch: List[DataUnit] = []
+        for unit in corpus:
+            batch.append(unit)
+            if len(batch) == segment_docs:
+                seg_index.add_documents(batch)
+                batch = []
+        if batch:
+            seg_index.add_documents(batch)
+        return seg_index
+
+    def add_documents(self, units: Sequence[DataUnit]) -> Segment:
+        """Create one new segment holding ``units`` (their global doc
+        ids must be unique across the whole segmented index)."""
+        if not units:
+            raise IndexBuildError("cannot add an empty segment")
+        for unit in units:
+            if unit.doc_id in self._segment_of:
+                raise IndexBuildError(
+                    f"doc id {unit.doc_id} is already indexed"
+                )
+        local = InMemoryCorpus([
+            DataUnit(i, unit.text, unit.url)
+            for i, unit in enumerate(units)
+        ])
+        index = self.builder.build(local)
+        segment = Segment([unit.doc_id for unit in units], index)
+        self.segments.append(segment)
+        for unit in units:
+            self._segment_of[unit.doc_id] = segment
+        return segment
+
+    def delete(self, doc_id: int) -> bool:
+        """Tombstone a document; False if unknown or already deleted."""
+        segment = self._segment_of.get(doc_id)
+        if segment is None or doc_id in segment.deleted:
+            return False
+        segment.deleted.add(doc_id)
+        return True
+
+    # -- maintenance --------------------------------------------------------
+
+    def merge_segments(
+        self,
+        max_segments: int,
+        corpus: CorpusStore,
+    ) -> int:
+        """Rebuild the smallest segments together until at most
+        ``max_segments`` remain; purges tombstones.  Returns the number
+        of merge operations performed."""
+        if max_segments < 1:
+            raise IndexBuildError("max_segments must be >= 1")
+        merges = 0
+        while len(self.segments) > max_segments:
+            self.segments.sort(key=lambda s: s.n_live)
+            first, second = self.segments[0], self.segments[1]
+            live_ids = sorted(
+                first.live_global_ids() + second.live_global_ids()
+            )
+            units = [corpus.get(gid) for gid in live_ids]
+            self.segments = self.segments[2:]
+            for segment in (first, second):
+                for gid in segment.global_ids:
+                    self._segment_of.pop(gid, None)
+            if units:
+                self.add_documents(units)
+            merges += 1
+        return merges
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def n_docs(self) -> int:
+        return sum(segment.n_docs for segment in self.segments)
+
+    @property
+    def n_live(self) -> int:
+        return sum(segment.n_live for segment in self.segments)
+
+    @property
+    def n_deleted(self) -> int:
+        return self.n_docs - self.n_live
+
+    @property
+    def has_deletions(self) -> bool:
+        return any(segment.deleted for segment in self.segments)
+
+    def candidates(
+        self,
+        logical: "LogicalPlan",
+        policy: Union["CoverPolicy", str] = "all",
+        disk: Optional[DiskModel] = None,
+    ) -> Optional[List[int]]:
+        """Sorted global candidate ids, or None for "scan everything".
+
+        None is only returned when every segment's plan degenerated to a
+        full scan *and* there are no tombstones — otherwise the explicit
+        id list (which excludes deleted docs) is required for
+        correctness.
+        """
+        from repro.plan.physical import CoverPolicy, PhysicalPlan
+
+        policy = CoverPolicy(policy)
+        all_null = True
+        merged: List[int] = []
+        for segment in self.segments:
+            physical = PhysicalPlan.compile(logical, segment.index, policy)
+            if not physical.is_full_scan:
+                all_null = False
+            merged.extend(segment.candidates(logical, policy, disk))
+        if all_null and not self.has_deletions:
+            return None
+        merged.sort()
+        return merged
+
+    def total_keys(self) -> int:
+        return sum(len(segment.index) for segment in self.segments)
+
+    def total_postings(self) -> int:
+        return sum(
+            segment.index.stats.n_postings for segment in self.segments
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentedGramIndex({len(self.segments)} segments, "
+            f"{self.n_live}/{self.n_docs} live docs, "
+            f"{self.total_keys()} keys)"
+        )
+
+
+class SegmentedFreeEngine:
+    """FREE's runtime over a segmented index (supports add/delete).
+
+    A thin composition: plan per segment, merge candidates, then reuse
+    :class:`~repro.engine.free.FreeEngine`'s confirmation machinery.
+    """
+
+    def __init__(
+        self,
+        corpus: CorpusStore,
+        seg_index: SegmentedGramIndex,
+        backend: str = "dfa",
+        disk: Optional[DiskModel] = None,
+        cover_policy: Union["CoverPolicy", str] = "all",
+        distribute: bool = False,
+    ):
+        from repro.engine.free import FreeEngine
+        from repro.plan.logical import LogicalPlan
+        from repro.plan.physical import CoverPolicy
+
+        self.seg_index = seg_index
+        self.cover_policy = CoverPolicy(cover_policy)
+
+        outer = self
+
+        class _Engine(FreeEngine):
+            def _candidates(self, pattern):
+                logical = LogicalPlan.from_pattern(
+                    pattern, distribute=self.distribute
+                )
+                return outer.seg_index.candidates(
+                    logical, outer.cover_policy, self.disk
+                )
+
+        self._engine = _Engine(
+            corpus,
+            index=None,
+            backend=backend,
+            disk=disk,
+            distribute=distribute,
+        )
+
+    @property
+    def disk(self) -> DiskModel:
+        return self._engine.disk
+
+    def search(self, pattern: str, limit: Optional[int] = None,
+               collect_matches: bool = True):
+        return self._engine.search(
+            pattern, limit=limit, collect_matches=collect_matches
+        )
+
+    def first_k(self, pattern: str, k: int = 10):
+        return self._engine.first_k(pattern, k)
+
+    def count(self, pattern: str) -> int:
+        return self._engine.count(pattern)
+
+    def frequency_ranked(self, pattern: str, top: Optional[int] = None):
+        return self._engine.frequency_ranked(pattern, top)

@@ -1,0 +1,91 @@
+"""On-disk index images: save and load a :class:`GramIndex`.
+
+Layout (little-endian)::
+
+    magic 'FREEIDX1' |
+    meta_len u32 | meta json (kind, n_docs, threshold, max_gram_len) |
+    n_keys u32 |
+    per key: key_len u16 | key utf-8 |
+             posting_count u32 | data_len u32 | gap-varint postings
+
+The postings bytes are stored verbatim — the in-memory and on-disk
+representations are the same compressed form, so save/load is a straight
+copy and the loaded index is bit-identical to the saved one.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO, Dict
+
+from repro.errors import SerializationError
+from repro.index.multigram import GramIndex
+from repro.index.postings import PostingsList
+
+_MAGIC = b"FREEIDX1"
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+
+def save_index(index: GramIndex, path: str) -> None:
+    """Write ``index`` to ``path`` in the image format above."""
+    meta = {
+        "kind": index.kind,
+        "n_docs": index.n_docs,
+        "threshold": index.threshold,
+        "max_gram_len": index.max_gram_len,
+    }
+    meta_bytes = json.dumps(meta).encode("utf-8")
+    with open(path, "wb") as out:
+        out.write(_MAGIC)
+        out.write(_U32.pack(len(meta_bytes)))
+        out.write(meta_bytes)
+        out.write(_U32.pack(len(index)))
+        for key in sorted(index.keys()):
+            plist = index.lookup(key)
+            key_bytes = key.encode("utf-8")
+            if len(key_bytes) > 0xFFFF:
+                raise SerializationError(f"key too long: {len(key_bytes)}B")
+            out.write(_U16.pack(len(key_bytes)))
+            out.write(key_bytes)
+            out.write(_U32.pack(len(plist)))
+            out.write(_U32.pack(plist.nbytes))
+            out.write(plist.raw)
+
+
+def load_index(path: str) -> GramIndex:
+    """Read an index image written by :func:`save_index`."""
+    with open(path, "rb") as infile:
+        magic = infile.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise SerializationError(f"{path!r}: bad magic {magic!r}")
+        meta = json.loads(_read_block(infile, path).decode("utf-8"))
+        (n_keys,) = _U32.unpack(_read_exact(infile, _U32.size, path))
+        postings: Dict[str, PostingsList] = {}
+        for _ in range(n_keys):
+            (key_len,) = _U16.unpack(_read_exact(infile, _U16.size, path))
+            key = _read_exact(infile, key_len, path).decode("utf-8")
+            (count,) = _U32.unpack(_read_exact(infile, _U32.size, path))
+            (data_len,) = _U32.unpack(_read_exact(infile, _U32.size, path))
+            data = _read_exact(infile, data_len, path)
+            postings[key] = PostingsList(data, count)
+    return GramIndex(
+        postings,
+        kind=meta["kind"],
+        n_docs=meta["n_docs"],
+        threshold=meta["threshold"],
+        max_gram_len=meta["max_gram_len"],
+    )
+
+
+def _read_block(infile: BinaryIO, path: str) -> bytes:
+    (length,) = _U32.unpack(_read_exact(infile, _U32.size, path))
+    return _read_exact(infile, length, path)
+
+
+def _read_exact(infile: BinaryIO, n: int, path: str) -> bytes:
+    data = infile.read(n)
+    if len(data) != n:
+        raise SerializationError(f"{path!r}: truncated index image")
+    return data

@@ -1,0 +1,78 @@
+"""Index construction and size statistics (the rows of Table 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class IndexStats:
+    """What Table 3 reports per index, plus build diagnostics.
+
+    Attributes:
+        kind: "complete" | "multigram" | "presuf".
+        n_keys: number of gram keys ("Number of gram-keys").
+        n_postings: total postings across keys ("Number of postings").
+        key_bytes: total bytes of key text (directory size proxy).
+        postings_bytes: compressed postings bytes.
+        construction_seconds: wall-clock build time.
+        corpus_scans: how many full passes over the data were made.
+        n_docs: corpus size in data units.
+        corpus_chars: corpus size in characters (|D| of Obs. 3.8).
+        pass_candidates: per-pass exactly-counted gram counts
+            (diagnostics on the a-priori miner).
+        hash_filtered: per-pass grams classified by the PCY hash filter
+            without exact counting (all zeros when disabled).
+        keys_by_length: histogram of key lengths.
+    """
+
+    kind: str
+    n_keys: int = 0
+    n_postings: int = 0
+    key_bytes: int = 0
+    postings_bytes: int = 0
+    construction_seconds: float = 0.0
+    corpus_scans: int = 0
+    n_docs: int = 0
+    corpus_chars: int = 0
+    pass_candidates: List[int] = field(default_factory=list)
+    hash_filtered: List[int] = field(default_factory=list)
+    keys_by_length: Dict[int, int] = field(default_factory=dict)
+
+    def fill_sizes(self, postings: Dict[str, object]) -> None:
+        """Populate the size fields from a key -> PostingsList mapping."""
+        self.n_keys = len(postings)
+        self.n_postings = 0
+        self.key_bytes = 0
+        self.postings_bytes = 0
+        self.keys_by_length = {}
+        for key, plist in postings.items():
+            self.n_postings += len(plist)
+            self.key_bytes += len(key.encode("utf-8"))
+            self.postings_bytes += plist.nbytes
+            self.keys_by_length[len(key)] = (
+                self.keys_by_length.get(len(key), 0) + 1
+            )
+
+    def as_row(self) -> Dict[str, object]:
+        """The Table 3 row for this index."""
+        return {
+            "index": self.kind,
+            "construction_time_s": round(self.construction_seconds, 3),
+            "gram_keys": self.n_keys,
+            "postings": self.n_postings,
+            "postings_bytes": self.postings_bytes,
+            "corpus_scans": self.corpus_scans,
+        }
+
+    @property
+    def postings_per_key(self) -> float:
+        return self.n_postings / self.n_keys if self.n_keys else 0.0
+
+    @property
+    def postings_to_corpus_ratio(self) -> float:
+        """Obs. 3.8 predicts <= 1.0 for prefix-free key sets."""
+        if not self.corpus_chars:
+            return 0.0
+        return self.n_postings / self.corpus_chars

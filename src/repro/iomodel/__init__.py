@@ -1,0 +1,5 @@
+"""Simulated I/O cost accounting (hardware-independent timing shapes)."""
+
+from repro.iomodel.diskmodel import DiskModel
+
+__all__ = ["DiskModel"]

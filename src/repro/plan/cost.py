@@ -1,0 +1,136 @@
+"""Plan cost estimation (the optimizer the paper defers to future work).
+
+Section 4.1: "Clearly, many optimizations can be done to obtain the
+most efficient plan given an index.  We defer the study of such
+optimizations to future work."  We implement the obvious first step —
+selectivity estimation from postings sizes, mirroring an RDBMS
+optimizer's cardinality estimates — and use it to
+
+* predict the candidate-set fraction of a physical plan,
+* decide whether the plan beats a sequential scan under a given
+  :class:`~repro.iomodel.diskmodel.DiskModel` (the c-threshold
+  rationale, applied per query), and
+* rank alternative cover policies in the E8 ablation.
+
+Estimates use the standard independence assumptions: AND multiplies
+selectivities, OR adds with the inclusion bound.  They are estimates —
+the executor reports the true candidate counts for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.index.multigram import GramIndex
+from repro.iomodel.diskmodel import DiskModel
+from repro.plan.physical import (
+    PAll,
+    PAnd,
+    PCover,
+    PLookup,
+    POr,
+    PhysNode,
+    PhysicalPlan,
+)
+
+
+def estimate_selectivity(node: PhysNode, index: GramIndex) -> float:
+    """Estimated fraction of data units satisfying ``node``.
+
+    AND multiplies (independence), OR adds with the inclusion bound —
+    except :class:`PCover` nodes, whose children are the covering keys
+    of one gram and therefore perfectly correlated: their selectivity
+    is the minimum, not the product.
+    """
+    if isinstance(node, PAll):
+        return 1.0
+    if isinstance(node, PLookup):
+        if index.n_docs == 0:
+            return 0.0
+        return len(index.lookup(node.key)) / index.n_docs
+    if isinstance(node, PCover):
+        return min(
+            estimate_selectivity(child, index) for child in node.children
+        )
+    if isinstance(node, PAnd):
+        result = 1.0
+        for child in node.children:
+            result *= estimate_selectivity(child, index)
+        return result
+    if isinstance(node, POr):
+        total = 0.0
+        for child in node.children:
+            total += estimate_selectivity(child, index)
+        return min(total, 1.0)
+    raise TypeError(f"unknown physical node {type(node).__name__}")
+
+
+def postings_to_read(node: PhysNode, index: GramIndex) -> int:
+    """Total postings entries the plan will decode."""
+    if isinstance(node, PLookup):
+        return len(index.lookup(node.key))
+    if isinstance(node, (PAnd, POr)):
+        return sum(postings_to_read(c, index) for c in node.children)
+    return 0
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """Predicted execution cost of a physical plan.
+
+    Attributes:
+        selectivity: estimated candidate fraction.
+        candidate_units: estimated candidate count.
+        postings_entries: postings the plan reads.
+        io_cost: predicted simulated I/O cost (char-read units).
+        scan_io_cost: cost of the sequential-scan alternative.
+    """
+
+    selectivity: float
+    candidate_units: float
+    postings_entries: int
+    io_cost: float
+    scan_io_cost: float
+
+    @property
+    def beats_scan(self) -> bool:
+        """Should the optimizer prefer this plan over a raw scan?"""
+        return self.io_cost < self.scan_io_cost
+
+
+def estimate_cost(
+    plan: PhysicalPlan,
+    index: GramIndex,
+    corpus_chars: int,
+    disk: Optional[DiskModel] = None,
+) -> PlanCost:
+    """Predict the I/O cost of ``plan`` vs a full sequential scan.
+
+    The index path pays postings reads plus one random unit access per
+    candidate; the scan path pays one sequential pass over the corpus.
+    """
+    disk = disk or DiskModel()
+    n_docs = index.n_docs or 1
+    avg_unit = corpus_chars / n_docs
+    selectivity = estimate_selectivity(plan.root, index)
+    candidates = selectivity * n_docs
+    postings = postings_to_read(plan.root, index)
+    if plan.is_full_scan:
+        io_cost = corpus_chars * disk.sequential_cost_per_char
+    else:
+        io_cost = (
+            postings * disk.posting_cost_chars
+            + candidates
+            * avg_unit
+            * disk.sequential_cost_per_char
+            * disk.random_multiplier
+        )
+    scan_io = corpus_chars * disk.sequential_cost_per_char
+    return PlanCost(
+        selectivity=selectivity,
+        candidate_units=candidates,
+        postings_entries=postings,
+        io_cost=io_cost,
+        scan_io_cost=scan_io,
+    )

@@ -1,0 +1,98 @@
+"""Logical index access plans (Figure 5 + Table 2).
+
+A logical plan is the Boolean gram formula a regex implies, independent
+of any particular index: ``(Bill|William).*Clinton`` becomes
+``(Bill OR William) AND Clinton`` (Example 4.1).  The four steps of
+Figure 5 — rewrite to OR/STAR form, build the parse tree, turn starred
+branches into NULL, eliminate NULLs by Table 2 — are implemented by
+:func:`repro.regex.rewrite.requirement_tree`; this module packages the
+result with provenance and rendering for the planner and the CLI.
+
+A plan whose root is NULL ("any data unit may match") is exactly the
+case where the index cannot help and the engine falls back to a full
+scan — the `zip`/`phone`/`html` benchmark queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.errors import PlanError
+from repro.regex import ast as ast_
+from repro.regex.parser import parse
+from repro.regex.rewrite import (
+    Req,
+    ReqAnd,
+    ReqAny,
+    ReqGram,
+    ReqOr,
+    iter_grams,
+    requirement_tree,
+)
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """The index-independent Boolean access formula of one query."""
+
+    pattern: str
+    root: Req
+
+    @staticmethod
+    def from_pattern(
+        pattern: Union[str, ast_.Node],
+        min_gram_len: int = 1,
+        distribute: bool = False,
+    ) -> "LogicalPlan":
+        """Compile a pattern (text or AST) into a logical plan.
+
+        ``distribute=True`` enables the alternation-distribution
+        optimization (see :func:`repro.regex.rewrite.requirement_tree`).
+        """
+        if isinstance(pattern, str):
+            node = parse(pattern)
+            text = pattern
+        else:
+            node = pattern
+            text = pattern.to_pattern()
+        try:
+            root = requirement_tree(
+                node, min_gram_len=min_gram_len, distribute=distribute
+            )
+        except ValueError as exc:
+            raise PlanError(f"cannot plan {text!r}: {exc}") from exc
+        return LogicalPlan(pattern=text, root=root)
+
+    @property
+    def is_null(self) -> bool:
+        """True when no index can restrict the candidates (full scan)."""
+        return isinstance(self.root, ReqAny)
+
+    def grams(self) -> List[str]:
+        """Every gram leaf, in plan order."""
+        return list(iter_grams(self.root))
+
+    def pretty(self) -> str:
+        """Multi-line rendering for CLI/debug output."""
+        lines: List[str] = [f"LogicalPlan for {self.pattern!r}:"]
+        _render(self.root, 1, lines)
+        return "\n".join(lines)
+
+
+def _render(req: Req, depth: int, lines: List[str]) -> None:
+    pad = "  " * depth
+    if isinstance(req, ReqGram):
+        lines.append(f"{pad}GRAM {req.gram!r}")
+    elif isinstance(req, ReqAny):
+        lines.append(f"{pad}NULL (any data unit)")
+    elif isinstance(req, ReqAnd):
+        lines.append(f"{pad}AND")
+        for child in req.children:
+            _render(child, depth + 1, lines)
+    elif isinstance(req, ReqOr):
+        lines.append(f"{pad}OR")
+        for child in req.children:
+            _render(child, depth + 1, lines)
+    else:
+        raise PlanError(f"unknown plan node {type(req).__name__}")

@@ -1,0 +1,270 @@
+"""Physical index access plans (Section 4.3).
+
+The physical plan adjusts a logical plan to the keys an index actually
+has.  For each GRAM leaf ``g`` there are three cases:
+
+1. ``g`` is itself a key -> a single index lookup;
+2. ``g`` is not a key but some keys occur as substrings of ``g``
+   (it was useful-but-not-minimal, or presuf-pruned; Observation 3.14
+   guarantees this case for every useful gram) -> replace ``g`` by the
+   AND of (a subset of) those lookups, per the *cover policy*;
+3. no key occurs inside ``g`` (``g`` and all its substrings are
+   useless) -> NULL.
+
+NULL nodes are then eliminated with Table 2 again.  A plan that
+collapses to NULL means "scan everything".
+
+Cover policies (the paper uses 'all'; 'best'/'cheapest' are the simple
+cost-based refinements Section 4.1 leaves to future work, ablated in
+``benchmarks/bench_ablation_plans.py``):
+
+* ``all`` — AND every available substring key (the paper's rule);
+* ``best`` — use only the most selective (rarest) key;
+* ``cheapest2`` — AND the two rarest keys.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import PlanError
+from repro.index.multigram import GramIndex
+from repro.plan.logical import LogicalPlan
+from repro.regex.rewrite import Req, ReqAnd, ReqAny, ReqGram, ReqOr
+
+
+class CoverPolicy(str, enum.Enum):
+    """How to turn a pruned gram's available substrings into lookups."""
+
+    ALL = "all"
+    BEST = "best"
+    CHEAPEST2 = "cheapest2"
+
+
+class PhysNode:
+    """Base class of physical plan nodes (immutable values)."""
+
+    __slots__ = ()
+
+
+class PAll(PhysNode):
+    """NULL: every data unit is a candidate."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "ALL"
+
+    def __eq__(self, other):
+        return isinstance(other, PAll)
+
+    def __hash__(self):
+        return hash("PAll")
+
+
+class PLookup(PhysNode):
+    """One index lookup."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: str):
+        object.__setattr__(self, "key", key)
+
+    def __repr__(self):
+        return f"LOOKUP({self.key!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, PLookup) and self.key == other.key
+
+    def __hash__(self):
+        return hash(("PLookup", self.key))
+
+
+class PAnd(PhysNode):
+    __slots__ = ("children",)
+
+    def __init__(self, children: Tuple[PhysNode, ...]):
+        object.__setattr__(self, "children", tuple(children))
+
+    def __repr__(self):
+        return "AND(" + ", ".join(map(repr, self.children)) + ")"
+
+    def __eq__(self, other):
+        return isinstance(other, PAnd) and self.children == other.children
+
+    def __hash__(self):
+        return hash(("PAnd", self.children))
+
+
+class PCover(PAnd):
+    """AND of the covering lookups of one pruned gram (Section 4.3).
+
+    Executes exactly like :class:`PAnd`; exists so the cost model knows
+    these children are *perfectly correlated* — every one of them
+    contains all the gram's documents — and estimates the node's
+    selectivity as the minimum child selectivity instead of the
+    independence product (which under-counts by orders of magnitude on
+    covers like ``mot AND oro AND ola`` for ``motorola``).
+    """
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "COVER(" + ", ".join(map(repr, self.children)) + ")"
+
+
+class POr(PhysNode):
+    __slots__ = ("children",)
+
+    def __init__(self, children: Tuple[PhysNode, ...]):
+        object.__setattr__(self, "children", tuple(children))
+
+    def __repr__(self):
+        return "OR(" + ", ".join(map(repr, self.children)) + ")"
+
+    def __eq__(self, other):
+        return isinstance(other, POr) and self.children == other.children
+
+    def __hash__(self):
+        return hash(("POr", self.children))
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """An executable access plan against one concrete index."""
+
+    pattern: str
+    root: PhysNode
+    #: grams of the logical plan that had no available key (went NULL).
+    unavailable_grams: Tuple[str, ...] = ()
+
+    @property
+    def is_full_scan(self) -> bool:
+        """True when the plan cannot restrict candidates at all."""
+        return isinstance(self.root, PAll)
+
+    def lookups(self) -> List[str]:
+        """Every key the plan reads, in plan order."""
+        keys: List[str] = []
+        _collect_lookups(self.root, keys)
+        return keys
+
+    def pretty(self) -> str:
+        lines = [f"PhysicalPlan for {self.pattern!r}:"]
+        _render(self.root, 1, lines)
+        if self.unavailable_grams:
+            lines.append(
+                "  (grams with no index entry: "
+                + ", ".join(repr(g) for g in self.unavailable_grams)
+                + ")"
+            )
+        return "\n".join(lines)
+
+    @staticmethod
+    def compile(
+        logical: LogicalPlan,
+        index: GramIndex,
+        policy: Union[CoverPolicy, str] = CoverPolicy.ALL,
+    ) -> "PhysicalPlan":
+        """Adjust ``logical`` to the keys available in ``index``."""
+        policy = CoverPolicy(policy)
+        missing: List[str] = []
+        root = _compile(logical.root, index, policy, missing)
+        return PhysicalPlan(
+            pattern=logical.pattern,
+            root=root,
+            unavailable_grams=tuple(missing),
+        )
+
+
+def _compile(
+    req: Req,
+    index: GramIndex,
+    policy: CoverPolicy,
+    missing: List[str],
+) -> PhysNode:
+    if isinstance(req, ReqAny):
+        return PAll()
+    if isinstance(req, ReqGram):
+        return _compile_gram(req.gram, index, policy, missing)
+    if isinstance(req, ReqAnd):
+        children = [_compile(c, index, policy, missing) for c in req.children]
+        real = [c for c in children if not isinstance(c, PAll)]
+        real = _dedup(real)
+        if not real:
+            return PAll()
+        if len(real) == 1:
+            return real[0]
+        return PAnd(tuple(real))
+    if isinstance(req, ReqOr):
+        children = [_compile(c, index, policy, missing) for c in req.children]
+        if any(isinstance(c, PAll) for c in children):
+            return PAll()  # Table 2: x OR TRUE == TRUE
+        children = _dedup(children)
+        if len(children) == 1:
+            return children[0]
+        return POr(tuple(children))
+    raise PlanError(f"unknown logical node {type(req).__name__}")
+
+
+def _compile_gram(
+    gram: str,
+    index: GramIndex,
+    policy: CoverPolicy,
+    missing: List[str],
+) -> PhysNode:
+    if gram in index:
+        return PLookup(gram)
+    available = index.covering_substrings(gram)
+    if not available:
+        missing.append(gram)
+        return PAll()
+    if policy is CoverPolicy.ALL:
+        chosen = available
+    else:
+        ranked = sorted(available, key=lambda k: len(index.lookup(k)))
+        if policy is CoverPolicy.BEST:
+            chosen = ranked[:1]
+        else:  # CHEAPEST2
+            chosen = ranked[:2]
+    if len(chosen) == 1:
+        return PLookup(chosen[0])
+    return PCover(tuple(PLookup(key) for key in chosen))
+
+
+def _dedup(children: List[PhysNode]) -> List[PhysNode]:
+    seen = set()
+    out = []
+    for child in children:
+        if child not in seen:
+            seen.add(child)
+            out.append(child)
+    return out
+
+
+def _collect_lookups(node: PhysNode, keys: List[str]) -> None:
+    if isinstance(node, PLookup):
+        keys.append(node.key)
+    elif isinstance(node, (PAnd, POr)):
+        for child in node.children:
+            _collect_lookups(child, keys)
+
+
+def _render(node: PhysNode, depth: int, lines: List[str]) -> None:
+    pad = "  " * depth
+    if isinstance(node, PLookup):
+        lines.append(f"{pad}LOOKUP {node.key!r}")
+    elif isinstance(node, PAll):
+        lines.append(f"{pad}ALL (no restriction)")
+    elif isinstance(node, PAnd):
+        lines.append(f"{pad}AND")
+        for child in node.children:
+            _render(child, depth + 1, lines)
+    elif isinstance(node, POr):
+        lines.append(f"{pad}OR")
+        for child in node.children:
+            _render(child, depth + 1, lines)
+    else:
+        raise PlanError(f"unknown physical node {type(node).__name__}")

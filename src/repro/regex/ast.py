@@ -1,0 +1,341 @@
+"""Abstract syntax tree for the FREE regex dialect.
+
+The node vocabulary mirrors Table 1 of the paper:
+
+========  =============================================
+node      pattern construct
+========  =============================================
+Char      a literal character or a character class leaf
+Concat    juxtaposition ``rs``
+Alt       alternation ``r|s``
+Star      ``r*``
+Plus      ``r+``   (kept distinct; rewritten to ``rr*`` on demand)
+Opt       ``r?``
+Repeat    ``r{m}``, ``r{m,}``, ``r{m,n}``
+Empty     the empty string (identity of Concat)
+========  =============================================
+
+All nodes are immutable value objects: equality and hashing are
+structural, so rewrite passes can memoize on nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.regex.charclass import (
+    ALPHA,
+    DIGIT,
+    DOT,
+    SPACE,
+    WORD,
+    CharClass,
+)
+
+_ESCAPE_REQUIRED = set("\\.*+?|()[]{}")
+
+
+class Node:
+    """Base class for AST nodes.  Nodes are immutable value objects."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Node", ...]:
+        return ()
+
+    def to_pattern(self) -> str:
+        """Render the node back to pattern text this parser accepts."""
+        raise NotImplementedError
+
+    # Precedence used by to_pattern to decide parenthesization:
+    # Alt(0) < Concat(1) < repetition(2) < atom(3).
+    _prec = 3
+
+    def _pattern_at(self, prec: int) -> str:
+        text = self.to_pattern()
+        if self._prec < prec:
+            return f"({text})"
+        return text
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_pattern()!r})"
+
+
+def _escape_char(ch: str) -> str:
+    if ch in _ESCAPE_REQUIRED:
+        return "\\" + ch
+    if ch == "\t":
+        return "\\t"
+    if ch == "\n":
+        return "\\n"
+    if ch == "\r":
+        return "\\r"
+    return ch
+
+
+class Char(Node):
+    """A single character drawn from a character class."""
+
+    __slots__ = ("cls",)
+    _prec = 3
+
+    def __init__(self, cls: CharClass):
+        object.__setattr__(self, "cls", cls)
+
+    @staticmethod
+    def literal(ch: str) -> "Char":
+        return Char(CharClass.singleton(ch))
+
+    @property
+    def is_literal(self) -> bool:
+        return self.cls.is_singleton
+
+    def to_pattern(self) -> str:
+        if self.cls == DOT:
+            return "."
+        if self.cls == ALPHA:
+            return "\\a"
+        if self.cls == DIGIT:
+            return "\\d"
+        if self.cls == SPACE:
+            return "\\s"
+        if self.cls == WORD:
+            return "\\w"
+        if self.cls.is_singleton:
+            return _escape_char(self.cls.only_char)
+        if len(self.cls) > len(self.cls.negate()):
+            inner = "".join(_class_escape(c) for c in self.cls.negate())
+            return f"[^{inner}]"
+        inner = "".join(_class_escape(c) for c in self.cls)
+        return f"[{inner}]"
+
+    def __eq__(self, other):
+        return isinstance(other, Char) and self.cls == other.cls
+
+    def __hash__(self):
+        return hash(("Char", self.cls))
+
+
+def _class_escape(ch: str) -> str:
+    if ch in "]^-\\":
+        return "\\" + ch
+    if ch == "\t":
+        return "\\t"
+    if ch == "\n":
+        return "\\n"
+    if ch == "\r":
+        return "\\r"
+    return ch
+
+
+class Empty(Node):
+    """Matches the empty string.
+
+    Precedence 1 (concat level): a quantified Empty must render inside
+    parentheses ("()?"), not as a dangling quantifier.
+    """
+
+    __slots__ = ()
+    _prec = 1
+
+    def to_pattern(self) -> str:
+        return ""
+
+    def __eq__(self, other):
+        return isinstance(other, Empty)
+
+    def __hash__(self):
+        return hash("Empty")
+
+
+class Concat(Node):
+    """Concatenation of two or more parts, flattened."""
+
+    __slots__ = ("parts",)
+    _prec = 1
+
+    def __init__(self, parts: Tuple[Node, ...]):
+        flat = []
+        for part in parts:
+            if isinstance(part, Concat):
+                flat.extend(part.parts)
+            elif isinstance(part, Empty):
+                continue
+            else:
+                flat.append(part)
+        object.__setattr__(self, "parts", tuple(flat))
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.parts
+
+    def to_pattern(self) -> str:
+        return "".join(p._pattern_at(2) if isinstance(p, Alt) else p._pattern_at(1)
+                       for p in self.parts)
+
+    def __eq__(self, other):
+        return isinstance(other, Concat) and self.parts == other.parts
+
+    def __hash__(self):
+        return hash(("Concat", self.parts))
+
+
+class Alt(Node):
+    """Alternation between two or more options, flattened."""
+
+    __slots__ = ("options",)
+    _prec = 0
+
+    def __init__(self, options: Tuple[Node, ...]):
+        flat = []
+        for option in options:
+            if isinstance(option, Alt):
+                flat.extend(option.options)
+            else:
+                flat.append(option)
+        object.__setattr__(self, "options", tuple(flat))
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.options
+
+    def to_pattern(self) -> str:
+        return "|".join(o._pattern_at(1) for o in self.options)
+
+    def __eq__(self, other):
+        return isinstance(other, Alt) and self.options == other.options
+
+    def __hash__(self):
+        return hash(("Alt", self.options))
+
+
+class Star(Node):
+    """Zero or more repetitions."""
+
+    __slots__ = ("child",)
+    _prec = 2
+
+    def __init__(self, child: Node):
+        object.__setattr__(self, "child", child)
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.child,)
+
+    def to_pattern(self) -> str:
+        return self.child._pattern_at(3) + "*"
+
+    def __eq__(self, other):
+        return isinstance(other, Star) and self.child == other.child
+
+    def __hash__(self):
+        return hash(("Star", self.child))
+
+
+class Plus(Node):
+    """One or more repetitions (``r+`` == ``rr*``)."""
+
+    __slots__ = ("child",)
+    _prec = 2
+
+    def __init__(self, child: Node):
+        object.__setattr__(self, "child", child)
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.child,)
+
+    def to_pattern(self) -> str:
+        return self.child._pattern_at(3) + "+"
+
+    def __eq__(self, other):
+        return isinstance(other, Plus) and self.child == other.child
+
+    def __hash__(self):
+        return hash(("Plus", self.child))
+
+
+class Opt(Node):
+    """Zero or one repetition."""
+
+    __slots__ = ("child",)
+    _prec = 2
+
+    def __init__(self, child: Node):
+        object.__setattr__(self, "child", child)
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.child,)
+
+    def to_pattern(self) -> str:
+        return self.child._pattern_at(3) + "?"
+
+    def __eq__(self, other):
+        return isinstance(other, Opt) and self.child == other.child
+
+    def __hash__(self):
+        return hash(("Opt", self.child))
+
+
+class Repeat(Node):
+    """Counted repetition ``r{lo}``, ``r{lo,}`` or ``r{lo,hi}``."""
+
+    __slots__ = ("child", "lo", "hi")
+    _prec = 2
+
+    def __init__(self, child: Node, lo: int, hi: Optional[int]):
+        if lo < 0:
+            raise ValueError("repeat lower bound must be >= 0")
+        if hi is not None and hi < lo:
+            raise ValueError("repeat upper bound below lower bound")
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.child,)
+
+    def to_pattern(self) -> str:
+        base = self.child._pattern_at(3)
+        if self.hi is None:
+            return f"{base}{{{self.lo},}}"
+        if self.hi == self.lo:
+            return f"{base}{{{self.lo}}}"
+        return f"{base}{{{self.lo},{self.hi}}}"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Repeat)
+            and self.child == other.child
+            and self.lo == other.lo
+            and self.hi == other.hi
+        )
+
+    def __hash__(self):
+        return hash(("Repeat", self.child, self.lo, self.hi))
+
+
+def concat(*parts: Node) -> Node:
+    """Smart Concat: drops Empty parts and unwraps single children."""
+    node = Concat(tuple(parts))
+    if not node.parts:
+        return Empty()
+    if len(node.parts) == 1:
+        return node.parts[0]
+    return node
+
+
+def alt(*options: Node) -> Node:
+    """Smart Alt: unwraps a single option."""
+    node = Alt(tuple(options))
+    if len(node.options) == 1:
+        return node.options[0]
+    return node
+
+
+def literal_string(text: str) -> Node:
+    """AST matching exactly ``text``."""
+    return concat(*(Char.literal(ch) for ch in text))
+
+
+def walk(node: Node):
+    """Yield ``node`` and all descendants, pre-order."""
+    yield node
+    for child in node.children():
+        yield from walk(child)

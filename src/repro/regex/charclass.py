@@ -1,0 +1,155 @@
+"""Character classes over a finite alphabet.
+
+The paper treats the alphabet abstractly ("the dot should be expanded to
+the set of all characters").  We fix a concrete finite alphabet —
+printable ASCII plus the common whitespace controls — which matches the
+web-page corpora FREE was built for, keeps dot-expansion finite, and
+makes the DFA construction exact.
+
+A :class:`CharClass` is an immutable set of characters from that
+alphabet.  The parser produces one for every leaf of the AST: a plain
+literal ``a`` is the singleton class ``{'a'}``, ``.`` is the full
+alphabet, ``[a-z]`` and the shorthands ``\\a \\d \\s \\w`` are the obvious
+sets, and ``[^...]`` complements within the alphabet.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+#: Every character the engine knows about: printable ASCII plus tab,
+#: newline and carriage return.  91 + 4 = |Σ| characters.
+ALPHABET: FrozenSet[str] = frozenset(
+    {chr(code) for code in range(32, 127)} | {"\t", "\n", "\r"}
+)
+
+#: The alphabet in deterministic (codepoint) order, for reproducible
+#: iteration in the DFA builder and in generators.
+ALPHABET_ORDERED: Tuple[str, ...] = tuple(sorted(ALPHABET))
+
+#: Fast membership map from codepoint to a small dense id, used by the
+#: DFA scanner.  Characters outside the alphabet map to -1.
+_CHAR_TO_ID = {ch: i for i, ch in enumerate(ALPHABET_ORDERED)}
+
+
+def char_id(ch: str) -> int:
+    """Return the dense alphabet id of ``ch``, or ``-1`` if foreign."""
+    return _CHAR_TO_ID.get(ch, -1)
+
+
+class CharClass:
+    """An immutable set of alphabet characters.
+
+    Instances are hashable and comparable by value, so AST nodes that
+    embed them compare structurally.
+    """
+
+    __slots__ = ("chars",)
+
+    def __init__(self, chars: Iterable[str]):
+        chars = frozenset(chars)
+        foreign = chars - ALPHABET
+        if foreign:
+            raise ValueError(
+                f"characters outside the engine alphabet: {sorted(foreign)!r}"
+            )
+        object.__setattr__(self, "chars", chars)
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def singleton(ch: str) -> "CharClass":
+        """The class containing exactly ``ch``."""
+        return CharClass((ch,))
+
+    @staticmethod
+    def from_ranges(ranges: Sequence[Tuple[str, str]]) -> "CharClass":
+        """Build from inclusive character ranges, e.g. ``[('a','z')]``."""
+        chars = set()
+        for lo, hi in ranges:
+            if ord(lo) > ord(hi):
+                raise ValueError(f"empty range {lo!r}-{hi!r}")
+            chars.update(chr(c) for c in range(ord(lo), ord(hi) + 1))
+        return CharClass(chars & ALPHABET)
+
+    def negate(self) -> "CharClass":
+        """Complement within the alphabet (the ``[^...]`` semantics)."""
+        return CharClass(ALPHABET - self.chars)
+
+    def union(self, other: "CharClass") -> "CharClass":
+        return CharClass(self.chars | other.chars)
+
+    # -- queries -------------------------------------------------------
+
+    def __contains__(self, ch: str) -> bool:
+        return ch in self.chars
+
+    def __len__(self) -> int:
+        return len(self.chars)
+
+    def __iter__(self):
+        return iter(sorted(self.chars))
+
+    @property
+    def is_singleton(self) -> bool:
+        return len(self.chars) == 1
+
+    @property
+    def only_char(self) -> str:
+        """The single member of a singleton class."""
+        if not self.is_singleton:
+            raise ValueError("class is not a singleton")
+        return next(iter(self.chars))
+
+    # -- value semantics ------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CharClass) and self.chars == other.chars
+
+    def __hash__(self) -> int:
+        return hash(self.chars)
+
+    def __repr__(self) -> str:
+        if self.is_singleton:
+            return f"CharClass({self.only_char!r})"
+        if self.chars == ALPHABET:
+            return "CharClass(<any>)"
+        return f"CharClass(<{len(self.chars)} chars>)"
+
+
+#: ``.`` — any alphabet character.
+DOT = CharClass(ALPHABET)
+
+#: ``\a`` — alphabetic characters (the paper's shorthand; both cases).
+ALPHA = CharClass(
+    {chr(c) for c in range(ord("a"), ord("z") + 1)}
+    | {chr(c) for c in range(ord("A"), ord("Z") + 1)}
+)
+
+#: ``\d`` — decimal digits.
+DIGIT = CharClass({chr(c) for c in range(ord("0"), ord("9") + 1)})
+
+#: ``\s`` — whitespace.
+SPACE = CharClass({" ", "\t", "\n", "\r"})
+
+#: ``\w`` — word characters (letters, digits, underscore).
+WORD = CharClass(ALPHA.chars | DIGIT.chars | {"_"})
+
+
+def partition_classes(classes: Iterable[CharClass]) -> Tuple[Tuple[str, ...], ...]:
+    """Partition the alphabet into equivalence blocks.
+
+    Two characters land in the same block iff they belong to exactly the
+    same subset of ``classes``.  The DFA builder transitions on blocks
+    instead of raw characters, which keeps subset construction fast even
+    though ``.`` spans the whole alphabet.
+
+    Returns the blocks as tuples of characters, deterministically
+    ordered.
+    """
+    class_list = [cls.chars for cls in classes]
+    signature_to_chars = {}
+    for ch in ALPHABET_ORDERED:
+        sig = tuple(ch in chars for chars in class_list)
+        signature_to_chars.setdefault(sig, []).append(ch)
+    return tuple(tuple(block) for block in signature_to_chars.values())

@@ -1,0 +1,389 @@
+"""Deterministic scanning engines: eager DFA and lazy (on-the-fly) DFA.
+
+Two size-control ideas make scanning practical:
+
+1. **Alphabet partitioning** — characters that behave identically under
+   every transition label of the NFA are grouped into *blocks*
+   (:func:`repro.regex.charclass.partition_classes`).  Automata
+   transition on block ids, so ``.`` costs one column, not 94.
+2. **Lazy determinization** — patterns with counted repetitions under an
+   unanchored search (``Σ* ... .{0,200} ...``) have exponentially many
+   *reachable* subsets, so eager subset construction diverges.  The
+   :class:`LazyDFA` materializes only the subsets the *text actually
+   visits* (the RE2 strategy), with a bounded cache that is flushed on
+   overflow, preserving linear-time scanning.
+
+Both engines expose the same three scanning primitives the matcher
+needs:
+
+* ``first_accept_end(text, start)`` — earliest position where an accept
+  state is entered (used with the ``Σ* r`` search automaton);
+* ``last_accept_backward(text, end, lo)`` — smallest start of a match
+  ending at ``end`` (used with the reversed automaton);
+* ``last_accept_forward(text, start)`` — largest end of a match starting
+  at ``start``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.regex.charclass import partition_classes
+from repro.regex.nfa import NFA
+
+#: Block id handed to characters outside the engine alphabet.  It always
+#: transitions to the dead state.
+FOREIGN_BLOCK = 0
+
+#: Lazy cache flush threshold: number of materialized subset states.
+LAZY_STATE_CACHE_LIMIT = 20_000
+
+
+def _build_blocks(nfa: NFA) -> Tuple[List[int], List[str], int]:
+    """Shared alphabet partitioning: classmap, block reps, block count."""
+    blocks = partition_classes(nfa.classes())
+    classmap = [FOREIGN_BLOCK] * 128
+    block_reps: List[str] = [""]  # index 0 = foreign block
+    for block in blocks:
+        block_id = len(block_reps)
+        block_reps.append(block[0])
+        for ch in block:
+            classmap[ord(ch)] = block_id
+    return classmap, block_reps, len(block_reps)
+
+
+class DFA:
+    """A dense, fully-materialized deterministic automaton.
+
+    Attributes:
+        table: ``table[state][block]`` is the next state id.  State 0 is
+            the canonical *dead* state (all transitions loop on it, it
+            never accepts).
+        accepting: ``accepting[state]`` flags accept states.
+        start: the start state id.
+        classmap: 128 ints mapping codepoint -> block id.
+        n_blocks: number of columns in ``table``.
+    """
+
+    __slots__ = ("table", "accepting", "start", "classmap", "n_blocks")
+
+    def __init__(self, table, accepting, start, classmap, n_blocks):
+        self.table = table
+        self.accepting = accepting
+        self.start = start
+        self.classmap = classmap
+        self.n_blocks = n_blocks
+
+    @property
+    def state_count(self) -> int:
+        return len(self.table)
+
+    def accepts(self, text: str) -> bool:
+        """Whole-string acceptance."""
+        state = self.start
+        table = self.table
+        classmap = self.classmap
+        accepting = self.accepting
+        for ch in text:
+            code = ord(ch)
+            block = classmap[code] if code < 128 else FOREIGN_BLOCK
+            state = table[state][block]
+            if state == 0:
+                return accepting[0]
+        return self.accepting[state]
+
+    def matches_empty(self) -> bool:
+        return self.accepting[self.start]
+
+    # -- scanning primitives (hot loops: locals only) ---------------------
+
+    def first_accept_end(self, text: str, start: int) -> int:
+        """Earliest i >= start such that an accept state is entered after
+        consuming text[start:i]; -1 if never.  On the dead state the scan
+        restarts from the automaton start (only foreign characters can
+        kill a ``Σ* r`` search automaton, and no match crosses them)."""
+        table = self.table
+        classmap = self.classmap
+        accepting = self.accepting
+        state = self.start
+        if accepting[state]:
+            return start
+        restart = self.start
+        for i in range(start, len(text)):
+            code = ord(text[i])
+            block = classmap[code] if code < 128 else FOREIGN_BLOCK
+            state = table[state][block]
+            if state == 0:
+                state = restart
+                continue
+            if accepting[state]:
+                return i + 1
+        return -1
+
+    def last_accept_backward(self, text: str, end: int, lo: int) -> int:
+        """Smallest s in [lo, end] with an accept after consuming
+        text[end-1] ... text[s] (i.e. text[s:end] reversed); -1 if none."""
+        table = self.table
+        classmap = self.classmap
+        accepting = self.accepting
+        state = self.start
+        best = end if accepting[state] else -1
+        for i in range(end - 1, lo - 1, -1):
+            code = ord(text[i])
+            block = classmap[code] if code < 128 else FOREIGN_BLOCK
+            state = table[state][block]
+            if state == 0:
+                break
+            if accepting[state]:
+                best = i
+        return best
+
+    def last_accept_forward(self, text: str, start: int) -> int:
+        """Largest e with an accept after consuming text[start:e]; -1 if
+        none (start-state acceptance yields e == start)."""
+        table = self.table
+        classmap = self.classmap
+        accepting = self.accepting
+        state = self.start
+        best = start if accepting[state] else -1
+        for i in range(start, len(text)):
+            code = ord(text[i])
+            block = classmap[code] if code < 128 else FOREIGN_BLOCK
+            state = table[state][block]
+            if state == 0:
+                break
+            if accepting[state]:
+                best = i + 1
+        return best
+
+
+def build_dfa(nfa: NFA, minimize: bool = True, max_states: int = 50_000) -> DFA:
+    """Eagerly determinize ``nfa`` (and by default minimize the result).
+
+    Raises ``ValueError`` if more than ``max_states`` subsets appear —
+    the caller should fall back to :class:`LazyDFA`.
+    """
+    classmap, block_reps, n_blocks = _build_blocks(nfa)
+
+    start_set = nfa.epsilon_closure({nfa.start})
+    subset_ids: Dict[FrozenSet[int], int] = {}
+    table: List[List[int]] = []
+    accepting: List[bool] = []
+
+    def intern(subset: FrozenSet[int]) -> int:
+        state_id = subset_ids.get(subset)
+        if state_id is None:
+            state_id = len(table)
+            if state_id > max_states:
+                raise ValueError(
+                    f"subset construction exceeded {max_states} states"
+                )
+            subset_ids[subset] = state_id
+            table.append([0] * n_blocks)
+            accepting.append(nfa.accept in subset)
+        return state_id
+
+    dead = intern(frozenset())
+    assert dead == 0
+    start = intern(start_set)
+
+    worklist = [start_set]
+    processed = {frozenset(), start_set}
+    while worklist:
+        subset = worklist.pop()
+        src = subset_ids[subset]
+        for block_id in range(1, n_blocks):
+            target = nfa.step(subset, block_reps[block_id])
+            dst = intern(target)
+            table[src][block_id] = dst
+            if target not in processed:
+                processed.add(target)
+                worklist.append(target)
+
+    dfa = DFA(table, accepting, start, classmap, n_blocks)
+    if minimize:
+        dfa = _minimize(dfa)
+    return dfa
+
+
+def _minimize(dfa: DFA) -> DFA:
+    """Moore partition refinement; preserves state 0 as dead."""
+    n = dfa.state_count
+    part = [1 if acc else 0 for acc in dfa.accepting]
+    n_parts = 2
+    while True:
+        signatures: Dict[Tuple[int, ...], int] = {}
+        new_part = [0] * n
+        for state in range(n):
+            sig = (part[state],) + tuple(
+                part[t] for t in dfa.table[state]
+            )
+            group = signatures.get(sig)
+            if group is None:
+                group = len(signatures)
+                signatures[sig] = group
+            new_part[state] = group
+        if len(signatures) == n_parts:
+            part = new_part
+            break
+        part = new_part
+        n_parts = len(signatures)
+
+    remap = {part[0]: 0}
+    for state in range(n):
+        if part[state] not in remap:
+            remap[part[state]] = len(remap)
+    groups = len(remap)
+    new_table = [[0] * dfa.n_blocks for _ in range(groups)]
+    new_accepting = [False] * groups
+    for state in range(n):
+        g = remap[part[state]]
+        new_accepting[g] = dfa.accepting[state]
+        row = new_table[g]
+        old_row = dfa.table[state]
+        for b in range(dfa.n_blocks):
+            row[b] = remap[part[old_row[b]]]
+    return DFA(
+        new_table,
+        new_accepting,
+        remap[part[dfa.start]],
+        list(dfa.classmap),
+        dfa.n_blocks,
+    )
+
+
+class LazyDFA:
+    """On-the-fly determinization with a bounded state cache.
+
+    Functionally equivalent to :class:`DFA` for the three scanning
+    primitives, but subset states are created only when the text first
+    visits them.  When the cache exceeds
+    :data:`LAZY_STATE_CACHE_LIMIT` states it is flushed and rebuilt from
+    the current subset — scanning stays linear with an amortized
+    constant factor (the RE2 approach to DFA state blowup).
+    """
+
+    def __init__(self, nfa: NFA, cache_limit: int = LAZY_STATE_CACHE_LIMIT):
+        self._nfa = nfa
+        self._cache_limit = cache_limit
+        self.classmap, self._block_reps, self.n_blocks = _build_blocks(nfa)
+        # Per-NFA-state move sets, precomputed per block for fast stepping.
+        self._move: List[List[Tuple[int, ...]]] = []
+        for state in range(nfa.state_count):
+            rows: List[Tuple[int, ...]] = [()]
+            for block_id in range(1, self.n_blocks):
+                rep = self._block_reps[block_id]
+                rows.append(tuple(
+                    dst for cls, dst in nfa.transitions[state] if rep in cls
+                ))
+            self._move.append(rows)
+        self.flush_count = 0
+        self._reset_cache()
+
+    def _reset_cache(self) -> None:
+        self._subset_ids: Dict[FrozenSet[int], int] = {}
+        self._subsets: List[FrozenSet[int]] = []
+        self._accepting: List[bool] = []
+        self._trans: List[List[Optional[int]]] = []
+        self._dead = self._intern(frozenset())
+        self.start = self._intern(
+            self._nfa.epsilon_closure({self._nfa.start})
+        )
+
+    def _intern(self, subset: FrozenSet[int]) -> int:
+        sid = self._subset_ids.get(subset)
+        if sid is None:
+            sid = len(self._subsets)
+            self._subset_ids[subset] = sid
+            self._subsets.append(subset)
+            self._accepting.append(self._nfa.accept in subset)
+            self._trans.append([None] * self.n_blocks)
+        return sid
+
+    @property
+    def state_count(self) -> int:
+        return len(self._subsets)
+
+    def _step(self, sid: int, block: int) -> int:
+        cached = self._trans[sid][block]
+        if cached is not None:
+            return cached
+        subset = self._subsets[sid]
+        moved = set()
+        move = self._move
+        for state in subset:
+            moved.update(move[state][block])
+        target = self._nfa.epsilon_closure(moved) if moved else frozenset()
+        if (
+            len(self._subsets) >= self._cache_limit
+            and target not in self._subset_ids
+        ):
+            # Cache overflow: flush and re-intern only what we need now.
+            current = self._subsets[sid]
+            self.flush_count += 1
+            self._reset_cache()
+            sid = self._intern(current)
+        dst = self._intern(target)
+        self._trans[sid][block] = dst
+        return dst
+
+    def accepts(self, text: str) -> bool:
+        state = self.start
+        classmap = self.classmap
+        for ch in text:
+            code = ord(ch)
+            block = classmap[code] if code < 128 else FOREIGN_BLOCK
+            state = self._step(state, block)
+            if state == self._dead:
+                return False
+        return self._accepting[state]
+
+    def matches_empty(self) -> bool:
+        return self._accepting[self.start]
+
+    # -- scanning primitives ----------------------------------------------
+
+    def first_accept_end(self, text: str, start: int) -> int:
+        classmap = self.classmap
+        accepting = self._accepting
+        state = self.start
+        if accepting[state]:
+            return start
+        for i in range(start, len(text)):
+            code = ord(text[i])
+            block = classmap[code] if code < 128 else FOREIGN_BLOCK
+            state = self._step(state, block)
+            if state == 0:
+                state = self.start
+                continue
+            if self._accepting[state]:
+                return i + 1
+        return -1
+
+    def last_accept_backward(self, text: str, end: int, lo: int) -> int:
+        classmap = self.classmap
+        state = self.start
+        best = end if self._accepting[state] else -1
+        for i in range(end - 1, lo - 1, -1):
+            code = ord(text[i])
+            block = classmap[code] if code < 128 else FOREIGN_BLOCK
+            state = self._step(state, block)
+            if state == 0:
+                break
+            if self._accepting[state]:
+                best = i
+        return best
+
+    def last_accept_forward(self, text: str, start: int) -> int:
+        classmap = self.classmap
+        state = self.start
+        best = start if self._accepting[state] else -1
+        for i in range(start, len(text)):
+            code = ord(text[i])
+            block = classmap[code] if code < 128 else FOREIGN_BLOCK
+            state = self._step(state, block)
+            if state == 0:
+                break
+            if self._accepting[state]:
+                best = i + 1
+        return best

@@ -1,0 +1,466 @@
+"""Regex analysis passes used by the planner and the matcher.
+
+Implements the regex-level half of Section 4 of the paper:
+
+* :func:`to_or_star` — Step [1] of Figure 5: rewrite a regex so it only
+  uses characters, OR (``|``) and STAR (``*``) connectives (``r+`` ->
+  ``rr*``, ``r?`` -> ``(r|)``, counted repetitions expanded).
+* :func:`requirement_tree` — Steps [2]-[4]: build the Boolean *gram
+  requirement tree* of a regex.  Leaves are literal multigrams that must
+  occur in any matching string; internal nodes are AND / OR; ``ANY`` is
+  the paper's NULL node ("satisfied by every data unit").  STAR branches
+  become ANY, and ANY nodes are eliminated with the rules of Table 2.
+* :func:`anchor_literals` — a set of literals such that every matching
+  string contains at least one of them (used by the matcher's anchoring
+  prefilter and by the Scan baseline, in the spirit of grep's literal
+  skipping and the anchoring technique of the extended paper).
+
+The requirement tree is *sound by construction*: for every string ``s``
+matched by the regex, the tree evaluates to true when each GRAM leaf is
+interpreted as "``s`` contains this substring".  The planner's candidate
+sets therefore can never lose a true match.  This invariant is property
+tested in ``tests/test_plan_soundness.py``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from repro.regex import ast
+from repro.regex.nfa import expand_repeat
+
+#: Character classes with more members than this are treated as ANY
+#: instead of being expanded into an OR of single characters.  The paper
+#: expands classes fully ("the dot should be expanded to the set of all
+#: characters"); since a 94-way OR of 1-grams is never a useful filter in
+#: practice, bounding the expansion changes nothing observable while
+#: keeping plan trees small.
+MAX_CLASS_EXPANSION = 16
+
+
+# --------------------------------------------------------------------------
+# OR/STAR normal form (Figure 5, step [1])
+# --------------------------------------------------------------------------
+
+def to_or_star(node: ast.Node) -> ast.Node:
+    """Rewrite ``node`` to use only Char, Concat, Alt, Star and Empty.
+
+    ``r+`` becomes ``rr*``; ``r?`` becomes ``(r|<empty>)``; counted
+    repetitions are expanded structurally.
+    """
+    if isinstance(node, (ast.Char, ast.Empty)):
+        return node
+    if isinstance(node, ast.Concat):
+        return ast.concat(*(to_or_star(p) for p in node.parts))
+    if isinstance(node, ast.Alt):
+        return ast.alt(*(to_or_star(o) for o in node.options))
+    if isinstance(node, ast.Star):
+        return ast.Star(to_or_star(node.child))
+    if isinstance(node, ast.Plus):
+        child = to_or_star(node.child)
+        return ast.concat(child, ast.Star(child))
+    if isinstance(node, ast.Opt):
+        return ast.alt(to_or_star(node.child), ast.Empty())
+    if isinstance(node, ast.Repeat):
+        return to_or_star(expand_repeat(node))
+    raise TypeError(f"unknown AST node {type(node).__name__}")
+
+
+# --------------------------------------------------------------------------
+# Requirement tree (Figure 5, steps [2]-[4])
+# --------------------------------------------------------------------------
+
+class Req:
+    """Base class of requirement-tree nodes (immutable values)."""
+
+    __slots__ = ()
+
+
+class ReqAny(Req):
+    """The paper's NULL node: satisfied by every data unit."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "ANY"
+
+    def __eq__(self, other):
+        return isinstance(other, ReqAny)
+
+    def __hash__(self):
+        return hash("ReqAny")
+
+
+class ReqGram(Req):
+    """A literal multigram that must occur in the matching string."""
+
+    __slots__ = ("gram",)
+
+    def __init__(self, gram: str):
+        if not gram:
+            raise ValueError("empty gram")
+        object.__setattr__(self, "gram", gram)
+
+    def __repr__(self):
+        return f"GRAM({self.gram!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, ReqGram) and self.gram == other.gram
+
+    def __hash__(self):
+        return hash(("ReqGram", self.gram))
+
+
+class ReqAnd(Req):
+    """All children must be satisfied."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Tuple[Req, ...]):
+        object.__setattr__(self, "children", tuple(children))
+
+    def __repr__(self):
+        return "AND(" + ", ".join(map(repr, self.children)) + ")"
+
+    def __eq__(self, other):
+        return isinstance(other, ReqAnd) and self.children == other.children
+
+    def __hash__(self):
+        return hash(("ReqAnd", self.children))
+
+
+class ReqOr(Req):
+    """At least one child must be satisfied."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Tuple[Req, ...]):
+        object.__setattr__(self, "children", tuple(children))
+
+    def __repr__(self):
+        return "OR(" + ", ".join(map(repr, self.children)) + ")"
+
+    def __eq__(self, other):
+        return isinstance(other, ReqOr) and self.children == other.children
+
+    def __hash__(self):
+        return hash(("ReqOr", self.children))
+
+
+#: Alternation distribution stops when a concat would expand into more
+#: than this many disjuncts.
+MAX_DISTRIBUTION_TERMS = 16
+
+
+def requirement_tree(
+    node: ast.Node,
+    min_gram_len: int = 1,
+    expand_classes: bool = True,
+    distribute: bool = False,
+) -> Req:
+    """Build the simplified gram requirement tree of a regex AST.
+
+    Runs the full Figure 5 pipeline: OR/STAR rewrite, parse-tree
+    construction with literal runs merged into single GRAM leaves, STAR
+    -> ANY replacement, and Table 2 ANY-elimination.
+
+    Args:
+        node: the regex AST.
+        min_gram_len: grams shorter than this become ANY (the paper's
+            index cuts off at both ends; 1 keeps everything).
+        expand_classes: expand small character classes into ORs of
+            1-grams (see :data:`MAX_CLASS_EXPANSION`).
+        distribute: distribute alternations over concatenation first
+            (``(a|b)c`` -> ``ac|bc``), an optimization the paper leaves
+            to future work: it lengthens literal runs across branch
+            boundaries, producing strictly stronger grams, at the price
+            of a (bounded) blowup in plan size.
+    """
+    normal = to_or_star(node)
+    if distribute:
+        normal = distribute_alternations(normal)
+    raw = _tree_of(normal, expand_classes)
+    return simplify(raw, min_gram_len=min_gram_len)
+
+
+def distribute_alternations(
+    node: ast.Node, max_terms: int = MAX_DISTRIBUTION_TERMS
+) -> ast.Node:
+    """Rewrite ``(a|b)c`` into ``ac|bc`` wherever the expansion stays
+    within ``max_terms`` disjuncts.  Language-preserving (regular
+    algebra); subtrees that would blow past the budget stay atomic.
+    """
+    disjuncts = _disjuncts(node, max_terms)
+    if disjuncts is None:
+        return node
+    return ast.alt(*disjuncts)
+
+
+def _disjuncts(node: ast.Node, budget: int):
+    """The node's language as a list of alternative ASTs, or None when
+    the expansion would exceed ``budget``.  Star/Plus/Opt stay atomic
+    (distributing through them is not language-preserving in general).
+    """
+    if isinstance(node, ast.Alt):
+        collected = []
+        for option in node.options:
+            sub = _disjuncts(option, budget - len(collected))
+            if sub is None:
+                return None
+            collected.extend(sub)
+            if len(collected) > budget:
+                return None
+        return collected
+    if isinstance(node, ast.Concat):
+        combos = [ast.Empty()]
+        for part in node.parts:
+            sub = _disjuncts(part, budget)
+            if sub is None:
+                sub = [part]  # keep this part atomic
+            if len(combos) * len(sub) > budget:
+                # expansion too large: keep the remaining concat atomic
+                return None
+            combos = [
+                ast.concat(prefix, choice)
+                for prefix in combos
+                for choice in sub
+            ]
+        return combos
+    return [node]
+
+
+def _tree_of(node: ast.Node, expand_classes: bool) -> Req:
+    """Requirement tree of an OR/STAR-normal-form AST (unsimplified)."""
+    if isinstance(node, ast.Empty):
+        return ReqAny()
+    if isinstance(node, ast.Star):
+        # Step [3]: the starred branch may not appear at all.
+        return ReqAny()
+    if isinstance(node, ast.Char):
+        return _tree_of_char(node, expand_classes)
+    if isinstance(node, ast.Alt):
+        return ReqOr(tuple(_tree_of(o, expand_classes) for o in node.options))
+    if isinstance(node, ast.Concat):
+        return _tree_of_concat(node, expand_classes)
+    raise TypeError(
+        f"node {type(node).__name__} should not survive to_or_star"
+    )
+
+
+def _tree_of_char(node: ast.Char, expand_classes: bool) -> Req:
+    if node.is_literal:
+        return ReqGram(node.cls.only_char)
+    if expand_classes and len(node.cls) <= MAX_CLASS_EXPANSION:
+        return ReqOr(tuple(ReqGram(ch) for ch in node.cls))
+    return ReqAny()
+
+
+def _tree_of_concat(node: ast.Concat, expand_classes: bool) -> Req:
+    """Concat children AND together; adjacent literal chars merge.
+
+    Following the paper's parse tree (Figure 6), concatenation becomes
+    an AND node and maximal runs of literal characters collapse into a
+    single GRAM leaf ("Bill" rather than B AND i AND l AND l — the
+    longer gram is both sound and a far better filter).
+    """
+    children = []
+    run = []
+    for part in node.parts:
+        if isinstance(part, ast.Char) and part.is_literal:
+            run.append(part.cls.only_char)
+            continue
+        if run:
+            children.append(ReqGram("".join(run)))
+            run = []
+        children.append(_tree_of(part, expand_classes))
+    if run:
+        children.append(ReqGram("".join(run)))
+    return ReqAnd(tuple(children))
+
+
+def simplify(req: Req, min_gram_len: int = 1) -> Req:
+    """Apply Table 2 (ANY elimination) plus flattening and dedup.
+
+    * short grams (< ``min_gram_len``) become ANY;
+    * AND: ANY children are dropped; an AND of nothing is ANY;
+    * OR: one ANY child makes the whole OR ANY;
+    * nested same-type nodes are flattened, duplicates removed,
+      single-child nodes unwrapped.
+    """
+    if isinstance(req, ReqGram):
+        if len(req.gram) < min_gram_len:
+            return ReqAny()
+        return req
+    if isinstance(req, ReqAny):
+        return req
+    children = [simplify(c, min_gram_len) for c in req.children]
+    if isinstance(req, ReqAnd):
+        flat = []
+        for child in children:
+            if isinstance(child, ReqAny):
+                continue  # x AND TRUE == x
+            if isinstance(child, ReqAnd):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        flat = _dedup(flat)
+        if not flat:
+            return ReqAny()
+        if len(flat) == 1:
+            return flat[0]
+        return ReqAnd(tuple(flat))
+    if isinstance(req, ReqOr):
+        flat = []
+        for child in children:
+            if isinstance(child, ReqAny):
+                return ReqAny()  # x OR TRUE == TRUE
+            if isinstance(child, ReqOr):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        flat = _dedup(flat)
+        if not flat:
+            return ReqAny()
+        if len(flat) == 1:
+            return flat[0]
+        return ReqOr(tuple(flat))
+    raise TypeError(f"unknown requirement node {type(req).__name__}")
+
+
+def _dedup(children):
+    seen = set()
+    out = []
+    for child in children:
+        if child not in seen:
+            seen.add(child)
+            out.append(child)
+    return out
+
+
+def iter_grams(req: Req):
+    """Yield every GRAM leaf of a requirement tree."""
+    if isinstance(req, ReqGram):
+        yield req.gram
+    elif isinstance(req, (ReqAnd, ReqOr)):
+        for child in req.children:
+            yield from iter_grams(child)
+
+
+# --------------------------------------------------------------------------
+# Anchoring literals
+# --------------------------------------------------------------------------
+
+def anchor_literals(req: Req) -> Optional[FrozenSet[str]]:
+    """A covering literal set for quick rejection, or None.
+
+    Returns a set ``L`` such that every matching string contains at
+    least one member of ``L``; a text containing no member of ``L``
+    provably contains no match.  Returns None when no such finite set is
+    derivable (the tree is ANY somewhere mandatory).
+
+    The choice heuristic prefers small sets of long literals: for an AND
+    node any child's anchor set is valid, so the child minimizing
+    ``(set size, -shortest literal length)`` wins.
+    """
+    if isinstance(req, ReqGram):
+        return frozenset({req.gram})
+    if isinstance(req, ReqAny):
+        return None
+    if isinstance(req, ReqAnd):
+        best = None
+        for child in req.children:
+            candidate = anchor_literals(child)
+            if candidate is None:
+                continue
+            if best is None or _anchor_rank(candidate) < _anchor_rank(best):
+                best = candidate
+        return best
+    if isinstance(req, ReqOr):
+        union = set()
+        for child in req.children:
+            candidate = anchor_literals(child)
+            if candidate is None:
+                return None
+            union.update(candidate)
+        return frozenset(union)
+    raise TypeError(f"unknown requirement node {type(req).__name__}")
+
+
+def _anchor_rank(literals: FrozenSet[str]) -> Tuple[int, int]:
+    return (len(literals), -min(len(lit) for lit in literals))
+
+
+#: Cap on the clause count produced by :func:`anchor_clauses` (OR nodes
+#: multiply clauses; beyond the cap we fall back to single-clause form).
+MAX_ANCHOR_CLAUSES = 8
+
+
+def anchor_clauses(req: Req) -> Tuple[FrozenSet[str], ...]:
+    """A CNF literal prefilter: every clause must be satisfied.
+
+    Returns clauses ``(L1, L2, ...)`` such that every matching string
+    contains at least one member of *each* ``Li``; a text failing any
+    clause provably contains no match.  Stronger than
+    :func:`anchor_literals` (which returns a single covering clause):
+    for ``<a href=(..)*\\.mp3`` the clauses are ``{<a href=}`` AND
+    ``{.mp3}``, so a page full of links but with no ``.mp3`` is still
+    rejected by pure substring tests.
+
+    An empty tuple means "no rejection possible" (some mandatory part
+    of the pattern is unconstrained).
+    """
+    if isinstance(req, ReqGram):
+        return (frozenset({req.gram}),)
+    if isinstance(req, ReqAny):
+        return ()
+    if isinstance(req, ReqAnd):
+        clauses = []
+        seen = set()
+        for child in req.children:
+            for clause in anchor_clauses(child):
+                if clause not in seen:
+                    seen.add(clause)
+                    clauses.append(clause)
+        return tuple(clauses)
+    if isinstance(req, ReqOr):
+        # CNF of an OR: cross-union one clause from each branch.
+        per_child = []
+        for child in req.children:
+            child_clauses = anchor_clauses(child)
+            if not child_clauses:
+                return ()  # one unconstrained branch defeats the OR
+            per_child.append(child_clauses)
+        combined: Tuple[FrozenSet[str], ...] = (frozenset(),)
+        for child_clauses in per_child:
+            if len(combined) * len(child_clauses) > MAX_ANCHOR_CLAUSES:
+                # fall back: one covering clause per child, unioned
+                fallback = frozenset().union(
+                    *(min(cc, key=len) for cc in per_child)
+                )
+                return (fallback,)
+            combined = tuple(
+                prefix | clause
+                for prefix in combined
+                for clause in child_clauses
+            )
+        return combined
+    raise TypeError(f"unknown requirement node {type(req).__name__}")
+
+
+def reverse_ast(node: ast.Node) -> ast.Node:
+    """The AST matching exactly the reversals of the node's language."""
+    if isinstance(node, (ast.Char, ast.Empty)):
+        return node
+    if isinstance(node, ast.Concat):
+        return ast.concat(*(reverse_ast(p) for p in reversed(node.parts)))
+    if isinstance(node, ast.Alt):
+        return ast.alt(*(reverse_ast(o) for o in node.options))
+    if isinstance(node, ast.Star):
+        return ast.Star(reverse_ast(node.child))
+    if isinstance(node, ast.Plus):
+        return ast.Plus(reverse_ast(node.child))
+    if isinstance(node, ast.Opt):
+        return ast.Opt(reverse_ast(node.child))
+    if isinstance(node, ast.Repeat):
+        return ast.Repeat(reverse_ast(node.child), node.lo, node.hi)
+    raise TypeError(f"unknown AST node {type(node).__name__}")

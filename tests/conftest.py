@@ -1,0 +1,68 @@
+"""Shared fixtures: a small seeded corpus and the three index flavours.
+
+Session-scoped because index construction is the expensive step; every
+test that needs "a realistic corpus with features" shares these.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    FreeEngine,
+    ScanEngine,
+    build_complete_index,
+    build_corpus,
+    build_multigram_index,
+)
+
+#: Small enough to keep the suite fast, large enough that every planted
+#: feature appears and gram statistics are meaningful.
+CORPUS_PAGES = 220
+CORPUS_SEED = 1234
+
+#: Boost the rare features so they all occur even in a small corpus.
+FEATURE_BOOST = {
+    "powerpc": 0.02,
+    "clinton": 0.03,
+    "sigmod": 0.03,
+    "mp3": 0.03,
+    "ebay": 0.04,
+    "stanford": 0.04,
+}
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return build_corpus(
+        n_pages=CORPUS_PAGES, seed=CORPUS_SEED, feature_probs=FEATURE_BOOST
+    )
+
+
+@pytest.fixture(scope="session")
+def multigram_index(corpus):
+    return build_multigram_index(corpus, threshold=0.1, max_gram_len=10)
+
+
+@pytest.fixture(scope="session")
+def presuf_index(corpus):
+    return build_multigram_index(
+        corpus, threshold=0.1, max_gram_len=10, presuf=True
+    )
+
+
+@pytest.fixture(scope="session")
+def complete_index(corpus):
+    # k = 2..6 keeps the complete baseline small enough for tests while
+    # still covering every benchmark gram lookup length that matters.
+    return build_complete_index(corpus, k_values=range(2, 7))
+
+
+@pytest.fixture(scope="session")
+def free_engine(corpus, multigram_index):
+    return FreeEngine(corpus, multigram_index)
+
+
+@pytest.fixture(scope="session")
+def scan_engine(corpus):
+    return ScanEngine(corpus)

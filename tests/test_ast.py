@@ -1,0 +1,122 @@
+"""AST node tests: construction, flattening, rendering, traversal."""
+
+import pytest
+
+from repro.regex import ast
+from repro.regex.charclass import DOT, CharClass
+from repro.regex.parser import parse
+
+
+class TestConstruction:
+    def test_concat_flattens(self):
+        node = ast.Concat((
+            ast.Concat((ast.Char.literal("a"), ast.Char.literal("b"))),
+            ast.Char.literal("c"),
+        ))
+        assert len(node.parts) == 3
+
+    def test_concat_drops_empty(self):
+        node = ast.Concat((ast.Empty(), ast.Char.literal("a")))
+        assert len(node.parts) == 1
+
+    def test_alt_flattens(self):
+        node = ast.Alt((
+            ast.Alt((ast.Char.literal("a"), ast.Char.literal("b"))),
+            ast.Char.literal("c"),
+        ))
+        assert len(node.options) == 3
+
+    def test_smart_concat_unwraps_single(self):
+        assert ast.concat(ast.Char.literal("a")) == ast.Char.literal("a")
+
+    def test_smart_concat_empty(self):
+        assert isinstance(ast.concat(), ast.Empty)
+
+    def test_smart_alt_unwraps_single(self):
+        assert ast.alt(ast.Char.literal("a")) == ast.Char.literal("a")
+
+    def test_literal_string(self):
+        node = ast.literal_string("abc")
+        assert node == parse("abc")
+
+    def test_literal_string_single(self):
+        assert ast.literal_string("a") == ast.Char.literal("a")
+
+    def test_repeat_validation(self):
+        with pytest.raises(ValueError):
+            ast.Repeat(ast.Char.literal("a"), -1, 2)
+        with pytest.raises(ValueError):
+            ast.Repeat(ast.Char.literal("a"), 3, 2)
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert parse("a(b|c)") == parse("a(b|c)")
+        assert parse("a(b|c)") != parse("a(c|b)")
+
+    def test_hashable(self):
+        nodes = {parse("ab"), parse("ab"), parse("cd")}
+        assert len(nodes) == 2
+
+    def test_char_vs_class(self):
+        assert ast.Char.literal("a") == ast.Char(CharClass({"a"}))
+        assert ast.Char.literal("a") != ast.Char(CharClass({"a", "b"}))
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            ("abc", "abc"),
+            ("a|b", "a|b"),
+            ("(a|b)c", "(a|b)c"),
+            ("a(b|c)*", "a(b|c)*"),
+            ("(ab)+", "(ab)+"),
+            (r"\.", r"\."),
+            ("a{2,3}", "a{2,3}"),
+            ("a{2,}", "a{2,}"),
+            ("a{2}", "a{2}"),
+        ],
+    )
+    def test_to_pattern(self, pattern, expected):
+        assert parse(pattern).to_pattern() == expected
+
+    def test_dot_renders(self):
+        assert ast.Char(DOT).to_pattern() == "."
+
+    def test_control_char_escaped(self):
+        assert ast.Char.literal("\n").to_pattern() == "\\n"
+
+    def test_quantified_empty_renders_reparseable(self):
+        node = ast.Star(ast.Empty())
+        assert parse(node.to_pattern()) is not None
+
+    def test_nested_quantifier_parenthesized(self):
+        node = ast.Star(ast.Star(ast.Char.literal("a")))
+        text = node.to_pattern()
+        assert parse(text) == node
+
+    def test_negated_class_render_roundtrip(self):
+        node = parse("[^abc]")
+        assert parse(node.to_pattern()) == node
+
+    def test_repr_contains_pattern(self):
+        assert "a|b" in repr(parse("a|b"))
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        node = parse("a(b|c)")
+        kinds = [type(n).__name__ for n in ast.walk(node)]
+        assert kinds[0] == "Concat"
+        assert "Alt" in kinds
+        assert kinds.count("Char") == 3
+
+    def test_children(self):
+        node = parse("ab|c")
+        assert len(node.children()) == 2
+        assert parse("a").children() == ()
+
+    def test_walk_counts_nodes(self):
+        node = parse("(a|b)*c{2}")
+        assert sum(1 for _ in ast.walk(node)) >= 6

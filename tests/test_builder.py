@@ -1,0 +1,229 @@
+"""Algorithm 3.1 tests: Theorem 3.9, Observation 3.8, miner vs brute force."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.store import InMemoryCorpus
+from repro.errors import IndexBuildError
+from repro.index.builder import (
+    MultigramIndexBuilder,
+    build_multigram_index,
+    build_postings,
+)
+from repro.index.stats import IndexStats
+
+
+def corpus_of(*texts):
+    return InMemoryCorpus.from_texts(texts)
+
+
+def brute_force_minimal_useful(corpus, c, max_len):
+    """Reference implementation straight from the definitions."""
+    n = len(corpus)
+    texts = [u.text for u in corpus]
+
+    def sel(gram):
+        return sum(gram in t for t in texts) / n
+
+    useful = set()
+    for text in texts:
+        for i in range(len(text)):
+            for L in range(1, max_len + 1):
+                gram = text[i : i + L]
+                if len(gram) == L and sel(gram) <= c:
+                    useful.add(gram)
+    # minimal: no proper prefix is useful
+    return {
+        g for g in useful
+        if not any(g[:k] in useful for k in range(1, len(g)))
+    }
+
+
+class TestMinerAgainstBruteForce:
+    @pytest.mark.parametrize("c", [0.0, 0.34, 0.5, 0.99])
+    def test_small_corpus(self, c):
+        corpus = corpus_of("abcab", "abd", "xbc")
+        builder = MultigramIndexBuilder(threshold=c, max_gram_len=4)
+        stats = IndexStats(kind="multigram", n_docs=len(corpus))
+        keys = builder.select_keys(corpus, stats)
+        assert keys == brute_force_minimal_useful(corpus, c, 4)
+
+    def test_lengths_per_pass_invariant(self):
+        corpus = corpus_of("the cat sat", "the dog ran", "a cat ran")
+        results = []
+        for lpp in (1, 2, 3):
+            builder = MultigramIndexBuilder(
+                threshold=0.4, max_gram_len=5, lengths_per_pass=lpp
+            )
+            stats = IndexStats(kind="multigram", n_docs=len(corpus))
+            results.append(builder.select_keys(corpus, stats))
+        assert results[0] == results[1] == results[2]
+
+    def test_fewer_scans_with_batching(self):
+        corpus = corpus_of("aaaaaaaaaa", "aaaaaaaaab", "baaaaaaaaa")
+        s1 = IndexStats(kind="multigram", n_docs=3)
+        s2 = IndexStats(kind="multigram", n_docs=3)
+        MultigramIndexBuilder(0.1, 8, lengths_per_pass=1).select_keys(
+            corpus, s1
+        )
+        MultigramIndexBuilder(0.1, 8, lengths_per_pass=2).select_keys(
+            corpus, s2
+        )
+        assert s2.corpus_scans < s1.corpus_scans
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        texts=st.lists(
+            st.text(alphabet="abc", min_size=1, max_size=12),
+            min_size=1,
+            max_size=6,
+        ),
+        c=st.sampled_from([0.0, 0.25, 0.5, 0.75]),
+    )
+    def test_property_matches_bruteforce(self, texts, c):
+        corpus = corpus_of(*texts)
+        builder = MultigramIndexBuilder(threshold=c, max_gram_len=3)
+        stats = IndexStats(kind="multigram", n_docs=len(corpus))
+        keys = builder.select_keys(corpus, stats)
+        assert keys == brute_force_minimal_useful(corpus, c, 3)
+
+
+class TestTheorem39:
+    """The three claims of Theorem 3.9 on a realistic corpus."""
+
+    def test_all_keys_useful(self, corpus, multigram_index):
+        n = len(corpus)
+        texts = [u.text for u in corpus]
+        c = multigram_index.threshold
+        for key in list(multigram_index.keys())[:300]:
+            df = sum(key in t for t in texts)
+            assert df / n <= c, key
+
+    def test_prefix_free(self, multigram_index):
+        assert multigram_index.is_prefix_free()
+
+    def test_useful_gram_has_indexed_prefix(self, corpus, multigram_index):
+        """Claim 2: every useful gram is covered by exactly one key
+        prefix (checked on grams sampled from the corpus)."""
+        texts = [u.text for u in corpus]
+        n = len(corpus)
+        c = multigram_index.threshold
+        sample = texts[0]
+        checked = 0
+        for i in range(0, max(len(sample) - 8, 1), 37):
+            gram = sample[i : i + 8]
+            if len(gram) < 8:
+                continue
+            df = sum(gram in t for t in texts)
+            if df / n > c:
+                continue  # not useful
+            prefixes = [
+                gram[:k] for k in range(1, len(gram) + 1)
+                if gram[:k] in multigram_index
+            ]
+            assert len(prefixes) == 1, gram
+            checked += 1
+        assert checked > 0
+
+
+class TestObservation38:
+    def test_postings_bounded_by_corpus_size(self, corpus, multigram_index):
+        assert (
+            multigram_index.stats.n_postings <= corpus.total_chars
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        texts=st.lists(
+            st.text(alphabet="abcd", min_size=1, max_size=20),
+            min_size=1,
+            max_size=5,
+        ),
+        c=st.sampled_from([0.2, 0.5, 0.9]),
+    )
+    def test_postings_bound_property(self, texts, c):
+        corpus = corpus_of(*texts)
+        index = build_multigram_index(corpus, threshold=c, max_gram_len=4)
+        assert index.stats.n_postings <= corpus.total_chars
+
+
+class TestBuildPostings:
+    def test_postings_exact(self):
+        corpus = corpus_of("xabx", "ab", "zz")
+        postings = build_postings(corpus, {"ab", "zz"})
+        assert postings["ab"].ids() == [0, 1]
+        assert postings["zz"].ids() == [2]
+
+    def test_key_absent_everywhere(self):
+        corpus = corpus_of("aaa")
+        postings = build_postings(corpus, {"q"})
+        assert postings["q"].ids() == []
+
+    def test_overlapping_keys_non_prefix_free(self):
+        # build_postings must also work for complete-index key sets
+        corpus = corpus_of("abab")
+        postings = build_postings(corpus, {"ab", "aba"})
+        assert postings["ab"].ids() == [0]
+        assert postings["aba"].ids() == [0]
+
+
+class TestBuilderConfig:
+    def test_bad_threshold(self):
+        with pytest.raises(IndexBuildError):
+            MultigramIndexBuilder(threshold=1.5)
+        with pytest.raises(IndexBuildError):
+            MultigramIndexBuilder(threshold=-0.1)
+
+    def test_bad_max_len(self):
+        with pytest.raises(IndexBuildError):
+            MultigramIndexBuilder(max_gram_len=0)
+
+    def test_bad_lengths_per_pass(self):
+        with pytest.raises(IndexBuildError):
+            MultigramIndexBuilder(lengths_per_pass=0)
+
+    def test_empty_corpus(self):
+        index = build_multigram_index(corpus_of(), threshold=0.1)
+        assert len(index) == 0
+
+    def test_threshold_zero_indexes_nothing_common(self):
+        corpus = corpus_of("ab", "ab")
+        index = build_multigram_index(corpus, threshold=0.0)
+        assert len(index) == 0  # everything occurs in some doc
+
+    def test_threshold_one_indexes_single_chars(self):
+        corpus = corpus_of("ab", "cd")
+        index = build_multigram_index(corpus, threshold=1.0)
+        # every 1-gram has sel <= 1 -> all minimal useful at length 1
+        assert set(index.keys()) == {"a", "b", "c", "d"}
+
+    def test_max_gram_len_cutoff(self):
+        corpus = corpus_of("abcdefgh", "abcdefgh", "abcdefgh", "xxxxxxxx")
+        # every gram has sel 0.75 or 0.25; with c=0.5 the unique-doc
+        # grams are useful at length 1 already
+        index = build_multigram_index(corpus, threshold=0.5, max_gram_len=3)
+        assert all(len(k) <= 3 for k in index.keys())
+
+
+class TestPresufIntegration:
+    def test_presuf_index_is_smaller(self, multigram_index, presuf_index):
+        assert len(presuf_index) <= len(multigram_index)
+        assert (
+            presuf_index.stats.n_postings
+            <= multigram_index.stats.n_postings
+        )
+
+    def test_presuf_keys_subset(self, multigram_index, presuf_index):
+        multigram_keys = set(multigram_index.keys())
+        assert set(presuf_index.keys()) <= multigram_keys
+
+    def test_presuf_kind(self, presuf_index):
+        assert presuf_index.kind == "presuf"
+
+    def test_observation_314_every_key_covered(
+        self, multigram_index, presuf_index
+    ):
+        """Every multigram key has a substring available in the shell."""
+        shell_index = presuf_index
+        for key in list(multigram_index.keys())[:300]:
+            assert shell_index.covering_substrings(key), key

@@ -1,0 +1,144 @@
+"""Unit tests for the character-class layer."""
+
+import pytest
+
+from repro.regex.charclass import (
+    ALPHA,
+    ALPHABET,
+    ALPHABET_ORDERED,
+    DIGIT,
+    DOT,
+    SPACE,
+    WORD,
+    CharClass,
+    char_id,
+    partition_classes,
+)
+
+
+class TestAlphabet:
+    def test_contains_printable_ascii(self):
+        for code in range(32, 127):
+            assert chr(code) in ALPHABET
+
+    def test_contains_whitespace_controls(self):
+        assert "\t" in ALPHABET
+        assert "\n" in ALPHABET
+        assert "\r" in ALPHABET
+
+    def test_excludes_other_controls(self):
+        assert "\x00" not in ALPHABET
+        assert "\x7f" not in ALPHABET
+
+    def test_ordered_view_is_sorted_and_complete(self):
+        assert list(ALPHABET_ORDERED) == sorted(ALPHABET)
+        assert set(ALPHABET_ORDERED) == ALPHABET
+
+    def test_char_id_dense(self):
+        ids = {char_id(ch) for ch in ALPHABET_ORDERED}
+        assert ids == set(range(len(ALPHABET)))
+
+    def test_char_id_foreign(self):
+        assert char_id("\x00") == -1
+        assert char_id("é") == -1
+
+
+class TestCharClass:
+    def test_singleton(self):
+        cls = CharClass.singleton("a")
+        assert cls.is_singleton
+        assert cls.only_char == "a"
+        assert "a" in cls
+        assert "b" not in cls
+
+    def test_only_char_raises_on_multi(self):
+        with pytest.raises(ValueError):
+            CharClass({"a", "b"}).only_char
+
+    def test_rejects_foreign_characters(self):
+        with pytest.raises(ValueError):
+            CharClass({"\x01"})
+
+    def test_from_ranges(self):
+        cls = CharClass.from_ranges([("a", "c"), ("0", "1")])
+        assert set(cls.chars) == {"a", "b", "c", "0", "1"}
+
+    def test_from_ranges_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            CharClass.from_ranges([("z", "a")])
+
+    def test_negate_partitions_alphabet(self):
+        cls = CharClass({"a", "b"})
+        neg = cls.negate()
+        assert cls.chars | neg.chars == ALPHABET
+        assert cls.chars & neg.chars == frozenset()
+
+    def test_double_negation_is_identity(self):
+        cls = CharClass({"x", "y", "z"})
+        assert cls.negate().negate() == cls
+
+    def test_union(self):
+        a = CharClass({"a"})
+        b = CharClass({"b"})
+        assert set(a.union(b).chars) == {"a", "b"}
+
+    def test_value_equality_and_hash(self):
+        assert CharClass({"a", "b"}) == CharClass({"b", "a"})
+        assert hash(CharClass({"a"})) == hash(CharClass({"a"}))
+
+    def test_iteration_sorted(self):
+        cls = CharClass({"c", "a", "b"})
+        assert list(cls) == ["a", "b", "c"]
+
+    def test_len(self):
+        assert len(DIGIT) == 10
+        assert len(ALPHA) == 52
+        assert len(DOT) == len(ALPHABET)
+
+
+class TestNamedClasses:
+    def test_alpha_members(self):
+        assert "a" in ALPHA and "Z" in ALPHA
+        assert "0" not in ALPHA
+
+    def test_digit_members(self):
+        assert all(str(d) in DIGIT for d in range(10))
+        assert "a" not in DIGIT
+
+    def test_space_members(self):
+        assert " " in SPACE and "\t" in SPACE and "\n" in SPACE
+        assert "a" not in SPACE
+
+    def test_word_is_alnum_plus_underscore(self):
+        assert WORD.chars == ALPHA.chars | DIGIT.chars | {"_"}
+
+
+class TestPartition:
+    def test_partition_covers_alphabet(self):
+        blocks = partition_classes([DIGIT, ALPHA])
+        flat = [ch for block in blocks for ch in block]
+        assert sorted(flat) == sorted(ALPHABET)
+
+    def test_partition_blocks_disjoint(self):
+        blocks = partition_classes([DIGIT, CharClass({"5", "x"})])
+        seen = set()
+        for block in blocks:
+            for ch in block:
+                assert ch not in seen
+                seen.add(ch)
+
+    def test_partition_respects_class_membership(self):
+        blocks = partition_classes([DIGIT])
+        for block in blocks:
+            memberships = {ch in DIGIT for ch in block}
+            assert len(memberships) == 1
+
+    def test_partition_of_nothing_is_one_block(self):
+        blocks = partition_classes([])
+        assert len(blocks) == 1
+
+    def test_partition_refines_overlap(self):
+        # {digits} and {'5','x'} must split digits into {5} and the rest.
+        blocks = partition_classes([DIGIT, CharClass({"5", "x"})])
+        five_block = next(b for b in blocks if "5" in b)
+        assert five_block == ("5",)

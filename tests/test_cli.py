@@ -1,0 +1,100 @@
+"""CLI tests: synth -> build -> search/explain round trip."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def images(tmp_path):
+    corpus_path = str(tmp_path / "corpus.img")
+    index_path = str(tmp_path / "index.img")
+    assert main(["synth", "--pages", "40", "--seed", "3",
+                 "--out", corpus_path]) == 0
+    assert main(["build", corpus_path, "--out", index_path,
+                 "--threshold", "0.2", "--max-gram-len", "6"]) == 0
+    return corpus_path, index_path
+
+
+class TestSynth:
+    def test_writes_image(self, tmp_path, capsys):
+        out = str(tmp_path / "c.img")
+        assert main(["synth", "--pages", "10", "--out", out]) == 0
+        assert os.path.exists(out)
+        assert "10 pages" in capsys.readouterr().out
+
+
+class TestBuild:
+    def test_build_reports_stats(self, images, capsys):
+        # images fixture already built; rebuild presuf variant
+        corpus_path, _ = images
+        out2 = corpus_path + ".suffix.idx"
+        assert main(["build", corpus_path, "--out", out2,
+                     "--presuf"]) == 0
+        text = capsys.readouterr().out
+        assert "presuf index" in text
+        assert "corpus scans" in text
+
+
+class TestSearch:
+    def test_search_finds_matches(self, images, capsys):
+        corpus_path, index_path = images
+        assert main(["search", corpus_path, index_path, "<title>"]) == 0
+        out = capsys.readouterr().out
+        assert "matches" in out
+
+    def test_search_ranked(self, images, capsys):
+        corpus_path, index_path = images
+        assert main(["search", corpus_path, index_path,
+                     r"<p>\a+", "--ranked"]) == 0
+
+    def test_search_limit(self, images, capsys):
+        corpus_path, index_path = images
+        assert main(["search", corpus_path, index_path, "<p>",
+                     "--limit", "3"]) == 0
+
+    def test_bad_pattern_is_clean_error(self, images, capsys):
+        corpus_path, index_path = images
+        assert main(["search", corpus_path, index_path, "(((" ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_explain_prints_plans(self, images, capsys):
+        corpus_path, index_path = images
+        assert main(["explain", corpus_path, index_path,
+                     "(Bill|William).*Clinton"]) == 0
+        out = capsys.readouterr().out
+        assert "LogicalPlan" in out
+        assert "PhysicalPlan" in out
+
+
+class TestEstimate:
+    def test_estimate_prints_interval(self, images, capsys):
+        corpus_path, _ = images
+        assert main(["estimate", corpus_path, "<title>",
+                     "--sample", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "CI" in out and "matching units expected" in out
+
+    def test_estimate_zero_for_absent(self, images, capsys):
+        corpus_path, _ = images
+        assert main(["estimate", corpus_path, "qqqqzzz"]) == 0
+        assert "~ 0.0000" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_table3_small(self, capsys):
+        assert main(["bench", "--pages", "60",
+                     "--experiment", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "multigram" in out
+
+
+class TestNoArgs:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()

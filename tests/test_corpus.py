@@ -1,0 +1,129 @@
+"""Data unit and corpus store tests (in-memory + disk image)."""
+
+import pytest
+
+from repro.corpus.document import DataUnit
+from repro.corpus.store import DiskCorpus, InMemoryCorpus
+from repro.errors import CorpusError, SerializationError
+
+
+class TestDataUnit:
+    def test_basic(self):
+        unit = DataUnit(0, "hello", "http://x/")
+        assert unit.size == 5
+        assert len(unit) == 5
+        assert unit.url == "http://x/"
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            DataUnit(-1, "x")
+
+    def test_frozen(self):
+        unit = DataUnit(0, "x")
+        with pytest.raises(AttributeError):
+            unit.text = "y"
+
+
+class TestInMemoryCorpus:
+    def test_from_texts(self):
+        corpus = InMemoryCorpus.from_texts(["aa", "bbb"])
+        assert len(corpus) == 2
+        assert corpus.total_chars == 5
+        assert corpus.get(1).text == "bbb"
+
+    def test_iteration_order(self):
+        corpus = InMemoryCorpus.from_texts(["a", "b", "c"])
+        assert [u.doc_id for u in corpus] == [0, 1, 2]
+
+    def test_bad_id(self):
+        corpus = InMemoryCorpus.from_texts(["a"])
+        with pytest.raises(CorpusError):
+            corpus.get(1)
+        with pytest.raises(CorpusError):
+            corpus.get(-1)
+
+    def test_non_dense_ids_rejected(self):
+        with pytest.raises(CorpusError):
+            InMemoryCorpus([DataUnit(1, "a")])
+
+    def test_ids_range(self):
+        corpus = InMemoryCorpus.from_texts(["a", "b"])
+        assert list(corpus.ids()) == [0, 1]
+
+    def test_empty(self):
+        corpus = InMemoryCorpus([])
+        assert len(corpus) == 0
+        assert corpus.total_chars == 0
+
+
+class TestDiskCorpus:
+    def test_roundtrip(self, tmp_path):
+        source = InMemoryCorpus(
+            [
+                DataUnit(0, "hello world", "http://a/"),
+                DataUnit(1, "second page with more text", "http://b/"),
+                DataUnit(2, "", "http://empty/"),
+            ]
+        )
+        path = str(tmp_path / "corpus.img")
+        DiskCorpus.save(path, source)
+        with DiskCorpus(path) as disk:
+            assert len(disk) == 3
+            assert disk.total_chars == source.total_chars
+            for expected in source:
+                actual = disk.get(expected.doc_id)
+                assert actual.text == expected.text
+                assert actual.url == expected.url
+
+    def test_sequential_iteration(self, tmp_path):
+        source = InMemoryCorpus.from_texts(["one", "two", "three"])
+        path = str(tmp_path / "c.img")
+        DiskCorpus.save(path, source)
+        with DiskCorpus(path) as disk:
+            texts = [u.text for u in disk]
+        assert texts == ["one", "two", "three"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CorpusError):
+            DiskCorpus(str(tmp_path / "nope.img"))
+
+    def test_bad_magic(self, tmp_path):
+        path = str(tmp_path / "garbage.img")
+        with open(path, "wb") as out:
+            out.write(b"garbage" * 10)
+        with pytest.raises(SerializationError):
+            DiskCorpus(path)
+
+    def test_truncated(self, tmp_path):
+        source = InMemoryCorpus.from_texts(["hello"])
+        path = str(tmp_path / "t.img")
+        DiskCorpus.save(path, source)
+        import os
+
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.truncate(size - 2)
+        with DiskCorpus(path) as disk:  # directory still intact
+            with pytest.raises(SerializationError):
+                disk.get(0)
+
+    def test_bad_id(self, tmp_path):
+        source = InMemoryCorpus.from_texts(["a"])
+        path = str(tmp_path / "b.img")
+        DiskCorpus.save(path, source)
+        with DiskCorpus(path) as disk:
+            with pytest.raises(CorpusError):
+                disk.get(5)
+
+    def test_engine_works_on_disk_corpus(self, tmp_path):
+        """The whole pipeline must run against the disk store."""
+        from repro import FreeEngine, build_corpus, build_multigram_index
+
+        source = build_corpus(n_pages=30, seed=3)
+        path = str(tmp_path / "e.img")
+        DiskCorpus.save(path, source)
+        with DiskCorpus(path) as disk:
+            index = build_multigram_index(disk, threshold=0.2, max_gram_len=6)
+            engine = FreeEngine(disk, index)
+            report = engine.search("<title>")
+            assert report.n_candidates >= report.matching_units

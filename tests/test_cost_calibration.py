@@ -1,0 +1,91 @@
+"""Cost-model calibration: estimates vs measured execution."""
+
+import pytest
+
+from repro import DiskModel, FreeEngine
+from repro.bench.queries import BENCHMARK_QUERIES, NULL_PLAN_QUERIES
+
+
+class TestEstimateVsActual:
+    def test_candidate_estimates_bounded(self, corpus, multigram_index):
+        """AND-independence estimates under-count correlated grams, but
+        must stay within a sane band of the measured candidates for the
+        benchmark queries (no order-of-magnitude nonsense upward)."""
+        engine = FreeEngine(corpus, multigram_index, disk=DiskModel())
+        for name, pattern in BENCHMARK_QUERIES.items():
+            if name in NULL_PLAN_QUERIES:
+                continue
+            cost = engine.estimate(pattern)
+            report = engine.search(pattern, collect_matches=False)
+            if report.used_full_scan:
+                continue
+            # independence can only *under*-estimate correlated ANDs;
+            # upward it must not exceed actual by more than 3x.
+            assert cost.candidate_units <= report.n_candidates * 3, name
+
+    def test_null_plan_estimate_equals_scan(self, corpus, multigram_index):
+        engine = FreeEngine(corpus, multigram_index, disk=DiskModel())
+        for name in NULL_PLAN_QUERIES:
+            cost = engine.estimate(BENCHMARK_QUERIES[name])
+            assert cost.io_cost == cost.scan_io_cost, name
+
+    def test_io_estimate_tracks_actual_for_rare_query(
+        self, corpus, multigram_index
+    ):
+        """Cover-correlation (PCover = min) makes single-gram estimates
+        near-exact; what remains is *cross*-gram correlation ("motorola"
+        pages also contain "mpc"), which independence legitimately
+        under-counts — bound it at two orders of magnitude."""
+        engine = FreeEngine(corpus, multigram_index, disk=DiskModel())
+        for name in ("powerpc", "mp3", "sigmod"):
+            pattern = BENCHMARK_QUERIES[name]
+            cost = engine.estimate(pattern)
+            report = engine.search(pattern, collect_matches=False)
+            assert cost.io_cost <= report.io_cost * 10, name
+            assert report.io_cost <= max(cost.io_cost, 1) * 100, name
+
+    def test_cover_estimate_is_min_not_product(self, corpus,
+                                               multigram_index):
+        """The PCover fix: a long literal's estimated candidates must
+        be at least its rarest cover key's count scaled down only by
+        *other* plan factors — never the astronomically small product
+        of all its own covers."""
+        engine = FreeEngine(corpus, multigram_index, disk=DiskModel())
+        cost = engine.estimate(BENCHMARK_QUERIES["mp3"])
+        report = engine.search(
+            BENCHMARK_QUERIES["mp3"], collect_matches=False
+        )
+        assert cost.candidate_units >= report.n_candidates * 0.3
+
+    def test_beats_scan_prediction_matches_reality(
+        self, corpus, multigram_index
+    ):
+        """When the model predicts an index win, executing the plan must
+        really cost less simulated I/O than scanning."""
+        engine = FreeEngine(corpus, multigram_index, disk=DiskModel())
+        scan_io = corpus.total_chars
+        for name, pattern in BENCHMARK_QUERIES.items():
+            cost = engine.estimate(pattern)
+            if not cost.beats_scan:
+                continue
+            report = engine.search(pattern, collect_matches=False)
+            assert report.io_cost < scan_io, name
+
+
+class TestSamplerVsIndex:
+    def test_sampled_selectivity_tracks_index(self, corpus, multigram_index):
+        """For indexed grams, the sampler and postings agree roughly."""
+        from repro.plan.sampling import SampledSelectivityEstimator
+
+        estimator = SampledSelectivityEstimator(
+            corpus, sample_size=100, seed=9
+        )
+        checked = 0
+        for key in list(multigram_index.keys())[:500:25]:
+            true_sel = multigram_index.selectivity(key)
+            sampled = estimator.gram_selectivity(key)
+            lo, hi = estimator.confidence_interval(sampled)
+            # widen by a small absolute epsilon for tiny selectivities
+            assert lo - 0.02 <= true_sel <= hi + 0.02, key
+            checked += 1
+        assert checked > 10

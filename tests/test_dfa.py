@@ -1,0 +1,141 @@
+"""DFA tests: eager subset construction, minimization, lazy DFA parity."""
+
+import pytest
+
+from repro.regex.dfa import DFA, LazyDFA, build_dfa
+from repro.regex.nfa import build_nfa
+from repro.regex.parser import parse
+
+
+def dfa_of(pattern: str, minimize=True) -> DFA:
+    return build_dfa(build_nfa(parse(pattern)), minimize=minimize)
+
+
+class TestAcceptance:
+    @pytest.mark.parametrize(
+        "pattern,good,bad",
+        [
+            ("abc", ["abc"], ["ab", "abcd", "xbc", ""]),
+            ("a*b", ["b", "ab", "aaab"], ["a", "ba", ""]),
+            ("(a|b)+", ["a", "ba", "abba"], ["", "c", "ac"]),
+            ("a.c", ["abc", "a.c", "azc"], ["ac", "abbc"]),
+            ("[0-9]{2}", ["42"], ["4", "421", "ab"]),
+            ("x(y|)z", ["xyz", "xz"], ["x", "xyyz"]),
+        ],
+    )
+    def test_accepts(self, pattern, good, bad):
+        dfa = dfa_of(pattern)
+        for text in good:
+            assert dfa.accepts(text), (pattern, text)
+        for text in bad:
+            assert not dfa.accepts(text), (pattern, text)
+
+    def test_matches_empty(self):
+        assert dfa_of("a*").matches_empty()
+        assert not dfa_of("a+").matches_empty()
+
+    def test_foreign_character_rejects(self):
+        dfa = dfa_of(".*")
+        assert not dfa.accepts("\x00")
+
+
+class TestMinimization:
+    def test_minimized_not_larger(self):
+        raw = dfa_of("(a|b)*abb", minimize=False)
+        small = dfa_of("(a|b)*abb", minimize=True)
+        assert small.state_count <= raw.state_count
+
+    def test_equivalent_patterns_same_size(self):
+        # a+ and aa* denote the same language -> same minimal DFA size.
+        a = dfa_of("a+")
+        b = dfa_of("aa*")
+        assert a.state_count == b.state_count
+
+    def test_language_preserved(self):
+        texts = ["", "a", "b", "ab", "abb", "aabb", "babb", "abab"]
+        raw = dfa_of("(a|b)*abb", minimize=False)
+        small = dfa_of("(a|b)*abb", minimize=True)
+        for text in texts:
+            assert raw.accepts(text) == small.accepts(text)
+
+    def test_dead_state_is_zero(self):
+        dfa = dfa_of("abc")
+        # every transition out of state 0 loops on 0 and it never accepts
+        assert not dfa.accepting[0]
+        assert all(t == 0 for t in dfa.table[0])
+
+
+class TestScanPrimitives:
+    def test_first_accept_end_search(self):
+        # search automaton for .*abc
+        dfa = dfa_of(".*abc")
+        assert dfa.first_accept_end("xxabcxx", 0) == 5
+        assert dfa.first_accept_end("abc", 0) == 3
+        assert dfa.first_accept_end("ab", 0) == -1
+
+    def test_first_accept_end_respects_start(self):
+        dfa = dfa_of(".*ab")
+        assert dfa.first_accept_end("abxab", 1) == 5
+
+    def test_last_accept_forward(self):
+        dfa = dfa_of("a+")
+        assert dfa.last_accept_forward("aaab", 0) == 3
+        assert dfa.last_accept_forward("baaa", 0) == -1
+
+    def test_last_accept_backward(self):
+        # reversed pattern of "ab+" is "b+a"
+        dfa = dfa_of("b+a")
+        # text "xabb", match of ab+ is at [1,4); scanning backwards from 4
+        assert dfa.last_accept_backward("xabb", 4, 0) == 1
+
+
+class TestLazyDFA:
+    @pytest.mark.parametrize(
+        "pattern,texts",
+        [
+            ("abc", ["abc", "ab", "abcd", ""]),
+            ("(a|b)*abb", ["abb", "aabb", "ab", ""]),
+            ("a{2,4}", ["a", "aa", "aaa", "aaaa", "aaaaa"]),
+            (".*foo", ["xfoo", "foo", "fo"]),
+        ],
+    )
+    def test_parity_with_eager(self, pattern, texts):
+        nfa = build_nfa(parse(pattern))
+        eager = build_dfa(nfa)
+        lazy = LazyDFA(nfa)
+        for text in texts:
+            assert eager.accepts(text) == lazy.accepts(text), (pattern, text)
+
+    def test_scan_primitive_parity(self):
+        pattern = ".*ab"
+        nfa = build_nfa(parse(pattern))
+        eager = build_dfa(nfa)
+        lazy = LazyDFA(nfa)
+        text = "xxabyyabzz"
+        assert (
+            eager.first_accept_end(text, 0)
+            == lazy.first_accept_end(text, 0)
+        )
+
+    def test_cache_flush_keeps_answers(self):
+        nfa = build_nfa(parse("(a|b)*abb"))
+        lazy = LazyDFA(nfa, cache_limit=3)  # absurdly small: force flushes
+        text = "abab" * 50 + "abb"
+        assert lazy.accepts(text)
+        assert lazy.flush_count > 0
+
+    def test_counted_gap_under_search_terminates(self):
+        # The pattern class that blows up eager subset construction.
+        nfa = build_nfa(parse(".*>.{0,50}sig"))
+        lazy = LazyDFA(nfa)
+        assert lazy.first_accept_end(">" + "x" * 30 + "sig", 0) > 0
+        assert lazy.first_accept_end(">" + "x" * 80 + "sig", 0) == -1
+
+    def test_matches_empty(self):
+        nfa = build_nfa(parse("a*"))
+        assert LazyDFA(nfa).matches_empty()
+
+    def test_eager_blowup_guard(self):
+        nfa = build_nfa(parse(".*a.{0,60}b.{0,60}c"))
+        with pytest.raises(ValueError):
+            build_dfa(nfa, max_states=50)

@@ -1,0 +1,94 @@
+"""KeyTrie tests: membership, substring cover queries, prefix-freeness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.directory import KeyTrie
+
+
+def trie_of(*keys):
+    trie = KeyTrie()
+    for key in keys:
+        trie.insert(key)
+    return trie
+
+
+class TestMembership:
+    def test_insert_and_contains(self):
+        trie = trie_of("abc", "abd", "x")
+        assert "abc" in trie and "abd" in trie and "x" in trie
+        assert "ab" not in trie
+        assert "abcd" not in trie
+
+    def test_len_counts_unique(self):
+        trie = trie_of("a", "b", "a")
+        assert len(trie) == 2
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            trie_of("")
+
+    def test_iter_keys_lexicographic(self):
+        trie = trie_of("b", "ab", "abc", "aa")
+        assert list(trie.iter_keys()) == ["aa", "ab", "abc", "b"]
+
+
+class TestSubstringQueries:
+    def test_keys_starting_at(self):
+        trie = trie_of("ab", "abc", "b")
+        assert list(trie.keys_starting_at("abc", 0)) == ["ab", "abc"]
+        assert list(trie.keys_starting_at("abc", 1)) == ["b"]
+        assert list(trie.keys_starting_at("abc", 2)) == []
+
+    def test_substrings_of(self):
+        trie = trie_of("Willi", "liam", "nton", "zzz")
+        found = trie.substrings_of("William")
+        assert set(found) == {"Willi", "liam"}
+
+    def test_substrings_of_exact_key(self):
+        trie = trie_of("liam")
+        assert trie.substrings_of("liam") == ["liam"]
+
+    def test_substrings_deduplicated(self):
+        trie = trie_of("aa")
+        assert trie.substrings_of("aaaa") == ["aa"]
+
+    def test_substrings_of_miss(self):
+        trie = trie_of("xyz")
+        assert trie.substrings_of("abc") == []
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        keys=st.sets(st.text(alphabet="ab", min_size=1, max_size=4),
+                     min_size=1, max_size=8),
+        gram=st.text(alphabet="ab", max_size=8),
+    )
+    def test_substrings_matches_bruteforce(self, keys, gram):
+        trie = KeyTrie()
+        for key in keys:
+            trie.insert(key)
+        expected = {k for k in keys if k in gram}
+        assert set(trie.substrings_of(gram)) == expected
+
+
+class TestPrefixFree:
+    def test_prefix_free_positive(self):
+        assert trie_of("ab", "ba", "ca").is_prefix_free()
+
+    def test_prefix_free_negative(self):
+        assert not trie_of("ab", "abc").is_prefix_free()
+
+    def test_single_key(self):
+        assert trie_of("abc").is_prefix_free()
+
+    @settings(max_examples=100, deadline=None)
+    @given(keys=st.sets(st.text(alphabet="abc", min_size=1, max_size=5),
+                        min_size=1, max_size=10))
+    def test_prefix_free_matches_bruteforce(self, keys):
+        trie = KeyTrie()
+        for key in keys:
+            trie.insert(key)
+        brute = not any(
+            a != b and b.startswith(a) for a in keys for b in keys
+        )
+        assert trie.is_prefix_free() is brute

@@ -1,0 +1,140 @@
+"""Alternation-distribution extension tests (the deferred optimization).
+
+Distribution rewrites ``(a|b)c`` into ``ac|bc`` before gram extraction,
+so literal runs extend across branch boundaries — strictly stronger
+filters, same language, bounded blowup.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.regex import ast
+from repro.regex.charclass import CharClass
+from repro.regex.nfa import build_nfa
+from repro.regex.parser import parse
+from repro.regex.rewrite import (
+    ReqAnd,
+    ReqGram,
+    ReqOr,
+    distribute_alternations,
+    requirement_tree,
+    to_or_star,
+)
+
+
+class TestDistribution:
+    def test_simple_left(self):
+        req = requirement_tree(parse("(a|b)c"), distribute=True)
+        assert req == ReqOr((ReqGram("ac"), ReqGram("bc")))
+
+    def test_simple_right(self):
+        req = requirement_tree(parse("x(y|z)"), distribute=True)
+        assert req == ReqOr((ReqGram("xy"), ReqGram("xz")))
+
+    def test_paper_example_gets_longer_grams(self):
+        req = requirement_tree(
+            parse("(Bill|William)Clinton"), distribute=True
+        )
+        assert req == ReqOr((
+            ReqGram("BillClinton"), ReqGram("WilliamClinton"),
+        ))
+
+    def test_star_blocks_distribution(self):
+        # (a|b)*c: the starred group stays atomic (ANY)
+        req = requirement_tree(parse("(a|b)*c"), distribute=True)
+        assert req == ReqGram("c")
+
+    def test_nested_product(self):
+        req = requirement_tree(parse("(a|b)(c|d)"), distribute=True)
+        assert req == ReqOr((
+            ReqGram("ac"), ReqGram("ad"), ReqGram("bc"), ReqGram("bd"),
+        ))
+
+    def test_budget_limits_expansion(self):
+        # 4 x 4 x 4 = 64 disjuncts > 16: falls back to undistributed
+        pattern = "(a|b|c|d)(e|f|g|h)(i|j|k|l)"
+        with_dist = requirement_tree(parse(pattern), distribute=True)
+        without = requirement_tree(parse(pattern), distribute=False)
+        assert with_dist == without
+
+    def test_quote_example(self):
+        """The mp3-style optional quote merges into the gram."""
+        req = requirement_tree(parse('("|\')?x'), distribute=True)
+        assert req == ReqOr((
+            ReqGram('"x'), ReqGram("'x"), ReqGram("x"),
+        ))
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        node=st.recursive(
+            st.sampled_from("abc").map(ast.Char.literal),
+            lambda inner: st.one_of(
+                st.tuples(inner, inner).map(lambda t: ast.concat(*t)),
+                st.tuples(inner, inner).map(lambda t: ast.alt(*t)),
+                inner.map(ast.Star),
+                inner.map(ast.Opt),
+            ),
+            max_leaves=7,
+        ),
+        text=st.text(alphabet="abc", max_size=10),
+    )
+    def test_language_preserved(self, node, text):
+        normal = to_or_star(node)
+        distributed = distribute_alternations(normal)
+        assert build_nfa(normal).accepts(text) == \
+            build_nfa(distributed).accepts(text)
+
+
+class TestDistributionInEngine:
+    def test_distributed_plan_is_sound_and_tighter(self):
+        from repro import (
+            FreeEngine,
+            InMemoryCorpus,
+            build_multigram_index,
+        )
+
+        # 'ac' appears in 1 doc; 'a' and 'c' separately in many, so the
+        # undistributed plan AND(OR(a,b), c) is much weaker than
+        # OR(ac, bc).
+        texts = (
+            ["ac here"] + [f"a {i}" for i in range(6)]
+            + [f"c {i}" for i in range(6)]
+            + [f"a c {i}" for i in range(6)]
+        )
+        corpus = InMemoryCorpus.from_texts(texts)
+        index = build_multigram_index(corpus, threshold=0.4, max_gram_len=4)
+        plain = FreeEngine(corpus, index, distribute=False)
+        dist = FreeEngine(corpus, index, distribute=True)
+        pattern = "(a|b)c"
+        r_plain = plain.search(pattern)
+        r_dist = dist.search(pattern)
+        assert [(m.doc_id, m.span) for m in r_plain.matches] == \
+            [(m.doc_id, m.span) for m in r_dist.matches]
+        assert r_dist.n_candidates <= r_plain.n_candidates
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        texts=st.lists(
+            st.text(alphabet="ab<", min_size=0, max_size=15),
+            min_size=1, max_size=6,
+        ),
+        pattern=st.sampled_from(
+            ["(a|b)<", "a(b|<)a", "(aa|bb)(a|<)", "a?b<"]
+        ),
+    )
+    def test_distribution_soundness_property(self, texts, pattern):
+        from repro import (
+            FreeEngine,
+            InMemoryCorpus,
+            ScanEngine,
+            build_multigram_index,
+        )
+
+        corpus = InMemoryCorpus.from_texts(texts)
+        index = build_multigram_index(corpus, threshold=0.5, max_gram_len=3)
+        dist = FreeEngine(corpus, index, distribute=True)
+        scan = ScanEngine(corpus)
+        assert (
+            dist.search(pattern, collect_matches=False).n_matches
+            == scan.search(pattern, collect_matches=False).n_matches
+        )

@@ -1,0 +1,114 @@
+"""Engine edge cases and failure injection."""
+
+import pytest
+
+from repro import (
+    FreeEngine,
+    InMemoryCorpus,
+    RegexSyntaxError,
+    ScanEngine,
+    build_multigram_index,
+)
+
+
+class TestEmptyCorpus:
+    def test_search_empty_corpus(self):
+        corpus = InMemoryCorpus([])
+        index = build_multigram_index(corpus)
+        report = FreeEngine(corpus, index).search("anything")
+        assert report.n_matches == 0
+        assert report.n_candidates == 0 or report.used_full_scan
+
+    def test_scan_empty_corpus(self):
+        report = ScanEngine(InMemoryCorpus([])).search("a")
+        assert report.n_matches == 0
+
+
+class TestDegeneratePatterns:
+    @pytest.fixture()
+    def engine(self):
+        corpus = InMemoryCorpus.from_texts(["ab", "cd", ""])
+        index = build_multigram_index(corpus, threshold=0.5,
+                                      max_gram_len=3)
+        return FreeEngine(corpus, index)
+
+    def test_empty_pattern_matches_everywhere(self, engine):
+        # the empty regex matches the empty string in every unit
+        report = engine.search("")
+        assert report.matching_units == 3
+
+    def test_pattern_of_only_star(self, engine):
+        report = engine.search("a*")
+        assert report.matching_units == 3  # empty match everywhere
+
+    def test_pattern_longer_than_any_doc(self, engine):
+        report = engine.search("abcdefghij")
+        assert report.n_matches == 0
+
+    def test_malformed_pattern_raises(self, engine):
+        with pytest.raises(RegexSyntaxError):
+            engine.search("(((")
+
+    def test_empty_unit_in_corpus_is_fine(self, engine):
+        report = engine.search("ab")
+        assert report.n_matches == 1
+
+
+class TestForeignText:
+    def test_foreign_chars_in_corpus_never_match(self):
+        # characters outside the engine alphabet act as hard separators
+        corpus = InMemoryCorpus.from_texts(["café abc", "ab c"])
+        scan = ScanEngine(corpus)
+        assert scan.count("abc") == 1
+        assert scan.count("caf") == 1
+
+    def test_foreign_char_in_pattern_rejected(self):
+        corpus = InMemoryCorpus.from_texts(["x"])
+        with pytest.raises(RegexSyntaxError):
+            ScanEngine(corpus).search("café")
+
+    def test_match_cannot_cross_foreign_char(self):
+        corpus = InMemoryCorpus.from_texts(["aéb"])
+        scan = ScanEngine(corpus)
+        assert scan.count("a.b") == 0  # our dot excludes foreign chars
+        assert scan.count("ab") == 0
+
+
+class TestLimits:
+    @pytest.fixture()
+    def engine(self):
+        corpus = InMemoryCorpus.from_texts(["aaa"] * 5)
+        index = build_multigram_index(corpus, threshold=1.0,
+                                      max_gram_len=2)
+        return FreeEngine(corpus, index)
+
+    def test_limit_zero_is_everything(self, engine):
+        # limit=0 means "stop after 0 matches": nothing confirmed
+        report = engine.search("a", limit=0)
+        assert report.n_matches <= 1  # at most the first probe
+
+    def test_limit_larger_than_results(self, engine):
+        report = engine.search("aaa", limit=10_000)
+        assert report.n_matches == 5
+        assert not report.truncated
+
+    def test_matcher_cache_reused(self, engine):
+        engine.search("aa")
+        first = engine._matcher("aa")
+        engine.search("aa")
+        assert engine._matcher("aa") is first
+
+
+class TestMinCandidateRatioGuard:
+    def test_guard_prefers_scan_on_fat_candidates(self):
+        texts = ["common gram here"] * 9 + ["rare thing"]
+        corpus = InMemoryCorpus.from_texts(texts)
+        index = build_multigram_index(corpus, threshold=0.95,
+                                      max_gram_len=6)
+        guarded = FreeEngine(corpus, index, min_candidate_ratio=0.1)
+        report = guarded.search("common")
+        assert report.used_full_scan
+        unguarded = FreeEngine(corpus, index)
+        report2 = unguarded.search("common")
+        assert not report2.used_full_scan
+        assert report.n_matches == report2.n_matches

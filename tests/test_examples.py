@@ -1,0 +1,59 @@
+"""Smoke tests: the example scripts must run clean end to end.
+
+Only the two fastest examples run in the suite (the others exercise the
+same API surface at larger scales and are covered by the benchmarks).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "examples",
+)
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "identical matches" in out
+        assert "speedup" in out
+
+    def test_middle_name_miner(self):
+        out = run_example("middle_name_miner.py")
+        assert "Thomas Alva Edison" in out
+        assert "william jefferson clinton" in out
+
+    def test_all_examples_exist_and_have_docstrings(self):
+        expected = {
+            "quickstart.py",
+            "middle_name_miner.py",
+            "mp3_hunter.py",
+            "index_tradeoff_explorer.py",
+            "live_index.py",
+        }
+        present = {
+            name for name in os.listdir(EXAMPLES_DIR)
+            if name.endswith(".py")
+        }
+        assert expected <= present
+        for name in expected:
+            with open(os.path.join(EXAMPLES_DIR, name)) as f:
+                source = f.read()
+            assert source.lstrip().startswith(
+                ("#!/usr/bin/env python\n\"\"\"", '"""')
+            ), name

@@ -1,0 +1,61 @@
+"""Plan executor tests: Boolean evaluation over postings."""
+
+from repro.engine.executor import execute_plan
+from repro.index.multigram import GramIndex
+from repro.index.postings import PostingsList
+from repro.iomodel.diskmodel import DiskModel
+from repro.plan.logical import LogicalPlan
+from repro.plan.physical import PhysicalPlan
+
+
+def index_with(postings_map, n_docs=10):
+    postings = {
+        key: PostingsList.from_ids(ids) for key, ids in postings_map.items()
+    }
+    return GramIndex(postings, kind="multigram", n_docs=n_docs, threshold=0.5)
+
+
+def plan_for(pattern, index, policy="all"):
+    return PhysicalPlan.compile(
+        LogicalPlan.from_pattern(pattern), index, policy
+    )
+
+
+class TestExecution:
+    def test_single_lookup(self):
+        index = index_with({"abc": [1, 4, 7]})
+        assert execute_plan(plan_for("abc", index), index) == [1, 4, 7]
+
+    def test_and_intersects(self):
+        index = index_with({"abc": [1, 2, 3], "xyz": [2, 3, 4]})
+        assert execute_plan(plan_for("abc.*xyz", index), index) == [2, 3]
+
+    def test_or_unions(self):
+        index = index_with({"abc": [1, 2], "xyz": [4]})
+        assert execute_plan(plan_for("abc|xyz", index), index) == [1, 2, 4]
+
+    def test_full_scan_returns_none(self):
+        index = index_with({})
+        assert execute_plan(plan_for("zzz", index), index) is None
+
+    def test_nested_formula(self):
+        index = index_with({
+            "aa": [1, 2, 3, 4], "bb": [2, 3], "cc": [3, 4, 5],
+        })
+        # (aa|bb).*cc -> candidates = (aa ∪ bb) ∩ cc
+        result = execute_plan(plan_for("(aa|bb).*cc", index), index)
+        assert result == [3, 4]
+
+    def test_empty_intersection(self):
+        index = index_with({"aa": [1], "bb": [2]})
+        assert execute_plan(plan_for("aa.*bb", index), index) == []
+
+    def test_postings_charged_to_disk(self):
+        index = index_with({"abc": [1, 2, 3], "xyz": [2]})
+        disk = DiskModel()
+        execute_plan(plan_for("abc.*xyz", index), index, disk)
+        assert disk.postings_read == 4
+
+    def test_no_disk_is_fine(self):
+        index = index_with({"abc": [1]})
+        assert execute_plan(plan_for("abc", index), index, None) == [1]

@@ -1,0 +1,59 @@
+"""DiskModel accounting tests."""
+
+import pytest
+
+from repro.iomodel.diskmodel import DiskModel
+
+
+class TestDiskModel:
+    def test_sequential_charge(self):
+        disk = DiskModel()
+        disk.charge_sequential(1000)
+        assert disk.total_cost == 1000.0
+
+    def test_random_charge_multiplied(self):
+        disk = DiskModel(random_multiplier=10.0)
+        disk.charge_random(100)
+        assert disk.total_cost == 1000.0
+        assert disk.random_accesses == 1
+
+    def test_postings_charge(self):
+        disk = DiskModel(posting_cost_chars=4.0)
+        disk.charge_postings(25)
+        assert disk.total_cost == 100.0
+
+    def test_mixed(self):
+        disk = DiskModel()
+        disk.charge_sequential(10)
+        disk.charge_random(10)
+        disk.charge_postings(10)
+        assert disk.total_cost == 10 + 100 + 40
+
+    def test_reset(self):
+        disk = DiskModel()
+        disk.charge_sequential(5)
+        disk.charge_random(5)
+        disk.reset()
+        assert disk.total_cost == 0.0
+        assert disk.random_accesses == 0
+
+    def test_snapshot(self):
+        disk = DiskModel()
+        disk.charge_random(3)
+        snap = disk.snapshot()
+        assert snap["random_chars"] == 3
+        assert snap["random_accesses"] == 1
+        assert snap["total_cost"] == disk.total_cost
+
+    def test_threshold_rationale(self):
+        """Section 3.1: with a 10x random penalty, reading 10% of units
+        randomly costs the same as scanning everything."""
+        disk = DiskModel(random_multiplier=10.0)
+        corpus_chars = 100_000
+        fraction = 0.1
+        disk.charge_random(int(corpus_chars * fraction))
+        random_cost = disk.total_cost
+        disk.reset()
+        disk.charge_sequential(corpus_chars)
+        scan_cost = disk.total_cost
+        assert random_cost == pytest.approx(scan_cost)

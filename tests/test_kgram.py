@@ -1,0 +1,94 @@
+"""Complete k-gram index tests."""
+
+import pytest
+
+from repro.corpus.store import InMemoryCorpus
+from repro.errors import IndexBuildError
+from repro.index.kgram import build_complete_index
+
+
+def corpus_of(*texts):
+    return InMemoryCorpus.from_texts(texts)
+
+
+class TestCompleteIndex:
+    def test_every_gram_indexed(self):
+        corpus = corpus_of("abcd", "bcde")
+        index = build_complete_index(corpus, k_values=[2, 3])
+        expected_2 = {"ab", "bc", "cd", "de"}
+        expected_3 = {"abc", "bcd", "cde"}
+        assert set(index.keys()) == expected_2 | expected_3
+
+    def test_postings_correct(self):
+        corpus = corpus_of("abab", "ab", "zz")
+        index = build_complete_index(corpus, k_values=[2])
+        assert index.lookup("ab").ids() == [0, 1]
+        assert index.lookup("ba").ids() == [0]
+        assert index.lookup("zz").ids() == [2]
+
+    def test_kind_and_metadata(self):
+        corpus = corpus_of("abc")
+        index = build_complete_index(corpus, k_values=[2])
+        assert index.kind == "complete"
+        assert index.threshold is None
+        assert index.max_gram_len == 2
+
+    def test_keys_by_length_split(self):
+        corpus = corpus_of("abcd")
+        index = build_complete_index(corpus, k_values=[2, 4])
+        hist = index.stats.keys_by_length
+        assert hist[2] == 3  # ab bc cd
+        assert hist[4] == 1  # abcd
+        assert 3 not in hist
+
+    def test_not_prefix_free_in_general(self):
+        corpus = corpus_of("abc")
+        index = build_complete_index(corpus, k_values=[2, 3])
+        assert not index.is_prefix_free()
+
+    def test_max_keys_guard(self):
+        corpus = corpus_of("abcdefghij" * 10)
+        with pytest.raises(IndexBuildError):
+            build_complete_index(corpus, k_values=[5], max_keys=3)
+
+    def test_empty_k_values_rejected(self):
+        with pytest.raises(IndexBuildError):
+            build_complete_index(corpus_of("a"), k_values=[])
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(IndexBuildError):
+            build_complete_index(corpus_of("a"), k_values=[0])
+
+    def test_short_docs_skip_long_grams(self):
+        corpus = corpus_of("ab")
+        index = build_complete_index(corpus, k_values=[2, 5])
+        assert set(index.keys()) == {"ab"}
+
+    def test_selectivity_helper(self):
+        corpus = corpus_of("ab", "ab", "cd", "ef")
+        index = build_complete_index(corpus, k_values=[2])
+        assert index.selectivity("ab") == 0.5
+        assert index.selectivity("zz") is None
+
+
+class TestCompleteVsMultigram:
+    """Table 3's qualitative relationships must hold on the fixture."""
+
+    def test_complete_has_many_more_keys(
+        self, complete_index, multigram_index
+    ):
+        assert complete_index.stats.n_keys > multigram_index.stats.n_keys
+
+    def test_complete_has_more_postings(
+        self, complete_index, multigram_index
+    ):
+        assert (
+            complete_index.stats.n_postings
+            > multigram_index.stats.n_postings
+        )
+
+    def test_multigram_key_ratio_is_small(
+        self, complete_index, multigram_index
+    ):
+        ratio = multigram_index.stats.n_keys / complete_index.stats.n_keys
+        assert ratio < 0.5  # paper: < 1%; small fixtures are less extreme

@@ -1,0 +1,127 @@
+"""GramIndex container tests + serialization round trips."""
+
+import os
+
+import pytest
+
+from repro.corpus.store import InMemoryCorpus
+from repro.errors import SerializationError
+from repro.index.builder import build_multigram_index
+from repro.index.multigram import GramIndex
+from repro.index.postings import PostingsList
+from repro.index.serialize import load_index, save_index
+
+
+def small_index():
+    postings = {
+        "abc": PostingsList.from_ids([0, 2]),
+        "xy": PostingsList.from_ids([1]),
+        "q": PostingsList.from_ids([]),
+    }
+    return GramIndex(postings, kind="multigram", n_docs=3, threshold=0.5,
+                     max_gram_len=5)
+
+
+class TestGramIndex:
+    def test_contains_and_lookup(self):
+        index = small_index()
+        assert "abc" in index
+        assert "zzz" not in index
+        assert index.lookup("abc").ids() == [0, 2]
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            small_index().lookup("nope")
+
+    def test_len_and_keys(self):
+        index = small_index()
+        assert len(index) == 3
+        assert set(index.keys()) == {"abc", "xy", "q"}
+
+    def test_covering_substrings(self):
+        index = small_index()
+        assert set(index.covering_substrings("zabcz")) == {"abc"}
+        assert set(index.covering_substrings("qxy")) == {"q", "xy"}
+        assert index.covering_substrings("zzz") == []
+
+    def test_selectivity(self):
+        index = small_index()
+        assert index.selectivity("abc") == pytest.approx(2 / 3)
+        assert index.selectivity("missing") is None
+
+    def test_derived_stats(self):
+        index = small_index()
+        assert index.stats.n_keys == 3
+        assert index.stats.n_postings == 3
+        assert index.stats.keys_by_length == {3: 1, 2: 1, 1: 1}
+
+    def test_negative_docs_rejected(self):
+        from repro.errors import IndexBuildError
+
+        with pytest.raises(IndexBuildError):
+            GramIndex({}, kind="multigram", n_docs=-1)
+
+
+class TestSerialization:
+    def test_roundtrip_small(self, tmp_path):
+        index = small_index()
+        path = str(tmp_path / "idx.img")
+        save_index(index, path)
+        loaded = load_index(path)
+        assert set(loaded.keys()) == set(index.keys())
+        for key in index.keys():
+            assert loaded.lookup(key) == index.lookup(key)
+        assert loaded.kind == index.kind
+        assert loaded.n_docs == index.n_docs
+        assert loaded.threshold == index.threshold
+        assert loaded.max_gram_len == index.max_gram_len
+
+    def test_roundtrip_real_index(self, tmp_path):
+        corpus = InMemoryCorpus.from_texts(
+            ["the cat sat on the mat", "a cat ran", "dogs bark a lot"]
+        )
+        index = build_multigram_index(corpus, threshold=0.4, max_gram_len=6)
+        path = str(tmp_path / "real.img")
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.stats.n_keys == index.stats.n_keys
+        assert loaded.stats.n_postings == index.stats.n_postings
+        for key in list(index.keys())[:50]:
+            assert loaded.lookup(key).ids() == index.lookup(key).ids()
+
+    def test_bad_magic(self, tmp_path):
+        path = str(tmp_path / "bad.img")
+        with open(path, "wb") as out:
+            out.write(b"NOTANIDX" + b"\x00" * 32)
+        with pytest.raises(SerializationError):
+            load_index(path)
+
+    def test_truncated_file(self, tmp_path):
+        index = small_index()
+        path = str(tmp_path / "trunc.img")
+        save_index(index, path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.truncate(size - 5)
+        with pytest.raises(SerializationError):
+            load_index(path)
+
+    def test_empty_index_roundtrip(self, tmp_path):
+        index = GramIndex({}, kind="multigram", n_docs=0)
+        path = str(tmp_path / "empty.img")
+        save_index(index, path)
+        loaded = load_index(path)
+        assert len(loaded) == 0
+
+
+class TestStats:
+    def test_as_row_fields(self):
+        row = small_index().stats.as_row()
+        assert row["gram_keys"] == 3
+        assert "postings" in row and "construction_time_s" in row
+
+    def test_postings_per_key(self):
+        assert small_index().stats.postings_per_key == 1.0
+
+    def test_ratio_zero_without_corpus_chars(self):
+        assert small_index().stats.postings_to_corpus_ratio == 0.0

@@ -1,0 +1,125 @@
+"""Thompson construction tests: acceptance oracle on small languages."""
+
+import pytest
+
+from repro.regex.nfa import MAX_COUNTED_EXPANSION, build_nfa, expand_repeat
+from repro.regex import ast
+from repro.regex.parser import parse
+
+
+def accepts(pattern: str, text: str) -> bool:
+    return build_nfa(parse(pattern)).accepts(text)
+
+
+class TestBasicAcceptance:
+    def test_literal(self):
+        assert accepts("abc", "abc")
+        assert not accepts("abc", "abx")
+        assert not accepts("abc", "ab")
+        assert not accepts("abc", "abcd")
+
+    def test_empty_pattern(self):
+        assert accepts("", "")
+        assert not accepts("", "a")
+
+    def test_dot(self):
+        assert accepts("a.c", "abc")
+        assert accepts("a.c", "a.c")
+        assert not accepts("a.c", "ac")
+
+    def test_alternation(self):
+        assert accepts("a|b", "a")
+        assert accepts("a|b", "b")
+        assert not accepts("a|b", "c")
+        assert not accepts("a|b", "ab")
+
+    def test_star(self):
+        assert accepts("a*", "")
+        assert accepts("a*", "aaaa")
+        assert not accepts("a*", "ab")
+
+    def test_plus(self):
+        assert not accepts("a+", "")
+        assert accepts("a+", "a")
+        assert accepts("a+", "aaa")
+
+    def test_opt(self):
+        assert accepts("a?", "")
+        assert accepts("a?", "a")
+        assert not accepts("a?", "aa")
+
+    def test_char_class(self):
+        assert accepts("[abc]", "b")
+        assert not accepts("[abc]", "d")
+
+    def test_negated_class(self):
+        assert accepts("[^abc]", "d")
+        assert not accepts("[^abc]", "a")
+
+    def test_nested(self):
+        pattern = "(a|b)*c(d|e)+"
+        assert accepts(pattern, "ababcdede")
+        assert accepts(pattern, "cd")
+        assert not accepts(pattern, "c")
+        assert not accepts(pattern, "abab")
+
+
+class TestCountedRepetition:
+    def test_exact(self):
+        assert accepts("a{3}", "aaa")
+        assert not accepts("a{3}", "aa")
+        assert not accepts("a{3}", "aaaa")
+
+    def test_range(self):
+        for n in range(6):
+            expected = 2 <= n <= 4
+            assert accepts("a{2,4}", "a" * n) is expected
+
+    def test_open(self):
+        for n in range(6):
+            assert accepts("a{2,}", "a" * n) is (n >= 2)
+
+    def test_zero_lower(self):
+        assert accepts("a{0,2}", "")
+        assert accepts("a{0,2}", "aa")
+        assert not accepts("a{0,2}", "aaa")
+
+    def test_group_repetition(self):
+        assert accepts("(ab){2}", "abab")
+        assert not accepts("(ab){2}", "ab")
+
+    def test_expansion_limit(self):
+        with pytest.raises(ValueError):
+            expand_repeat(
+                ast.Repeat(ast.Char.literal("a"), 0, MAX_COUNTED_EXPANSION + 1)
+            )
+
+    def test_expand_repeat_language(self):
+        node = ast.Repeat(ast.Char.literal("a"), 1, 3)
+        expanded = expand_repeat(node)
+        nfa = build_nfa(expanded)
+        assert not nfa.accepts("")
+        assert nfa.accepts("a")
+        assert nfa.accepts("aaa")
+        assert not nfa.accepts("aaaa")
+
+
+class TestStructure:
+    def test_single_start_accept(self):
+        nfa = build_nfa(parse("(a|b)*c"))
+        assert 0 <= nfa.start < nfa.state_count
+        assert 0 <= nfa.accept < nfa.state_count
+
+    def test_classes_deduplicated(self):
+        nfa = build_nfa(parse("aaa"))
+        assert len(nfa.classes()) == 1
+
+    def test_epsilon_closure_reflexive(self):
+        nfa = build_nfa(parse("ab"))
+        closure = nfa.epsilon_closure({nfa.start})
+        assert nfa.start in closure
+
+    def test_step_dead_on_foreign(self):
+        nfa = build_nfa(parse("a"))
+        current = nfa.epsilon_closure({nfa.start})
+        assert nfa.step(current, "b") == frozenset()

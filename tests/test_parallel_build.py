@@ -1,0 +1,117 @@
+"""Parallel builder tests: exact identity with the sequential miner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import InMemoryCorpus, build_corpus, build_multigram_index
+from repro.errors import IndexBuildError
+from repro.index.parallel import (
+    ParallelMultigramBuilder,
+    build_multigram_index_parallel,
+)
+
+
+def assert_same_index(a, b):
+    assert set(a.keys()) == set(b.keys())
+    for key in a.keys():
+        assert a.lookup(key).ids() == b.lookup(key).ids(), key
+    assert a.stats.n_postings == b.stats.n_postings
+
+
+class TestIdentity:
+    def test_inline_workers_identity(self):
+        corpus = build_corpus(n_pages=40, seed=51)
+        sequential = build_multigram_index(
+            corpus, threshold=0.2, max_gram_len=6
+        )
+        parallel = ParallelMultigramBuilder(
+            threshold=0.2, max_gram_len=6, workers=1
+        ).build(corpus)
+        assert_same_index(sequential, parallel)
+
+    def test_forked_workers_identity(self):
+        corpus = build_corpus(n_pages=40, seed=52)
+        sequential = build_multigram_index(
+            corpus, threshold=0.2, max_gram_len=6
+        )
+        parallel = build_multigram_index_parallel(
+            corpus, workers=2, threshold=0.2, max_gram_len=6
+        )
+        assert_same_index(sequential, parallel)
+
+    def test_presuf_identity(self):
+        corpus = build_corpus(n_pages=30, seed=53)
+        sequential = build_multigram_index(
+            corpus, threshold=0.2, max_gram_len=5, presuf=True
+        )
+        parallel = build_multigram_index_parallel(
+            corpus, workers=2, threshold=0.2, max_gram_len=5, presuf=True
+        )
+        assert_same_index(sequential, parallel)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        texts=st.lists(
+            st.text(alphabet="abcd", min_size=1, max_size=20),
+            min_size=1, max_size=9,
+        ),
+        chunk_docs=st.sampled_from([1, 2, 4]),
+    )
+    def test_property_identity_any_chunking(self, texts, chunk_docs):
+        corpus = InMemoryCorpus.from_texts(texts)
+        sequential = build_multigram_index(
+            corpus, threshold=0.4, max_gram_len=4
+        )
+        parallel = ParallelMultigramBuilder(
+            threshold=0.4, max_gram_len=4, workers=1,
+            chunk_docs=chunk_docs,
+        ).build(corpus)
+        assert_same_index(sequential, parallel)
+
+
+class TestMechanics:
+    def test_chunking_covers_corpus(self):
+        corpus = build_corpus(n_pages=10, seed=54)
+        builder = ParallelMultigramBuilder(workers=1, chunk_docs=3)
+        chunks = builder._chunks(corpus)
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        flat = [u.doc_id for chunk in chunks for u in chunk]
+        assert flat == list(range(10))
+
+    def test_empty_corpus(self):
+        index = ParallelMultigramBuilder(workers=1).build(
+            InMemoryCorpus([])
+        )
+        assert len(index) == 0
+
+    def test_bad_workers(self):
+        with pytest.raises(IndexBuildError):
+            ParallelMultigramBuilder(workers=0)
+
+    def test_param_validation_delegated(self):
+        with pytest.raises(IndexBuildError):
+            ParallelMultigramBuilder(threshold=2.0)
+
+    def test_stats_recorded(self):
+        corpus = build_corpus(n_pages=15, seed=55)
+        index = ParallelMultigramBuilder(
+            workers=1, threshold=0.3, max_gram_len=5
+        ).build(corpus)
+        assert index.stats.corpus_scans >= 2
+        assert index.stats.construction_seconds > 0
+        assert index.stats.n_keys == len(index)
+
+    def test_engine_runs_on_parallel_index(self):
+        from repro import FreeEngine, ScanEngine
+
+        corpus = build_corpus(n_pages=30, seed=56)
+        index = build_multigram_index_parallel(
+            corpus, workers=2, threshold=0.2, max_gram_len=6
+        )
+        free = FreeEngine(corpus, index)
+        scan = ScanEngine(corpus)
+        for pattern in ("<title>", "the"):
+            assert (
+                free.search(pattern, collect_matches=False).n_matches
+                == scan.search(pattern, collect_matches=False).n_matches
+            )

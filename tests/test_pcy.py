@@ -1,0 +1,113 @@
+"""PCY hash-filter tests: identical key sets, real dictionary savings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.store import InMemoryCorpus
+from repro.corpus.synthesis import build_corpus
+from repro.index.builder import MultigramIndexBuilder, build_multigram_index
+from repro.index.pcy import PCYHashFilter
+from repro.index.stats import IndexStats
+
+
+class TestFilterUnit:
+    def test_counts_occurrences(self):
+        f = PCYHashFilter(bits=10, threshold=2)
+        f.add("ab")
+        assert f.surely_useful("ab")
+        f.add("ab")
+        f.add("ab")
+        assert not f.surely_useful("ab")
+
+    def test_unseen_gram_is_surely_useful(self):
+        f = PCYHashFilter(bits=10, threshold=1)
+        assert f.surely_useful("zz")
+
+    def test_collisions_only_weaken(self):
+        """A colliding bucket can flip useful->unknown, never the
+        reverse, so soundness is preserved."""
+        f = PCYHashFilter(bits=8, threshold=0)
+        for i in range(5000):
+            f.add(f"gram{i}")
+        # any gram that still reads 0 genuinely has no occurrences
+        probe = "never-added-gram"
+        if f.surely_useful(probe):
+            assert True  # zero bucket: fine
+        # saturation is high with 256 buckets and 5000 adds
+        assert f.saturation > 0.5
+
+    def test_bad_bits(self):
+        with pytest.raises(ValueError):
+            PCYHashFilter(bits=2, threshold=1)
+        with pytest.raises(ValueError):
+            PCYHashFilter(bits=40, threshold=1)
+
+    def test_added_counter(self):
+        f = PCYHashFilter(bits=10, threshold=5)
+        for _ in range(7):
+            f.add("x")
+        assert f.added == 7
+
+
+class TestKeySetIdentity:
+    """The filter must never change the mined key set."""
+
+    def test_on_synthetic_corpus(self):
+        corpus = build_corpus(n_pages=60, seed=21)
+        plain = build_multigram_index(corpus, threshold=0.2, max_gram_len=6)
+        pcy = build_multigram_index(
+            corpus, threshold=0.2, max_gram_len=6, hash_filter_bits=16
+        )
+        assert set(plain.keys()) == set(pcy.keys())
+        for key in plain.keys():
+            assert plain.lookup(key) == pcy.lookup(key)
+
+    def test_tiny_buckets_still_correct(self):
+        """Heavy collisions degrade the savings, never the answer."""
+        corpus = build_corpus(n_pages=40, seed=22)
+        plain = build_multigram_index(corpus, threshold=0.3, max_gram_len=5)
+        pcy = build_multigram_index(
+            corpus, threshold=0.3, max_gram_len=5, hash_filter_bits=8
+        )
+        assert set(plain.keys()) == set(pcy.keys())
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        texts=st.lists(
+            st.text(alphabet="abcd", min_size=1, max_size=15),
+            min_size=1,
+            max_size=8,
+        ),
+        c=st.sampled_from([0.2, 0.5]),
+        bits=st.sampled_from([8, 12]),
+    )
+    def test_property_identity(self, texts, c, bits):
+        corpus = InMemoryCorpus.from_texts(texts)
+        plain = build_multigram_index(corpus, threshold=c, max_gram_len=4)
+        pcy = build_multigram_index(
+            corpus, threshold=c, max_gram_len=4, hash_filter_bits=bits
+        )
+        assert set(plain.keys()) == set(pcy.keys())
+
+
+class TestSavings:
+    def test_filter_reduces_exact_counting(self):
+        corpus = build_corpus(n_pages=80, seed=23)
+        plain_stats = IndexStats(kind="multigram", n_docs=len(corpus))
+        pcy_stats = IndexStats(kind="multigram", n_docs=len(corpus))
+        MultigramIndexBuilder(0.1, 8).select_keys(corpus, plain_stats)
+        MultigramIndexBuilder(0.1, 8, hash_filter_bits=18).select_keys(
+            corpus, pcy_stats
+        )
+        # Later passes (where the filter is armed) must classify a
+        # meaningful share of grams without dictionary entries.
+        assert sum(pcy_stats.hash_filtered) > 0
+        assert sum(pcy_stats.pass_candidates) < sum(
+            plain_stats.pass_candidates
+        )
+
+    def test_stats_zero_without_filter(self):
+        corpus = build_corpus(n_pages=20, seed=24)
+        stats = IndexStats(kind="multigram", n_docs=len(corpus))
+        MultigramIndexBuilder(0.2, 5).select_keys(corpus, stats)
+        assert all(count == 0 for count in stats.hash_filtered)

@@ -1,0 +1,130 @@
+"""THE invariant: index filtering never loses a true match.
+
+For arbitrary regexes and corpora, and any index flavour (complete,
+multigram at any threshold, presuf shell), the candidate set produced by
+the physical plan must be a superset of the data units that actually
+contain a match.  This is the property that makes FREE an *accelerator*
+rather than an approximation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.store import InMemoryCorpus
+from repro.engine.executor import execute_plan
+from repro.index.builder import build_multigram_index
+from repro.index.kgram import build_complete_index
+from repro.plan.logical import LogicalPlan
+from repro.plan.physical import CoverPolicy, PhysicalPlan
+from repro.regex import ast
+from repro.regex.charclass import CharClass
+from repro.regex.matcher import Matcher
+
+ALPHABET = "ab<"
+
+
+def asts(max_leaves=6):
+    chars = st.sampled_from(ALPHABET).map(ast.Char.literal)
+    classes = st.sets(
+        st.sampled_from(ALPHABET), min_size=1, max_size=2
+    ).map(lambda s: ast.Char(CharClass(s)))
+    leaves = st.one_of(chars, chars, classes)  # bias towards literals
+    return st.recursive(
+        leaves,
+        lambda inner: st.one_of(
+            st.tuples(inner, inner).map(lambda t: ast.concat(*t)),
+            st.tuples(inner, inner).map(lambda t: ast.alt(*t)),
+            inner.map(ast.Star),
+            inner.map(ast.Plus),
+            inner.map(ast.Opt),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+corpora = st.lists(
+    st.text(alphabet=ALPHABET, min_size=0, max_size=20),
+    min_size=1,
+    max_size=8,
+).map(InMemoryCorpus.from_texts)
+
+
+def true_matching_units(corpus, matcher):
+    return {u.doc_id for u in corpus if matcher.contains(u.text)}
+
+
+def candidates_of(corpus, index, node, policy=CoverPolicy.ALL):
+    logical = LogicalPlan.from_pattern(node)
+    plan = PhysicalPlan.compile(logical, index, policy)
+    result = execute_plan(plan, index)
+    if result is None:
+        return set(range(len(corpus)))
+    return set(result)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    node=asts(),
+    corpus=corpora,
+    threshold=st.sampled_from([0.0, 0.2, 0.5, 0.9]),
+)
+def test_multigram_candidates_are_superset(node, corpus, threshold):
+    index = build_multigram_index(
+        corpus, threshold=threshold, max_gram_len=4
+    )
+    matcher = Matcher(node, anchoring=False)
+    truth = true_matching_units(corpus, matcher)
+    assert truth <= candidates_of(corpus, index, node)
+
+
+@settings(max_examples=80, deadline=None)
+@given(node=asts(), corpus=corpora)
+def test_presuf_candidates_are_superset(node, corpus):
+    index = build_multigram_index(
+        corpus, threshold=0.5, max_gram_len=4, presuf=True
+    )
+    matcher = Matcher(node, anchoring=False)
+    truth = true_matching_units(corpus, matcher)
+    assert truth <= candidates_of(corpus, index, node)
+
+
+@settings(max_examples=80, deadline=None)
+@given(node=asts(), corpus=corpora)
+def test_complete_candidates_are_superset(node, corpus):
+    index = build_complete_index(corpus, k_values=[2, 3], max_keys=None)
+    matcher = Matcher(node, anchoring=False)
+    truth = true_matching_units(corpus, matcher)
+    assert truth <= candidates_of(corpus, index, node)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    node=asts(),
+    corpus=corpora,
+    policy=st.sampled_from(list(CoverPolicy)),
+)
+def test_every_cover_policy_is_sound(node, corpus, policy):
+    index = build_multigram_index(
+        corpus, threshold=0.4, max_gram_len=3, presuf=True
+    )
+    matcher = Matcher(node, anchoring=False)
+    truth = true_matching_units(corpus, matcher)
+    assert truth <= candidates_of(corpus, index, node, policy)
+
+
+@settings(max_examples=60, deadline=None)
+@given(node=asts(), corpus=corpora)
+def test_engine_end_to_end_equals_scan(node, corpus):
+    """FreeEngine and ScanEngine must return identical match sets."""
+    from repro.engine.free import FreeEngine
+    from repro.engine.scan import ScanEngine
+
+    index = build_multigram_index(corpus, threshold=0.3, max_gram_len=4)
+    free = FreeEngine(corpus, index)
+    scan = ScanEngine(corpus)
+    pattern = node.to_pattern()
+    r_free = free.search(pattern)
+    r_scan = scan.search(pattern)
+    assert [(m.doc_id, m.span) for m in r_free.matches] == \
+        [(m.doc_id, m.span) for m in r_scan.matches]

@@ -1,0 +1,256 @@
+"""Logical and physical plan tests (Figures 5-7, Table 2, Section 4.3)."""
+
+import pytest
+
+from repro.corpus.store import InMemoryCorpus
+from repro.index.multigram import GramIndex
+from repro.index.postings import PostingsList
+from repro.plan.cost import estimate_cost, estimate_selectivity
+from repro.plan.logical import LogicalPlan
+from repro.plan.physical import (
+    CoverPolicy,
+    PAll,
+    PAnd,
+    PCover,
+    PLookup,
+    POr,
+    PhysicalPlan,
+)
+from repro.regex.rewrite import ReqAnd, ReqAny, ReqGram, ReqOr
+
+
+def index_with(postings_map, n_docs=10):
+    postings = {
+        key: PostingsList.from_ids(ids) for key, ids in postings_map.items()
+    }
+    return GramIndex(postings, kind="multigram", n_docs=n_docs, threshold=0.5)
+
+
+class TestLogicalPlan:
+    def test_running_example(self):
+        plan = LogicalPlan.from_pattern("(Bill|William).*Clinton")
+        assert plan.root == ReqAnd((
+            ReqOr((ReqGram("Bill"), ReqGram("William"))),
+            ReqGram("Clinton"),
+        ))
+        assert not plan.is_null
+        assert plan.grams() == ["Bill", "William", "Clinton"]
+
+    def test_null_plan_queries(self):
+        """zip/phone/html-style queries produce NULL logical plans."""
+        from repro.bench.queries import BENCHMARK_QUERIES, NULL_PLAN_QUERIES
+
+        for name in NULL_PLAN_QUERIES:
+            plan = LogicalPlan.from_pattern(
+                BENCHMARK_QUERIES[name], min_gram_len=3
+            )
+            assert plan.is_null, name
+
+    def test_indexable_queries_not_null(self):
+        from repro.bench.queries import BENCHMARK_QUERIES, NULL_PLAN_QUERIES
+
+        for name, pattern in BENCHMARK_QUERIES.items():
+            if name in NULL_PLAN_QUERIES:
+                continue
+            plan = LogicalPlan.from_pattern(pattern, min_gram_len=3)
+            assert not plan.is_null, name
+
+    def test_from_ast(self):
+        from repro.regex.parser import parse
+
+        plan = LogicalPlan.from_pattern(parse("abc"))
+        assert plan.root == ReqGram("abc")
+
+    def test_pretty_renders(self):
+        plan = LogicalPlan.from_pattern("(a.*b)|zz")
+        text = plan.pretty()
+        assert "OR" in text or "NULL" in text
+
+
+class TestPhysicalCompile:
+    def test_exact_key_available(self):
+        index = index_with({"Clinton": [1, 2]})
+        logical = LogicalPlan.from_pattern("Clinton")
+        plan = PhysicalPlan.compile(logical, index)
+        assert plan.root == PLookup("Clinton")
+
+    def test_paper_section_43_example(self):
+        """William -> Willi AND liam; Clinton -> Clint AND nton;
+        Bill -> NULL (Figure 7)."""
+        index = index_with({
+            "Willi": [1], "liam": [1, 2], "Clint": [2], "nton": [2, 3],
+        })
+        logical = LogicalPlan.from_pattern("(Bill|William).*Clinton")
+        plan = PhysicalPlan.compile(logical, index)
+        # Bill unavailable -> its OR branch is ALL -> whole OR is ALL ->
+        # plan reduces to the Clinton cover.
+        assert plan.root == PAnd((PLookup("Clint"), PLookup("nton")))
+        assert "Bill" in plan.unavailable_grams
+
+    def test_pruned_gram_uses_substring_cover(self):
+        index = index_with({"llia": [1], "ia": [1, 2]})
+        logical = LogicalPlan.from_pattern("William")
+        plan = PhysicalPlan.compile(logical, index)
+        assert plan.root == PAnd((PLookup("llia"), PLookup("ia")))
+
+    def test_nothing_available_is_full_scan(self):
+        index = index_with({"zz": [1]})
+        logical = LogicalPlan.from_pattern("William")
+        plan = PhysicalPlan.compile(logical, index)
+        assert plan.is_full_scan
+        assert plan.unavailable_grams == ("William",)
+
+    def test_or_with_one_null_branch_floods(self):
+        index = index_with({"abc": [1]})
+        logical = LogicalPlan.from_pattern("abc|qqq")
+        plan = PhysicalPlan.compile(logical, index)
+        assert plan.is_full_scan
+
+    def test_or_with_both_available(self):
+        index = index_with({"abc": [1], "qqq": [2]})
+        logical = LogicalPlan.from_pattern("abc|qqq")
+        plan = PhysicalPlan.compile(logical, index)
+        assert plan.root == POr((PLookup("abc"), PLookup("qqq")))
+
+    def test_and_drops_null_side(self):
+        index = index_with({"abc": [1]})
+        logical = LogicalPlan.from_pattern("abc.*qqq")
+        plan = PhysicalPlan.compile(logical, index)
+        assert plan.root == PLookup("abc")
+
+    def test_lookups_listing(self):
+        index = index_with({"abc": [1], "qqq": [2]})
+        plan = PhysicalPlan.compile(
+            LogicalPlan.from_pattern("abc.*qqq"), index
+        )
+        assert set(plan.lookups()) == {"abc", "qqq"}
+
+    def test_dedup_identical_lookups(self):
+        index = index_with({"ab": [1]})
+        plan = PhysicalPlan.compile(
+            LogicalPlan.from_pattern("ab.*ab"), index
+        )
+        assert plan.root == PLookup("ab")
+
+    def test_pretty(self):
+        index = index_with({"abc": [1]})
+        plan = PhysicalPlan.compile(LogicalPlan.from_pattern("abc"), index)
+        assert "LOOKUP" in plan.pretty()
+
+
+class TestCoverPolicies:
+    def test_best_picks_rarest(self):
+        index = index_with({"llia": [1], "ia": [1, 2, 3, 4]})
+        logical = LogicalPlan.from_pattern("William")
+        plan = PhysicalPlan.compile(logical, index, CoverPolicy.BEST)
+        assert plan.root == PLookup("llia")
+
+    def test_cheapest2_picks_two(self):
+        index = index_with({
+            "llia": [1], "ia": [1, 2, 3, 4], "Wil": [1, 2],
+        })
+        logical = LogicalPlan.from_pattern("William")
+        plan = PhysicalPlan.compile(logical, index, CoverPolicy.CHEAPEST2)
+        assert plan.root == PAnd((PLookup("llia"), PLookup("Wil")))
+
+    def test_policy_accepts_strings(self):
+        index = index_with({"ab": [1]})
+        plan = PhysicalPlan.compile(
+            LogicalPlan.from_pattern("ab"), index, "best"
+        )
+        assert plan.root == PLookup("ab")
+
+    def test_policies_all_sound(self):
+        """All policies produce supersets of the exact-key plan result."""
+        from repro.engine.executor import execute_plan
+
+        index = index_with({
+            "llia": [1, 5], "ia": [1, 2, 5], "Wil": [1, 5, 7],
+        })
+        logical = LogicalPlan.from_pattern("William")
+        results = {}
+        for policy in CoverPolicy:
+            plan = PhysicalPlan.compile(logical, index, policy)
+            results[policy] = set(execute_plan(plan, index))
+        # ALL is the tightest; the others must contain it
+        assert results[CoverPolicy.BEST] >= results[CoverPolicy.ALL]
+        assert results[CoverPolicy.CHEAPEST2] >= results[CoverPolicy.ALL]
+
+
+class TestCoverNode:
+    def test_cover_emitted_for_pruned_grams(self):
+        index = index_with({"llia": [1], "ia": [1, 2]})
+        plan = PhysicalPlan.compile(
+            LogicalPlan.from_pattern("William"), index
+        )
+        assert isinstance(plan.root, PCover)
+
+    def test_cover_executes_like_and(self):
+        from repro.engine.executor import execute_plan
+
+        index = index_with({"llia": [1, 3], "ia": [1, 2, 3]})
+        plan = PhysicalPlan.compile(
+            LogicalPlan.from_pattern("William"), index
+        )
+        assert execute_plan(plan, index) == [1, 3]
+
+    def test_cover_equals_plain_and_structurally(self):
+        children = (PLookup("a"), PLookup("b"))
+        assert PCover(children) == PAnd(children)
+
+    def test_cover_selectivity_is_min(self):
+        index = index_with({"ab": [1], "bc": [1, 2, 3, 4]}, n_docs=10)
+        cover = PCover((PLookup("ab"), PLookup("bc")))
+        plain = PAnd((PLookup("ab"), PLookup("bc")))
+        assert estimate_selectivity(cover, index) == pytest.approx(0.1)
+        assert estimate_selectivity(plain, index) == pytest.approx(0.04)
+
+    def test_cover_repr(self):
+        assert "COVER" in repr(PCover((PLookup("x"), PLookup("y"))))
+
+
+class TestCostModel:
+    def test_lookup_selectivity(self):
+        index = index_with({"ab": [1, 2, 3]}, n_docs=10)
+        assert estimate_selectivity(PLookup("ab"), index) == 0.3
+
+    def test_and_multiplies(self):
+        index = index_with({"ab": [1, 2, 3], "cd": [1, 2]}, n_docs=10)
+        node = PAnd((PLookup("ab"), PLookup("cd")))
+        assert estimate_selectivity(node, index) == pytest.approx(0.06)
+
+    def test_or_adds_capped(self):
+        index = index_with(
+            {"ab": list(range(8)), "cd": list(range(8))}, n_docs=10
+        )
+        node = POr((PLookup("ab"), PLookup("cd")))
+        assert estimate_selectivity(node, index) == 1.0
+
+    def test_all_is_one(self):
+        index = index_with({})
+        assert estimate_selectivity(PAll(), index) == 1.0
+
+    def test_estimate_cost_scan_vs_index(self):
+        # sel = 1/100 far below 1/random_multiplier -> the index wins
+        index = index_with({"rare": [1]}, n_docs=100)
+        plan = PhysicalPlan.compile(
+            LogicalPlan.from_pattern("rare"), index
+        )
+        cost = estimate_cost(plan, index, corpus_chars=10_000)
+        assert cost.beats_scan
+        assert cost.candidate_units == 1.0
+
+    def test_estimate_cost_common_gram_loses(self):
+        # sel = 0.1 at multiplier 10 is break-even or worse
+        index = index_with({"the": list(range(10))}, n_docs=100)
+        plan = PhysicalPlan.compile(
+            LogicalPlan.from_pattern("the"), index
+        )
+        cost = estimate_cost(plan, index, corpus_chars=10_000)
+        assert not cost.beats_scan
+
+    def test_full_scan_plan_costs_scan(self):
+        index = index_with({})
+        plan = PhysicalPlan.compile(LogicalPlan.from_pattern("zzz"), index)
+        cost = estimate_cost(plan, index, corpus_chars=5_000)
+        assert cost.io_cost == cost.scan_io_cost

@@ -1,0 +1,165 @@
+"""Postings codec and merge-operation tests (unit + property)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.postings import (
+    PostingsList,
+    decode_gaps,
+    difference_sorted,
+    encode_gaps,
+    encode_varint,
+    intersect_many,
+    intersect_sorted,
+    union_many,
+)
+
+
+class TestVarint:
+    def test_small_values_one_byte(self):
+        out = bytearray()
+        encode_varint(0, out)
+        encode_varint(127, out)
+        assert len(out) == 2
+
+    def test_large_values_multi_byte(self):
+        out = bytearray()
+        encode_varint(128, out)
+        assert len(out) == 2
+        out2 = bytearray()
+        encode_varint(1 << 28, out2)
+        assert len(out2) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1, bytearray())
+
+
+class TestGapCodec:
+    def test_roundtrip_simple(self):
+        ids = [0, 1, 5, 100, 10_000]
+        assert decode_gaps(encode_gaps(ids)) == ids
+
+    def test_empty(self):
+        assert decode_gaps(encode_gaps([])) == []
+
+    def test_dense_run_is_one_byte_per_id(self):
+        ids = list(range(1000))
+        assert len(encode_gaps(ids)) == 1000
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ValueError):
+            encode_gaps([3, 3])
+        with pytest.raises(ValueError):
+            encode_gaps([5, 2])
+
+    def test_truncated_data_rejected(self):
+        data = encode_gaps([1 << 20])
+        with pytest.raises(ValueError):
+            decode_gaps(data[:-1] + b"\x80")
+
+    @settings(max_examples=200, deadline=None)
+    @given(ids=st.lists(st.integers(0, 1 << 40), unique=True))
+    def test_roundtrip_property(self, ids):
+        ids = sorted(ids)
+        assert decode_gaps(encode_gaps(ids)) == ids
+
+
+class TestPostingsList:
+    def test_from_ids_sorts_and_dedupes(self):
+        plist = PostingsList.from_ids([5, 1, 5, 3])
+        assert plist.ids() == [1, 3, 5]
+        assert len(plist) == 3
+
+    def test_from_sorted_fast_path(self):
+        plist = PostingsList.from_sorted_ids([1, 2, 9])
+        assert plist.ids() == [1, 2, 9]
+
+    def test_contains(self):
+        plist = PostingsList.from_ids([2, 4, 8])
+        assert 4 in plist
+        assert 5 not in plist
+
+    def test_iter(self):
+        assert list(PostingsList.from_ids([3, 1])) == [1, 3]
+
+    def test_equality(self):
+        assert PostingsList.from_ids([1, 2]) == PostingsList.from_ids([2, 1])
+        assert PostingsList.from_ids([1]) != PostingsList.from_ids([2])
+
+    def test_nbytes_compression(self):
+        dense = PostingsList.from_sorted_ids(list(range(500)))
+        assert dense.nbytes == 500  # 1 byte per gap of 0
+
+
+class TestMerges:
+    def test_intersect_basic(self):
+        assert intersect_sorted([1, 3, 5], [3, 5, 7]) == [3, 5]
+
+    def test_intersect_disjoint(self):
+        assert intersect_sorted([1, 2], [3, 4]) == []
+
+    def test_intersect_empty(self):
+        assert intersect_sorted([], [1]) == []
+
+    def test_intersect_skewed_sizes(self):
+        big = list(range(0, 10_000, 2))
+        small = [4, 5, 9_998]
+        assert intersect_sorted(small, big) == [4, 9_998]
+        assert intersect_sorted(big, small) == [4, 9_998]
+
+    def test_intersect_many_smallest_first(self):
+        lists = [list(range(100)), [5, 50], list(range(0, 100, 5))]
+        assert intersect_many(lists) == [5, 50]
+
+    def test_intersect_many_empty_input(self):
+        assert intersect_many([]) == []
+
+    def test_union_basic(self):
+        assert union_many([[1, 3], [2, 3], [4]]) == [1, 2, 3, 4]
+
+    def test_union_single(self):
+        assert union_many([[1, 2]]) == [1, 2]
+
+    def test_union_empty(self):
+        assert union_many([]) == []
+        assert union_many([[], []]) == []
+
+    def test_difference(self):
+        assert difference_sorted([1, 2, 3, 4], [2, 4]) == [1, 3]
+        assert difference_sorted([1, 2], []) == [1, 2]
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        a=st.lists(st.integers(0, 200), unique=True),
+        b=st.lists(st.integers(0, 200), unique=True),
+    )
+    def test_intersect_equals_set_semantics(self, a, b):
+        a, b = sorted(a), sorted(b)
+        assert intersect_sorted(a, b) == sorted(set(a) & set(b))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        lists=st.lists(
+            st.lists(st.integers(0, 100), unique=True).map(sorted),
+            max_size=5,
+        )
+    )
+    def test_union_equals_set_semantics(self, lists):
+        expected = sorted(set().union(*[set(l) for l in lists]) if lists
+                          else set())
+        assert union_many(lists) == expected
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        lists=st.lists(
+            st.lists(st.integers(0, 60), unique=True).map(sorted),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_intersect_many_equals_set_semantics(self, lists):
+        expected = set(lists[0])
+        for lst in lists[1:]:
+            expected &= set(lst)
+        assert intersect_many(lists) == sorted(expected)

@@ -1,0 +1,109 @@
+"""Presuf shell tests: Definition 3.12 properties + Observation 3.13."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.index.presuf import (
+    covers,
+    is_suffix_free,
+    presuf_shell,
+    presuf_shell_naive,
+)
+
+
+class TestExamples:
+    def test_paper_example_3_10(self):
+        """Keep only ="k out of the <a href="k suffix chain."""
+        keys = {'<a href="k', 'a href="k', ' href="k', '="k'}
+        assert presuf_shell(keys) == {'="k'}
+
+    def test_no_suffix_relations_keeps_all(self):
+        keys = {"abc", "def", "ghi"}
+        assert presuf_shell(keys) == keys
+
+    def test_single_key(self):
+        assert presuf_shell({"x"}) == {"x"}
+
+    def test_empty(self):
+        assert presuf_shell(set()) == set()
+
+    def test_chain_keeps_shortest(self):
+        keys = {"a", "ba", "cba", "dcba"}
+        assert presuf_shell(keys) == {"a"}
+
+    def test_two_chains(self):
+        keys = {"xa", "ya", "zb", "wb"}
+        # no key is a suffix of another here (all length 2, distinct)
+        assert presuf_shell(keys) == keys
+
+    def test_mixed(self):
+        keys = {"on", "ton", "nton", "x"}
+        assert presuf_shell(keys) == {"on", "x"}
+
+
+def _make_prefix_free(keys):
+    """Greedily drop keys that have a proper prefix in the set."""
+    kept = set()
+    for key in sorted(keys, key=len):
+        if not any(key.startswith(other) for other in kept):
+            kept.add(key)
+    return kept
+
+
+prefix_free_sets = st.sets(
+    st.text(alphabet="abc", min_size=1, max_size=5),
+    min_size=0,
+    max_size=12,
+).map(_make_prefix_free)
+
+
+class TestDefinition312:
+    """The three defining properties, on generated prefix-free sets."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(keys=prefix_free_sets)
+    def test_shell_is_subset(self, keys):
+        assert presuf_shell(keys) <= keys
+
+    @settings(max_examples=200, deadline=None)
+    @given(keys=prefix_free_sets)
+    def test_shell_is_suffix_free(self, keys):
+        assert is_suffix_free(presuf_shell(keys))
+
+    @settings(max_examples=200, deadline=None)
+    @given(keys=prefix_free_sets)
+    def test_shell_covers_input(self, keys):
+        assert covers(presuf_shell(keys), keys)
+
+    @settings(max_examples=200, deadline=None)
+    @given(keys=prefix_free_sets)
+    def test_matches_naive_reference(self, keys):
+        assert presuf_shell(keys) == presuf_shell_naive(keys)
+
+    @settings(max_examples=200, deadline=None)
+    @given(keys=prefix_free_sets)
+    def test_idempotent(self, keys):
+        shell = presuf_shell(keys)
+        assert presuf_shell(shell) == shell
+
+
+class TestSuffixFreeCheck:
+    def test_positive(self):
+        assert is_suffix_free({"ab", "cd"})
+
+    def test_negative(self):
+        assert not is_suffix_free({"ab", "b"})
+
+    def test_suffix_pair_among_others(self):
+        assert not is_suffix_free({"ab", "b", "cb"})
+
+    def test_suffix_free_with_shared_last_char(self):
+        # all end in 'b' but none is a suffix of another
+        assert is_suffix_free({"ab", "bb", "axb"})
+
+
+class TestCovers:
+    def test_covers_positive(self):
+        assert covers({"on"}, {"ton", "nton", "on"})
+
+    def test_covers_negative(self):
+        assert not covers({"on"}, {"ton", "xyz"})

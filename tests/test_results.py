@@ -1,0 +1,69 @@
+"""Result-record tests: Match, SearchReport, frequency ranking."""
+
+import pytest
+
+from repro.engine.results import Match, SearchReport, frequency_ranked
+
+
+class TestMatch:
+    def test_span(self):
+        match = Match(3, 5, 9, "abcd")
+        assert match.span == (5, 9)
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError):
+            Match(0, 5, 3, "x")
+
+    def test_zero_length_allowed(self):
+        assert Match(0, 4, 4, "").span == (4, 4)
+
+    def test_frozen(self):
+        match = Match(0, 0, 1, "a")
+        with pytest.raises(AttributeError):
+            match.start = 2
+
+
+class TestSearchReport:
+    def test_total_seconds(self):
+        report = SearchReport("p", "free", plan_seconds=0.5,
+                              execute_seconds=1.5)
+        assert report.total_seconds == 2.0
+
+    def test_n_matches_counter_not_list(self):
+        report = SearchReport("p", "free")
+        report.n_matches_found = 7
+        assert report.n_matches == 7
+        assert report.matches == []
+
+    def test_match_strings(self):
+        report = SearchReport("p", "free")
+        report.matches = [Match(0, 0, 1, "a"), Match(1, 2, 3, "b")]
+        assert report.match_strings() == ["a", "b"]
+
+    def test_summary_mentions_mode(self):
+        scan = SearchReport("p", "scan", used_full_scan=True)
+        assert "full scan" in scan.summary()
+        indexed = SearchReport("p", "free")
+        assert "index" in indexed.summary()
+
+
+class TestFrequencyRanked:
+    def make(self, *texts):
+        return [Match(i, 0, len(t), t) for i, t in enumerate(texts)]
+
+    def test_ranking(self):
+        matches = self.make("x", "y", "x", "x", "y", "z")
+        ranked = frequency_ranked(matches)
+        assert ranked[0] == ("x", 3)
+        assert ranked[1] == ("y", 2)
+        assert ranked[2] == ("z", 1)
+
+    def test_top_limits(self):
+        matches = self.make("a", "b", "a", "c")
+        assert len(frequency_ranked(matches, top=2)) == 2
+
+    def test_empty(self):
+        assert frequency_ranked([]) == []
+
+    def test_single(self):
+        assert frequency_ranked(self.make("only")) == [("only", 1)]

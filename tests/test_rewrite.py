@@ -1,0 +1,325 @@
+"""Tests for OR/STAR normal form, requirement trees, anchors, reversal."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.regex import ast
+from repro.regex.nfa import build_nfa
+from repro.regex.parser import parse
+from repro.regex.rewrite import (
+    ReqAnd,
+    ReqAny,
+    ReqGram,
+    ReqOr,
+    anchor_clauses,
+    anchor_literals,
+    iter_grams,
+    requirement_tree,
+    reverse_ast,
+    simplify,
+    to_or_star,
+)
+
+
+class TestToOrStar:
+    def test_plus_becomes_concat_star(self):
+        node = to_or_star(parse("a+"))
+        assert isinstance(node, ast.Concat)
+        assert isinstance(node.parts[1], ast.Star)
+
+    def test_opt_becomes_alt_with_empty(self):
+        node = to_or_star(parse("a?"))
+        assert isinstance(node, ast.Alt)
+        assert any(isinstance(o, ast.Empty) for o in node.options)
+
+    def test_repeat_expanded(self):
+        node = to_or_star(parse("a{2,3}"))
+        for sub in ast.walk(node):
+            assert not isinstance(sub, (ast.Plus, ast.Opt, ast.Repeat))
+
+    def test_language_preserved(self):
+        for pattern, text, expected in [
+            ("a+b?", "aab", True),
+            ("a+b?", "b", False),
+            ("a{1,2}c", "aac", True),
+            ("a{1,2}c", "aaac", False),
+            ("(ab)+", "abab", True),
+        ]:
+            rewritten = to_or_star(parse(pattern))
+            assert build_nfa(rewritten).accepts(text) is expected
+
+    def test_only_or_star_connectives_remain(self):
+        node = to_or_star(parse("(a+|b?c{1,2})*d+"))
+        for sub in ast.walk(node):
+            assert isinstance(
+                sub, (ast.Char, ast.Concat, ast.Alt, ast.Star, ast.Empty)
+            )
+
+
+class TestRequirementTree:
+    def test_paper_running_example(self):
+        """Example 4.1: (Bill|William).*Clinton."""
+        req = requirement_tree(parse("(Bill|William).*Clinton"))
+        assert req == ReqAnd((
+            ReqOr((ReqGram("Bill"), ReqGram("William"))),
+            ReqGram("Clinton"),
+        ))
+
+    def test_literal_run_merging(self):
+        req = requirement_tree(parse("abc"))
+        assert req == ReqGram("abc")
+
+    def test_star_becomes_any(self):
+        assert isinstance(requirement_tree(parse("a*")), ReqAny)
+
+    def test_plus_keeps_gram(self):
+        # a+ == aa*: the gram 'a' must occur at least once.
+        assert requirement_tree(parse("abc+")) == ReqGram("abc")
+
+    def test_plus_breaks_literal_run(self):
+        # ab+c requires "ab" and "c" (b+ rewrites to bb*).
+        req = requirement_tree(parse("ab+c"))
+        assert req == ReqAnd((ReqGram("ab"), ReqGram("c")))
+
+    def test_opt_becomes_any(self):
+        # a? may be absent: no requirement.
+        assert isinstance(requirement_tree(parse("a?")), ReqAny)
+
+    def test_opt_inside_concat(self):
+        req = requirement_tree(parse("xa?y"))
+        assert req == ReqAnd((ReqGram("x"), ReqGram("y")))
+
+    def test_small_class_expands_to_or(self):
+        req = requirement_tree(parse("[ab]"))
+        assert req == ReqOr((ReqGram("a"), ReqGram("b")))
+
+    def test_large_class_is_any(self):
+        assert isinstance(requirement_tree(parse(".")), ReqAny)
+        assert isinstance(requirement_tree(parse("[^a]")), ReqAny)
+
+    def test_min_gram_len_filters(self):
+        req = requirement_tree(parse("ab.*c"), min_gram_len=2)
+        assert req == ReqGram("ab")  # 'c' too short -> ANY -> dropped
+
+    def test_alternation_with_empty_branch_is_any(self):
+        # (abc|) can match the empty string: no gram required.
+        assert isinstance(requirement_tree(parse("abc|")), ReqAny)
+
+    def test_counted_lower_bound_zero_is_any(self):
+        assert isinstance(requirement_tree(parse("a{0,3}")), ReqAny)
+
+    def test_counted_lower_bound_positive_requires(self):
+        req = requirement_tree(parse("a{2,3}"))
+        assert ReqGram("aa") == req
+
+    def test_iter_grams(self):
+        req = requirement_tree(parse("(foo|bar).*baz"))
+        assert sorted(iter_grams(req)) == ["bar", "baz", "foo"]
+
+    def test_phone_query_has_only_short_grams(self):
+        req = requirement_tree(
+            parse(r"(\(\d\d\d\) |\d\d\d-)\d\d\d-\d\d\d\d"),
+            min_gram_len=2,
+        )
+        # with 2+ gram length required, the digit classes yield nothing
+        assert isinstance(req, ReqAny)
+
+
+class TestSimplify:
+    def test_and_true_elimination(self):
+        req = simplify(ReqAnd((ReqGram("x"), ReqAny())))
+        assert req == ReqGram("x")
+
+    def test_or_true_elimination(self):
+        req = simplify(ReqOr((ReqGram("x"), ReqAny())))
+        assert isinstance(req, ReqAny)
+
+    def test_nested_flattening(self):
+        req = simplify(
+            ReqAnd((ReqAnd((ReqGram("a"), ReqGram("b"))), ReqGram("c")))
+        )
+        assert req == ReqAnd((ReqGram("a"), ReqGram("b"), ReqGram("c")))
+
+    def test_dedup(self):
+        req = simplify(ReqAnd((ReqGram("a"), ReqGram("a"))))
+        assert req == ReqGram("a")
+
+    def test_empty_and_is_any(self):
+        assert isinstance(simplify(ReqAnd(())), ReqAny)
+
+    def test_table2_matrix(self):
+        """Table 2, all four cells for AND and OR."""
+        g = ReqGram("g")
+        h = ReqGram("h")
+        # AND: (reg, reg) -> intact; (reg, NULL) -> left; etc.
+        assert simplify(ReqAnd((g, h))) == ReqAnd((g, h))
+        assert simplify(ReqAnd((g, ReqAny()))) == g
+        assert simplify(ReqAnd((ReqAny(), h))) == h
+        assert isinstance(simplify(ReqAnd((ReqAny(), ReqAny()))), ReqAny)
+        # OR: any NULL -> NULL.
+        assert simplify(ReqOr((g, h))) == ReqOr((g, h))
+        assert isinstance(simplify(ReqOr((g, ReqAny()))), ReqAny)
+        assert isinstance(simplify(ReqOr((ReqAny(), h))), ReqAny)
+        assert isinstance(simplify(ReqOr((ReqAny(), ReqAny()))), ReqAny)
+
+
+class TestAnchors:
+    def test_single_gram(self):
+        req = requirement_tree(parse("needle"))
+        assert anchor_literals(req) == frozenset({"needle"})
+
+    def test_and_picks_one_side(self):
+        req = requirement_tree(parse("(Bill|William).*Clinton"))
+        assert anchor_literals(req) == frozenset({"Clinton"})
+
+    def test_or_unions(self):
+        req = requirement_tree(parse("foo|bar"))
+        assert anchor_literals(req) == frozenset({"foo", "bar"})
+
+    def test_any_has_no_anchor(self):
+        assert anchor_literals(requirement_tree(parse(".*"))) is None
+
+    def test_or_with_any_branch_has_no_anchor(self):
+        req = requirement_tree(parse("foo|.*"), min_gram_len=1)
+        assert anchor_literals(req) is None
+
+    def test_anchor_soundness_on_examples(self):
+        """No text lacking every anchor may contain a match."""
+        from repro.regex.matcher import Matcher
+
+        for pattern in [
+            "(Bill|William).*Clinton",
+            "abc|def",
+            "x+y",
+            "[ab]cd",
+        ]:
+            matcher = Matcher(pattern, anchoring=False)
+            anchors = Matcher(pattern).anchors
+            if anchors is None:
+                continue
+            text = "zzzz qqqq wwww"
+            if not any(a in text for a in anchors):
+                assert not matcher.contains(text)
+
+
+class TestAnchorClauses:
+    def test_and_gives_multiple_clauses(self):
+        req = requirement_tree(parse("(Bill|William).*Clinton"))
+        clauses = anchor_clauses(req)
+        assert frozenset({"Clinton"}) in clauses
+        assert frozenset({"Bill", "William"}) in clauses
+
+    def test_mp3_style_conjunction(self):
+        """The case the single-anchor chooser got wrong: both the
+        universal tag gram AND the rare extension gram are clauses."""
+        req = requirement_tree(parse(r"<a href=.*\.mp3"))
+        clauses = anchor_clauses(req)
+        assert frozenset({"<a href="}) in clauses
+        assert frozenset({".mp3"}) in clauses
+
+    def test_any_gives_no_clauses(self):
+        assert anchor_clauses(requirement_tree(parse(".*"))) == ()
+
+    def test_or_with_unconstrained_branch(self):
+        req = requirement_tree(parse("abc|.*"))
+        assert anchor_clauses(req) == ()
+
+    def test_or_cross_union(self):
+        # (ab.*cd)|ef: clauses ({ab,ef}, {cd,ef})
+        req = requirement_tree(parse("(ab.*cd)|ef"))
+        clauses = set(anchor_clauses(req))
+        assert clauses == {
+            frozenset({"ab", "ef"}), frozenset({"cd", "ef"}),
+        }
+
+    def test_blowup_falls_back_to_single_clause(self):
+        # 3 branches x 3 clauses each > MAX_ANCHOR_CLAUSES
+        pattern = "(a.*b.*c.*d.*e)|(f.*g.*h.*i.*j)|(k.*l.*m.*n.*o)"
+        req = requirement_tree(parse(pattern))
+        clauses = anchor_clauses(req)
+        assert len(clauses) == 1
+
+    def test_clauses_sound_on_matcher(self):
+        """prefilter_rejects must never reject a matching text."""
+        from repro.regex.matcher import Matcher
+
+        patterns = [
+            r"<a href=.*\.mp3",
+            "(Bill|William).*Clinton",
+            "(ab.*cd)|ef",
+            "x+y?z",
+        ]
+        texts = [
+            "<a href=x.mp3", "pre William xx Clinton post", "zzefzz",
+            "xyz", "xz", "plain text",
+        ]
+        for pattern in patterns:
+            anchored = Matcher(pattern)
+            bare = Matcher(pattern, anchoring=False)
+            for text in texts:
+                if bare.contains(text):
+                    assert not anchored.prefilter_rejects(text), (
+                        pattern, text,
+                    )
+                assert anchored.contains(text) == bare.contains(text)
+
+    def test_mp3_prefilter_rejects_linkful_page(self):
+        from repro.regex.matcher import Matcher
+
+        matcher = Matcher(r"<a href=.*\.mp3")
+        page = '<a href="a.html"> <a href="b.html"> no audio here'
+        assert matcher.prefilter_rejects(page)
+
+
+class TestReverse:
+    def test_literal_reverse(self):
+        rev = reverse_ast(parse("abc"))
+        assert build_nfa(rev).accepts("cba")
+        assert not build_nfa(rev).accepts("abc")
+
+    def test_reverse_language(self):
+        cases = [
+            ("abc", "abc"[::-1]),
+            ("a(bc|de)f", "adef"[::-1]),
+            ("ab*c", "abbbc"[::-1]),
+            ("a{2,3}b", "aab"[::-1]),
+        ]
+        for pattern, reversed_text in cases:
+            rev = reverse_ast(parse(pattern))
+            assert build_nfa(rev).accepts(reversed_text), pattern
+
+    def test_double_reverse_identity_language(self):
+        pattern = "a(b|cd)+e?"
+        node = parse(pattern)
+        double = reverse_ast(reverse_ast(node))
+        for text in ["abe", "acde", "abcdbe", "ab", ""]:
+            assert build_nfa(node).accepts(text) == \
+                build_nfa(double).accepts(text)
+
+
+@settings(max_examples=100, deadline=None)
+@given(text=st.text(alphabet="ab<>/.x", max_size=16))
+def test_requirement_tree_soundness_property(text):
+    """If the regex matches a substring of text, the requirement tree
+    must evaluate true under 'gram in text'."""
+    from repro.regex.matcher import Matcher
+
+    patterns = ["a+b", "(ax|bx).*<", "ab{1,2}x", "<[^>]*>", "a.b|x"]
+    for pattern in patterns:
+        matcher = Matcher(pattern, anchoring=False)
+        if not matcher.contains(text):
+            continue
+        req = requirement_tree(parse(pattern))
+        assert _eval(req, text), (pattern, text)
+
+
+def _eval(req, text):
+    if isinstance(req, ReqAny):
+        return True
+    if isinstance(req, ReqGram):
+        return req.gram in text
+    if isinstance(req, ReqAnd):
+        return all(_eval(c, text) for c in req.children)
+    if isinstance(req, ReqOr):
+        return any(_eval(c, text) for c in req.children)
+    raise TypeError(req)

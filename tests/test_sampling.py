@@ -1,0 +1,76 @@
+"""Sampled selectivity estimator tests."""
+
+import pytest
+
+from repro import InMemoryCorpus, build_corpus
+from repro.plan.sampling import SampledSelectivityEstimator
+
+
+class TestSampling:
+    def test_full_sample_is_exact(self):
+        corpus = InMemoryCorpus.from_texts(
+            ["needle one", "hay", "needle two", "hay"]
+        )
+        est = SampledSelectivityEstimator(corpus, sample_size=100)
+        assert est.gram_selectivity("needle") == 0.5
+        assert est.regex_selectivity("needle (one|two)") == 0.5
+
+    def test_deterministic_by_seed(self):
+        corpus = build_corpus(n_pages=60, seed=61)
+        a = SampledSelectivityEstimator(corpus, sample_size=10, seed=5)
+        b = SampledSelectivityEstimator(corpus, sample_size=10, seed=5)
+        assert a.sample_ids == b.sample_ids
+
+    def test_different_seed_differs(self):
+        corpus = build_corpus(n_pages=60, seed=61)
+        a = SampledSelectivityEstimator(corpus, sample_size=10, seed=1)
+        b = SampledSelectivityEstimator(corpus, sample_size=10, seed=2)
+        assert a.sample_ids != b.sample_ids
+
+    def test_estimate_close_to_truth(self):
+        corpus = build_corpus(
+            n_pages=300, seed=62, feature_probs={"script": 0.5}
+        )
+        truth = sum("<script>" in u.text for u in corpus) / len(corpus)
+        est = SampledSelectivityEstimator(corpus, sample_size=120, seed=3)
+        estimate = est.gram_selectivity("<script>")
+        lo, hi = est.confidence_interval(estimate)
+        assert lo <= truth <= hi
+
+    def test_expected_matching_units(self):
+        corpus = InMemoryCorpus.from_texts(["x"] * 8 + ["y"] * 2)
+        est = SampledSelectivityEstimator(corpus, sample_size=100)
+        assert est.expected_matching_units("x") == pytest.approx(8.0)
+
+    def test_usefulness_verdict(self):
+        corpus = InMemoryCorpus.from_texts(["aa"] * 9 + ["bb"])
+        est = SampledSelectivityEstimator(corpus, sample_size=100)
+        assert est.is_probably_useless("aa", threshold=0.1)
+        assert not est.is_probably_useless("bb", threshold=0.1)
+
+    def test_confidence_interval_bounds(self):
+        corpus = InMemoryCorpus.from_texts(["a", "b"])
+        est = SampledSelectivityEstimator(corpus)
+        lo, hi = est.confidence_interval(0.0)
+        assert lo == 0.0
+        lo, hi = est.confidence_interval(1.0)
+        assert hi == 1.0
+
+    def test_bad_sample_size(self):
+        corpus = InMemoryCorpus.from_texts(["a"])
+        with pytest.raises(ValueError):
+            SampledSelectivityEstimator(corpus, sample_size=0)
+
+    def test_empty_corpus(self):
+        est = SampledSelectivityEstimator(InMemoryCorpus([]))
+        assert est.gram_selectivity("x") == 0.0
+        assert est.regex_selectivity("x") == 0.0
+
+    def test_sample_verdicts_agree_with_miner(self):
+        """The sample's usefulness verdicts should mostly agree with
+        the exact miner on clearly-rare and clearly-common grams."""
+        corpus = build_corpus(n_pages=200, seed=63)
+        est = SampledSelectivityEstimator(corpus, sample_size=80, seed=4)
+        # structural gram on every page vs a gram that never occurs
+        assert est.is_probably_useless("<p>", 0.1)
+        assert not est.is_probably_useless("qqqqzz", 0.1)

@@ -1,0 +1,66 @@
+"""Serialization fuzzing: random indexes round-trip; truncations fail clean."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SerializationError
+from repro.index.multigram import GramIndex
+from repro.index.postings import PostingsList
+from repro.index.serialize import load_index, save_index
+
+
+@st.composite
+def random_indexes(draw):
+    n_keys = draw(st.integers(0, 12))
+    postings = {}
+    for _ in range(n_keys):
+        key = draw(st.text(
+            alphabet="ab<>/.x", min_size=1, max_size=8
+        ))
+        ids = draw(st.lists(st.integers(0, 500), unique=True, max_size=20))
+        postings[key] = PostingsList.from_ids(ids)
+    n_docs = draw(st.integers(0, 501))
+    threshold = draw(st.one_of(st.none(), st.floats(0, 1)))
+    return GramIndex(
+        postings,
+        kind=draw(st.sampled_from(["multigram", "presuf", "complete"])),
+        n_docs=n_docs,
+        threshold=threshold,
+        max_gram_len=draw(st.one_of(st.none(), st.integers(1, 10))),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(index=random_indexes())
+def test_roundtrip_property(index, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("fuzz") / "idx.img")
+    save_index(index, path)
+    loaded = load_index(path)
+    assert set(loaded.keys()) == set(index.keys())
+    for key in index.keys():
+        assert loaded.lookup(key).ids() == index.lookup(key).ids()
+    assert loaded.kind == index.kind
+    assert loaded.n_docs == index.n_docs
+    assert loaded.threshold == index.threshold
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    index=random_indexes(),
+    cut_fraction=st.floats(0.0, 0.999),
+)
+def test_any_truncation_fails_clean(index, cut_fraction, tmp_path_factory):
+    """Every proper prefix of an image must raise SerializationError
+    (never a crash, never a silently wrong index)."""
+    path = str(tmp_path_factory.mktemp("fuzz") / "idx.img")
+    save_index(index, path)
+    size = os.path.getsize(path)
+    cut = int(size * cut_fraction)
+    if cut >= size:
+        return
+    with open(path, "r+b") as f:
+        f.truncate(cut)
+    with pytest.raises(SerializationError):
+        load_index(path)

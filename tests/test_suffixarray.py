@@ -1,0 +1,136 @@
+"""Suffix-array comparator tests: construction, lookup, engine parity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import FreeEngine, InMemoryCorpus, ScanEngine
+from repro.errors import IndexBuildError
+from repro.index.suffixarray import (
+    SEPARATOR,
+    SuffixArrayIndex,
+    build_suffix_array,
+)
+
+
+def corpus_of(*texts):
+    return InMemoryCorpus.from_texts(texts)
+
+
+class TestConstruction:
+    def test_banana(self):
+        assert list(build_suffix_array("banana")) == [5, 3, 1, 0, 4, 2]
+
+    def test_empty(self):
+        assert list(build_suffix_array("")) == []
+
+    def test_single_char(self):
+        assert list(build_suffix_array("a")) == [0]
+
+    def test_all_same(self):
+        assert list(build_suffix_array("aaaa")) == [3, 2, 1, 0]
+
+    @settings(max_examples=150, deadline=None)
+    @given(text=st.text(alphabet="abc", max_size=40))
+    def test_property_sorted_suffixes(self, text):
+        sa = build_suffix_array(text)
+        suffixes = [text[i:] for i in sa]
+        assert suffixes == sorted(text[i:] for i in range(len(text)))
+        assert sorted(sa) == list(range(len(text)))
+
+    def test_separator_rejected(self):
+        with pytest.raises(IndexBuildError):
+            SuffixArrayIndex(corpus_of("ok", "bad" + SEPARATOR))
+
+
+class TestLookup:
+    @pytest.fixture()
+    def index(self):
+        return SuffixArrayIndex(
+            corpus_of("the cat sat", "a cat ran", "dogs bark", "catcat")
+        )
+
+    def test_exact_postings(self, index):
+        assert index.lookup("cat").ids() == [0, 1, 3]
+        assert index.lookup("dog").ids() == [2]
+
+    def test_absent_gram_empty(self, index):
+        assert index.lookup("zebra").ids() == []
+
+    def test_every_gram_available(self, index):
+        assert "cat" in index
+        assert "zebra" in index  # queryable, just empty
+
+    def test_single_char(self, index):
+        assert index.lookup("d").ids() == [2]
+
+    def test_no_cross_document_matches(self):
+        index = SuffixArrayIndex(corpus_of("ab", "cd"))
+        assert index.lookup("bc").ids() == []
+
+    def test_selectivity(self, index):
+        assert index.selectivity("cat") == pytest.approx(0.75)
+        assert index.selectivity("zebra") == 0.0
+
+    def test_occurrence_positions(self):
+        index = SuffixArrayIndex(corpus_of("abab"))
+        assert index.occurrence_positions("ab") == [0, 2]
+
+    def test_lookup_cached(self, index):
+        first = index.lookup("cat")
+        assert index.lookup("cat") is first
+
+    def test_empty_gram_rejected(self, index):
+        with pytest.raises(KeyError):
+            index.lookup("")
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        texts=st.lists(st.text(alphabet="ab", max_size=12),
+                       min_size=1, max_size=5),
+        gram=st.text(alphabet="ab", min_size=1, max_size=4),
+    )
+    def test_postings_match_bruteforce(self, texts, gram):
+        index = SuffixArrayIndex(corpus_of(*texts))
+        expected = [i for i, t in enumerate(texts) if gram in t]
+        assert index.lookup(gram).ids() == expected
+
+
+class TestEngineIntegration:
+    """FreeEngine must run unchanged over the suffix-array index."""
+
+    TEXTS = [
+        "the cat sat on the mat",
+        "william jefferson clinton",
+        "motorola mpc750 chip",
+        "call (408) 555-0199",
+        "nothing here",
+    ]
+
+    @pytest.mark.parametrize(
+        "pattern",
+        ["cat", "mpc[0-9]+", "william\\s+[a-z]+\\s+clinton",
+         "(cat|dog)", "zzz"],
+    )
+    def test_parity_with_scan(self, pattern):
+        corpus = corpus_of(*self.TEXTS)
+        engine = FreeEngine(corpus, SuffixArrayIndex(corpus))
+        scan = ScanEngine(corpus)
+        a = engine.search(pattern)
+        b = scan.search(pattern)
+        assert [(m.doc_id, m.span) for m in a.matches] == \
+            [(m.doc_id, m.span) for m in b.matches]
+
+    def test_absent_literal_proves_empty(self):
+        """Unlike gram-selection indexes, the SA yields zero candidates
+        for literals that occur nowhere."""
+        corpus = corpus_of(*self.TEXTS)
+        engine = FreeEngine(corpus, SuffixArrayIndex(corpus))
+        report = engine.search("notinthecorpus")
+        assert report.n_candidates == 0
+        assert report.n_units_read == 0
+
+    def test_size_is_theta_corpus(self):
+        """The paper's objection: index size ~ corpus size (and beyond)."""
+        corpus = corpus_of(*self.TEXTS)
+        index = SuffixArrayIndex(corpus)
+        assert index.index_bytes >= corpus.total_chars

@@ -1,0 +1,125 @@
+"""Web graph and crawler substrate tests."""
+
+import pytest
+
+from repro.corpus.crawler import Crawler, PageServer, crawl_synthetic_web
+from repro.corpus.synthesis import CorpusConfig, SyntheticWeb
+from repro.corpus.webgraph import WebGraph
+
+
+class TestWebGraph:
+    def test_size(self):
+        graph = WebGraph(50, seed=1)
+        assert len(graph) == 50
+
+    def test_deterministic(self):
+        a = WebGraph(40, seed=2)
+        b = WebGraph(40, seed=2)
+        assert all(
+            a.out_links(i) == b.out_links(i) for i in range(40)
+        )
+
+    def test_links_point_to_valid_nodes(self):
+        graph = WebGraph(30, seed=3)
+        for i in range(30):
+            for dst in graph.out_links(i):
+                assert 0 <= dst < 30
+
+    def test_no_self_links(self):
+        graph = WebGraph(30, seed=4)
+        for i in range(30):
+            assert i not in graph.out_links(i)
+
+    def test_heavy_tail(self):
+        """Preferential attachment: max in-degree far above median."""
+        graph = WebGraph(400, seed=5)
+        hist = graph.in_degree_histogram()
+        degrees = sorted(
+            d for d, count in hist.items() for _ in range(count)
+        )
+        median = degrees[len(degrees) // 2]
+        assert degrees[-1] > 5 * max(median, 1)
+
+    def test_single_node(self):
+        graph = WebGraph(1, seed=6)
+        assert graph.out_links(0) == ()
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            WebGraph(0)
+
+
+class TestPageServer:
+    def _server(self, n=20):
+        web = SyntheticWeb(CorpusConfig(n_pages=n, seed=7))
+        return PageServer(web, WebGraph(n, seed=7))
+
+    def test_fetch_known_url(self):
+        server = self._server()
+        url = server.url_of(0)
+        html, links = server.fetch(url)
+        assert "<html>" in html
+        assert all(link.startswith("http://") for link in links)
+
+    def test_fetch_unknown_url(self):
+        assert self._server().fetch("http://nowhere/") is None
+
+    def test_fetch_count(self):
+        server = self._server()
+        server.fetch(server.url_of(0))
+        server.fetch(server.url_of(1))
+        assert server.fetch_count == 2
+
+    def test_web_must_cover_graph(self):
+        web = SyntheticWeb(CorpusConfig(n_pages=5, seed=1))
+        with pytest.raises(ValueError):
+            PageServer(web, WebGraph(10, seed=1))
+
+
+class TestCrawler:
+    def test_crawl_reaches_whole_graph(self):
+        server = self._server(30)
+        corpus = Crawler(server).crawl([server.url_of(0)])
+        assert len(corpus) == 30
+
+    def test_budget_respected(self):
+        server = self._server(30)
+        corpus = Crawler(server, max_pages=7).crawl([server.url_of(0)])
+        assert len(corpus) == 7
+
+    def test_dense_ids_in_crawl_order(self):
+        server = self._server(15)
+        corpus = Crawler(server).crawl([server.url_of(0)])
+        assert [u.doc_id for u in corpus] == list(range(len(corpus)))
+
+    def test_no_duplicate_urls(self):
+        server = self._server(25)
+        corpus = Crawler(server).crawl([server.url_of(0)])
+        urls = [u.url for u in corpus]
+        assert len(urls) == len(set(urls))
+
+    def test_dead_seed_skipped(self):
+        server = self._server(10)
+        corpus = Crawler(server).crawl(
+            ["http://dead/", server.url_of(0)]
+        )
+        assert len(corpus) == 10
+
+    def test_end_to_end_helper(self):
+        corpus = crawl_synthetic_web(25, seed=9)
+        assert len(corpus) == 25
+        assert corpus.total_chars > 0
+
+    def test_crawled_corpus_indexes(self):
+        """Figure 1 end to end: crawl -> index -> query."""
+        from repro import FreeEngine, build_multigram_index
+
+        corpus = crawl_synthetic_web(40, seed=10)
+        index = build_multigram_index(corpus, threshold=0.2, max_gram_len=6)
+        engine = FreeEngine(corpus, index)
+        report = engine.search("<title>")
+        assert report.n_candidates <= len(corpus)
+
+    def _server(self, n):
+        web = SyntheticWeb(CorpusConfig(n_pages=n, seed=8))
+        return PageServer(web, WebGraph(n, seed=8))
