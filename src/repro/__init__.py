@@ -61,6 +61,7 @@ from repro.index import (
 )
 from repro.index.serialize import load_index, save_index
 from repro.iomodel import DiskModel
+from repro.metrics import LRUCache, QueryMetrics
 from repro.plan import CoverPolicy, LogicalPlan, PhysicalPlan
 from repro.regex import Matcher, compile_matcher, parse
 
@@ -100,6 +101,8 @@ __all__ = [
     "SearchReport",
     "frequency_ranked",
     "DiskModel",
+    "LRUCache",
+    "QueryMetrics",
     # regex
     "Matcher",
     "compile_matcher",

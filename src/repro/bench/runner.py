@@ -256,6 +256,91 @@ def run_cover_policy_ablation(
 
 
 # ---------------------------------------------------------------------------
+# E9: repeated-query workload — the query-path cache (ours)
+# ---------------------------------------------------------------------------
+
+def run_repeated_queries(
+    workload: Optional[Workload] = None,
+    queries: Optional[Dict[str, str]] = None,
+    repeats: int = 5,
+    corpus: Optional[CorpusStore] = None,
+    index=None,
+) -> List[Dict[str, object]]:
+    """Issue the same pattern set ``repeats`` times, caching on vs off.
+
+    Real deployments re-serve a hot pattern set (the ROADMAP's repeated
+    heavy traffic); this measures what the plan/candidate caches buy
+    there and proves they change nothing about the answers.  Pass either
+    a workload or an explicit (corpus, index) pair.
+    """
+    if corpus is None or index is None:
+        workload = workload or default_workload()
+        corpus = workload.corpus
+        index = workload.multigram
+    queries = queries or BENCHMARK_QUERIES
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+
+    # Three tiers: no caching, plan+matcher caching (answers recomputed
+    # every time), and the full stack with the candidate cache on.  The
+    # middle tier exists because a candidate-cache hit skips planning
+    # altogether — only the plan-cache tier shows the planner's hit rate.
+    configs = (
+        ("uncached", 0, 0, 0),
+        ("plan-cache", 256, 0, 256),
+        ("full-cache", 256, 256, 256),
+    )
+    rows: List[Dict[str, object]] = []
+    match_counts: Dict[str, List[int]] = {}
+    for mode, plan_sz, cand_sz, matcher_sz in configs:
+        engine = FreeEngine(
+            corpus,
+            index,
+            disk=DiskModel(),
+            plan_cache_size=plan_sz,
+            candidate_cache_size=cand_sz,
+            matcher_cache_size=matcher_sz,
+        )
+        total_plan = 0.0
+        total_execute = 0.0
+        total_io = 0.0
+        candidate_hits = 0
+        counts: List[int] = []
+        started = time.perf_counter()
+        for _round in range(repeats):
+            for pattern in queries.values():
+                report = engine.search(pattern, collect_matches=False)
+                total_plan += report.plan_seconds
+                total_execute += report.execute_seconds
+                total_io += report.io_cost
+                counts.append(report.n_matches)
+                if report.metrics and report.metrics.candidate_cache_hit:
+                    candidate_hits += 1
+        wall = time.perf_counter() - started
+        match_counts[mode] = counts
+        plan_stats = engine.plan_cache.stats()
+        rows.append({
+            "mode": mode,
+            "repeats": repeats,
+            "queries": len(queries) * repeats,
+            "plan_s": round(total_plan, 4),
+            "execute_s": round(total_execute, 4),
+            "wall_s": round(wall, 4),
+            "io": round(total_io, 0),
+            "plan_cache_hits": plan_stats["hits"],
+            "plan_cache_hit_rate": plan_stats["hit_rate"],
+            "candidate_cache_hits": candidate_hits,
+            "matches": sum(counts),
+        })
+    for mode, _p, _c, _m in configs[1:]:
+        if match_counts[mode] != match_counts["uncached"]:
+            raise AssertionError(
+                "query-path caching changed match results — cache unsound"
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Scaling: improvement vs corpus size (extrapolation support)
 # ---------------------------------------------------------------------------
 
@@ -324,4 +409,5 @@ def run_all(n_pages: Optional[int] = None) -> Dict[str, List[Dict[str, object]]]
         "fig12": run_fig12(workload),
         "threshold_ablation": run_threshold_ablation(workload.corpus),
         "cover_policy_ablation": run_cover_policy_ablation(workload),
+        "repeated_queries": run_repeated_queries(workload),
     }

@@ -73,12 +73,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ranked", action="store_true",
         help="print matching strings by frequency (Example 1.2)",
     )
+    p_search.add_argument(
+        "--metrics", action="store_true",
+        help="print per-stage query metrics (cache hits, postings "
+             "decoded, intersection sizes, prefilter rejects)",
+    )
     p_search.set_defaults(func=_cmd_search)
 
     p_explain = sub.add_parser("explain", help="show the access plan")
     p_explain.add_argument("corpus")
     p_explain.add_argument("index")
     p_explain.add_argument("pattern")
+    p_explain.add_argument(
+        "--analyze", action="store_true",
+        help="run the query and annotate the plan with actual postings "
+             "sizes and cache hits next to the cost model's estimates",
+    )
     p_explain.set_defaults(func=_cmd_explain)
 
     p_estimate = sub.add_parser(
@@ -97,9 +107,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--experiment",
         choices=[
             "table3", "fig9", "fig10", "fig11", "fig12",
-            "threshold", "policy", "all",
+            "threshold", "policy", "repeat", "all",
         ],
         default="all",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=5,
+        help="rounds for the repeated-query experiment",
     )
     p_bench.set_defaults(func=_cmd_bench)
 
@@ -140,6 +154,8 @@ def _cmd_search(args) -> int:
         engine = FreeEngine(corpus, load_index(args.index))
         report = engine.search(args.pattern, limit=args.limit)
         print(report.summary())
+        if args.metrics and report.metrics is not None:
+            print(report.metrics.pretty())
         if args.ranked:
             for text, count in frequency_ranked(report.matches, top=20):
                 print(f"{count:6d}  {text!r}")
@@ -154,7 +170,7 @@ def _cmd_search(args) -> int:
 def _cmd_explain(args) -> int:
     with DiskCorpus(args.corpus) as corpus:
         engine = FreeEngine(corpus, load_index(args.index))
-        print(engine.explain(args.pattern))
+        print(engine.explain(args.pattern, analyze=args.analyze))
     return 0
 
 
@@ -177,6 +193,9 @@ def _cmd_estimate(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.repeats < 1:
+        print("error: --repeats must be >= 1", file=sys.stderr)
+        return 2
     workload = (
         default_workload(n_pages=args.pages)
         if args.pages
@@ -192,6 +211,9 @@ def _cmd_bench(args) -> int:
             workload.corpus
         ),
         "policy": lambda: runner_mod.run_cover_policy_ablation(workload),
+        "repeat": lambda: runner_mod.run_repeated_queries(
+            workload, repeats=args.repeats
+        ),
     }
     paper_artifacts = ["table3", "fig9", "fig10", "fig11", "fig12"]
     names = (

@@ -8,7 +8,10 @@ so a NULL plan costs nothing and the engine can choose a sequential
 scan instead.
 
 Postings reads are charged to the :class:`DiskModel` so the simulated
-cost of a query includes its index I/O, not only its unit reads.
+cost of a query includes its index I/O, not only its unit reads.  When a
+:class:`~repro.metrics.QueryMetrics` is supplied, every lookup (with its
+decoded size and decoded-cache status) and every AND/OR input->output
+size is recorded — the raw material of ``free explain --analyze``.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from repro.errors import PlanError
 from repro.index.multigram import GramIndex
 from repro.index.postings import intersect_many, union_many
 from repro.iomodel.diskmodel import DiskModel
+from repro.metrics import QueryMetrics
 from repro.plan.physical import PAll, PAnd, PLookup, POr, PhysNode, PhysicalPlan
 
 
@@ -26,43 +30,66 @@ def execute_plan(
     plan: PhysicalPlan,
     index: GramIndex,
     disk: Optional[DiskModel] = None,
+    metrics: Optional[QueryMetrics] = None,
 ) -> Optional[List[int]]:
     """Evaluate ``plan`` to a sorted candidate id list.
 
     Returns ``None`` when the plan is (or collapses to) ALL — the caller
     must fall back to scanning every unit.
     """
-    return _evaluate(plan.root, index, disk)
+    result = _evaluate(plan.root, index, disk, metrics)
+    if result is None:
+        return None
+    # Single-lookup plans return the index's cached decode; copy so
+    # callers own their list (cached lists are shared and immutable).
+    return list(result)
 
 
 def _evaluate(
     node: PhysNode,
     index: GramIndex,
     disk: Optional[DiskModel],
+    metrics: Optional[QueryMetrics] = None,
 ) -> Optional[List[int]]:
     if isinstance(node, PAll):
         return None
     if isinstance(node, PLookup):
-        plist = index.lookup(node.key)
+        lookup_ids = getattr(index, "lookup_ids", None)
+        if lookup_ids is not None:
+            ids = lookup_ids(node.key, metrics)
+        else:  # duck-typed index (e.g. SuffixArrayIndex): no ids cache
+            ids = index.lookup(node.key).ids()
+            if metrics is not None:
+                metrics.record_lookup(node.key, len(ids), from_cache=False)
         if disk is not None:
-            disk.charge_postings(len(plist))
-        return plist.ids()
+            disk.charge_postings(len(ids))
+        return ids
     if isinstance(node, PAnd):
         # ALL children are identities for AND; evaluate the rest.
         child_sets = []
         for child in node.children:
-            result = _evaluate(child, index, disk)
+            result = _evaluate(child, index, disk, metrics)
             if result is not None:
                 child_sets.append(result)
         if not child_sets:
             return None
-        return intersect_many(child_sets)
+        merged = intersect_many(child_sets)
+        if metrics is not None:
+            metrics.record_intersection(
+                sum(len(s) for s in child_sets), len(merged)
+            )
+        return merged
     if isinstance(node, POr):
         child_sets = []
         for child in node.children:
-            result = _evaluate(child, index, disk)
+            result = _evaluate(child, index, disk, metrics)
             if result is None:
                 return None  # one unconstrained branch floods the OR
             child_sets.append(result)
-        return union_many(child_sets)
+        merged = union_many(child_sets)
+        if metrics is not None:
+            metrics.record_union(
+                sum(len(s) for s in child_sets), len(merged)
+            )
+        return merged
     raise PlanError(f"unknown physical node {type(node).__name__}")

@@ -13,7 +13,24 @@ When the physical plan collapses to NULL, or when no index is attached,
 the engine reads the corpus sequentially instead — the Scan baseline is
 literally this engine without an index.
 
-Every execution reports wall time *and* simulated I/O cost; the
+On top of the paper's one-shot path sits the production query-path
+cache (ROADMAP: heavy repeated traffic):
+
+* a **plan cache** — LRU keyed by ``(pattern, cover_policy,
+  distribute)`` holding the compiled logical+physical plan pair;
+* a **candidate cache** (off by default) — LRU of materialized
+  candidate-id lists; a hit skips the whole postings phase, including
+  its simulated postings I/O;
+* a **matcher cache** — LRU of compiled automata (previously an
+  unbounded dict).
+
+All three are explicitly invalidated when the attached index changes
+(assign ``engine.index`` or call :meth:`invalidate_caches`); candidate
+cache keys additionally carry the index epoch so mutable indexes (the
+segmented engine) can never serve stale candidates.
+
+Every execution reports wall time *and* simulated I/O cost, plus a
+:class:`~repro.metrics.QueryMetrics` with per-stage counters; the
 benchmarks compare the figures' shapes on the simulated cost, which does
 not depend on the host machine.
 """
@@ -29,10 +46,14 @@ from repro.engine.executor import execute_plan
 from repro.engine.results import Match, SearchReport, frequency_ranked
 from repro.index.multigram import GramIndex
 from repro.iomodel.diskmodel import DiskModel
+from repro.metrics import LRUCache, QueryMetrics
 from repro.plan.cost import PlanCost, estimate_cost
 from repro.plan.logical import LogicalPlan
 from repro.plan.physical import CoverPolicy, PhysicalPlan
 from repro.regex.matcher import Matcher
+
+#: Candidate-cache sentinel for "the plan said scan everything".
+_SCAN_ALL = object()
 
 
 class FreeEngine:
@@ -52,6 +73,15 @@ class FreeEngine:
             index when any key is available).
         distribute: enable alternation distribution in plan generation
             (stronger grams; the paper's deferred optimization).
+        plan_cache_size: LRU capacity of the compiled-plan cache
+            (0 disables).
+        candidate_cache_size: LRU capacity of the materialized
+            candidate-id cache.  Off by default because a hit skips the
+            postings phase *including its simulated I/O*, which changes
+            per-query cost accounting; repeated-query serving turns it
+            on.
+        matcher_cache_size: LRU capacity of the compiled-matcher cache
+            (previously unbounded).
     """
 
     def __init__(
@@ -63,48 +93,188 @@ class FreeEngine:
         cover_policy: Union[CoverPolicy, str] = CoverPolicy.ALL,
         min_candidate_ratio: Optional[float] = None,
         distribute: bool = False,
+        plan_cache_size: int = 128,
+        candidate_cache_size: int = 0,
+        matcher_cache_size: int = 128,
     ):
         self.corpus = corpus
-        self.index = index
         self.backend = backend
         self.disk = disk if disk is not None else DiskModel()
         self.cover_policy = CoverPolicy(cover_policy)
         self.min_candidate_ratio = min_candidate_ratio
         self.distribute = distribute
-        self._matcher_cache: dict = {}
+        self._plan_cache = LRUCache(plan_cache_size)
+        self._candidate_cache = LRUCache(candidate_cache_size)
+        self._matcher_cache = LRUCache(matcher_cache_size)
+        self._index = index
+
+    @property
+    def index(self) -> Optional[GramIndex]:
+        return self._index
+
+    @index.setter
+    def index(self, value: Optional[GramIndex]) -> None:
+        """Swap the index and invalidate every plan/candidate cache."""
+        self._index = value
+        self.invalidate_caches()
 
     @property
     def name(self) -> str:
-        return "scan" if self.index is None else "free"
+        return "scan" if self._index is None else "free"
+
+    # -- caching ------------------------------------------------------------
+
+    @property
+    def plan_cache(self) -> LRUCache:
+        return self._plan_cache
+
+    @property
+    def candidate_cache(self) -> LRUCache:
+        return self._candidate_cache
+
+    @property
+    def matcher_cache(self) -> LRUCache:
+        return self._matcher_cache
+
+    def invalidate_caches(self) -> None:
+        """Drop every cache entry derived from the attached index.
+
+        Must be called whenever the index contents change out from
+        under the engine (index swaps via the ``index`` property call
+        it automatically).  The matcher cache survives: compiled
+        automata depend only on the pattern.
+        """
+        self._plan_cache.clear()
+        self._candidate_cache.clear()
+
+    def cache_stats(self) -> dict:
+        """Hit/miss counters of all engine caches (for reporting)."""
+        return {
+            "plan": self._plan_cache.stats(),
+            "candidates": self._candidate_cache.stats(),
+            "matcher": self._matcher_cache.stats(),
+        }
+
+    def _cache_epoch(self) -> int:
+        """Version stamp of the attached index's contents.
+
+        Immutable indexes are always at epoch 0; mutable ones (the
+        segmented engine overrides this) bump it on every add/delete so
+        candidate-cache keys from older contents can never hit.
+        """
+        return getattr(self._index, "epoch", 0)
 
     # -- planning -----------------------------------------------------------
 
-    def plan(self, pattern: str) -> Tuple[LogicalPlan, Optional[PhysicalPlan]]:
-        """Phases 1-2: parse and compile; physical plan None without index."""
+    def plan(
+        self, pattern: str, metrics: Optional[QueryMetrics] = None
+    ) -> Tuple[LogicalPlan, Optional[PhysicalPlan]]:
+        """Phases 1-2: parse and compile; physical plan None without index.
+
+        Served from the plan cache when possible — the compiled pair is
+        immutable, so sharing it across queries is safe.
+        """
+        key = (pattern, self.cover_policy, self.distribute)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            if metrics is not None:
+                metrics.plan_cache_hit = True
+            return cached
+        if metrics is not None:
+            metrics.plan_cache_hit = False
         logical = LogicalPlan.from_pattern(
             pattern, distribute=self.distribute
         )
-        if self.index is None:
-            return logical, None
-        physical = PhysicalPlan.compile(logical, self.index, self.cover_policy)
-        return logical, physical
+        if self._index is None:
+            compiled: Tuple[LogicalPlan, Optional[PhysicalPlan]] = (
+                logical, None
+            )
+        else:
+            compiled = (
+                logical,
+                PhysicalPlan.compile(logical, self._index, self.cover_policy),
+            )
+        self._plan_cache.put(key, compiled)
+        return compiled
 
-    def explain(self, pattern: str) -> str:
-        """Human-readable plan dump (CLI ``free explain``)."""
+    def explain(self, pattern: str, analyze: bool = False) -> str:
+        """Human-readable plan dump (CLI ``free explain``).
+
+        With ``analyze=True`` the query is actually executed and the
+        physical plan is annotated with the *actual* postings sizes and
+        cache behaviour next to the cost model's estimates — the
+        ``EXPLAIN ANALYZE`` of the engine.
+        """
         logical, physical = self.plan(pattern)
         parts = [logical.pretty()]
-        if physical is not None:
+        if physical is None:
+            parts.append("(no index attached: sequential scan)")
+            if analyze:
+                report = self.search(pattern, collect_matches=False)
+                parts.append(self._analyze_text(report, None))
+            return "\n".join(parts)
+        cost = estimate_cost(
+            physical, self._index, self.corpus.total_chars, self.disk
+        )
+        if not analyze:
             parts.append(physical.pretty())
-            cost = estimate_cost(physical, self.index, self.corpus.total_chars,
-                                 self.disk)
             parts.append(
                 f"estimated: selectivity={cost.selectivity:.4f}, "
                 f"candidates~{cost.candidate_units:.0f}, "
                 f"io={cost.io_cost:.0f} (scan io={cost.scan_io_cost:.0f})"
             )
-        else:
-            parts.append("(no index attached: sequential scan)")
+            return "\n".join(parts)
+        report = self.search(pattern, collect_matches=False)
+        sizes = report.metrics.lookup_sizes() if report.metrics else {}
+        annotations = {}
+        for key in set(physical.lookups()):
+            estimated = len(self._index.lookup(key))
+            actual = sizes.get(key)
+            if actual is None:
+                actual_text = "not read (candidate cache hit)"
+            else:
+                n_ids, from_cache = actual
+                actual_text = f"actual {n_ids}"
+                if from_cache:
+                    actual_text += " (decoded-cache hit)"
+            annotations[key] = f"  [est {estimated} postings, {actual_text}]"
+        parts.append(physical.pretty(annotations=annotations))
+        parts.append(
+            f"estimated: selectivity={cost.selectivity:.4f}, "
+            f"candidates~{cost.candidate_units:.0f}, "
+            f"io={cost.io_cost:.0f} (scan io={cost.scan_io_cost:.0f})"
+        )
+        parts.append(self._analyze_text(report, cost))
         return "\n".join(parts)
+
+    def _analyze_text(
+        self, report: SearchReport, cost: Optional[PlanCost]
+    ) -> str:
+        """The actual-vs-estimated tail of ``explain --analyze``."""
+        lines = ["analyze:"]
+        if cost is not None:
+            lines.append(
+                f"  candidates: actual {report.n_candidates} "
+                f"vs estimated {cost.candidate_units:.0f}"
+            )
+            lines.append(
+                f"  io: actual {report.io_cost:.0f} "
+                f"vs estimated {cost.io_cost:.0f} "
+                f"(scan {cost.scan_io_cost:.0f})"
+            )
+        else:
+            lines.append(
+                f"  candidates: {report.n_candidates} (sequential scan), "
+                f"io {report.io_cost:.0f}"
+            )
+        lines.append(
+            f"  matches: {report.n_matches} in "
+            f"{report.matching_units} units; "
+            f"{report.n_units_read} units read"
+        )
+        if report.metrics is not None:
+            lines.append(report.metrics.pretty())
+        return "\n".join(lines)
 
     # -- execution -----------------------------------------------------------
 
@@ -123,28 +293,37 @@ class FreeEngine:
             collect_matches: False counts matches without keeping the
                 strings (saves memory on huge result sets).
         """
-        report = SearchReport(pattern=pattern, engine=self.name)
+        metrics = QueryMetrics()
+        report = SearchReport(
+            pattern=pattern, engine=self.name, metrics=metrics
+        )
         io_before = self.disk.snapshot()
+        self.disk.attach_metrics(metrics)
+        try:
+            plan_started = time.perf_counter()
+            matcher = self._matcher(pattern, metrics)
+            candidates = self._cached_candidates(pattern, metrics)
+            if candidates is not None and self.min_candidate_ratio is not None:
+                if len(candidates) > self.min_candidate_ratio * len(self.corpus):
+                    candidates = None  # optimizer chose the sequential scan
+                    metrics.optimizer_fallback = True
+            report.plan_seconds = time.perf_counter() - plan_started
+            metrics.phase_seconds["plan"] = report.plan_seconds
 
-        plan_started = time.perf_counter()
-        matcher = self._matcher(pattern)
-        candidates = self._candidates(pattern)
-        if candidates is not None and self.min_candidate_ratio is not None:
-            if len(candidates) > self.min_candidate_ratio * len(self.corpus):
-                candidates = None  # optimizer chose the sequential scan
-        report.plan_seconds = time.perf_counter() - plan_started
+            execute_started = time.perf_counter()
+            if candidates is None:
+                report.used_full_scan = True
+                report.n_candidates = len(self.corpus)
+                units: Iterable[DataUnit] = self._scan_units()
+            else:
+                report.n_candidates = len(candidates)
+                units = self._fetch_units(candidates)
 
-        execute_started = time.perf_counter()
-        if candidates is None:
-            report.used_full_scan = True
-            report.n_candidates = len(self.corpus)
-            units: Iterable[DataUnit] = self._scan_units()
-        else:
-            report.n_candidates = len(candidates)
-            units = self._fetch_units(candidates)
-
-        self._confirm(units, matcher, report, limit, collect_matches)
-        report.execute_seconds = time.perf_counter() - execute_started
+            self._confirm(units, matcher, report, limit, collect_matches)
+            report.execute_seconds = time.perf_counter() - execute_started
+            metrics.phase_seconds["execute"] = report.execute_seconds
+        finally:
+            self.disk.detach_metrics()
 
         io_after = self.disk.snapshot()
         report.io_cost = io_after["total_cost"] - io_before["total_cost"]
@@ -170,23 +349,55 @@ class FreeEngine:
 
     # -- internals -----------------------------------------------------------
 
-    def _candidates(self, pattern: str) -> Optional[List[int]]:
+    def _cached_candidates(
+        self, pattern: str, metrics: QueryMetrics
+    ) -> Optional[List[int]]:
+        """Candidate ids via the LRU cache (when enabled).
+
+        Cache keys include the index epoch, so entries computed against
+        older index contents are unreachable after any mutation.
+        """
+        if self._candidate_cache.capacity == 0:
+            return self._candidates(pattern, metrics)
+        key = (
+            pattern, self.cover_policy, self.distribute, self._cache_epoch()
+        )
+        cached = self._candidate_cache.get(key)
+        if cached is not None:
+            metrics.candidate_cache_hit = True
+            return None if cached is _SCAN_ALL else list(cached)
+        metrics.candidate_cache_hit = False
+        result = self._candidates(pattern, metrics)
+        self._candidate_cache.put(
+            key, _SCAN_ALL if result is None else tuple(result)
+        )
+        return result
+
+    def _candidates(
+        self, pattern: str, metrics: Optional[QueryMetrics] = None
+    ) -> Optional[List[int]]:
         """Plan and execute the index side of the query.
 
         Returns a sorted candidate id list, or None for "scan
         everything".  Subclasses (e.g. the segmented engine) override
         this hook.
         """
-        _logical, physical = self.plan(pattern)
+        _logical, physical = self.plan(pattern, metrics)
         if physical is None or physical.is_full_scan:
             return None
-        return execute_plan(physical, self.index, self.disk)
+        return execute_plan(physical, self._index, self.disk, metrics)
 
-    def _matcher(self, pattern: str) -> Matcher:
+    def _matcher(
+        self, pattern: str, metrics: Optional[QueryMetrics] = None
+    ) -> Matcher:
         matcher = self._matcher_cache.get(pattern)
         if matcher is None:
+            if metrics is not None:
+                metrics.matcher_cache_hit = False
             matcher = Matcher(pattern, backend=self.backend)
-            self._matcher_cache[pattern] = matcher
+            self._matcher_cache.put(pattern, matcher)
+        elif metrics is not None:
+            metrics.matcher_cache_hit = True
         return matcher
 
     def _scan_units(self) -> Iterator[DataUnit]:
@@ -211,13 +422,18 @@ class FreeEngine:
         collect_matches: bool,
     ) -> None:
         """Phase 3 confirmation: run the matcher over candidate units."""
+        metrics = report.metrics
         n_matches = 0
         for unit in units:
             report.n_units_read += 1
             if matcher.prefilter_rejects(unit.text):
                 # Anchoring prefilter (grep-style): a unit failing a
                 # mandatory-literal clause provably contains no match.
+                if metrics is not None:
+                    metrics.prefilter_rejected += 1
                 continue
+            if metrics is not None:
+                metrics.units_confirmed += 1
             unit_matched = False
             for start, end in matcher.finditer(unit.text):
                 unit_matched = True
@@ -241,5 +457,5 @@ class FreeEngine:
         if physical is None:
             return None
         return estimate_cost(
-            physical, self.index, self.corpus.total_chars, self.disk
+            physical, self._index, self.corpus.total_chars, self.disk
         )

@@ -12,6 +12,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.metrics import QueryMetrics
+
 
 @dataclass(frozen=True)
 class Match:
@@ -50,6 +52,9 @@ class SearchReport:
         execute_seconds: time in postings ops + confirmation.
         io_cost: simulated I/O cost (char-read units; see DiskModel).
         io_detail: DiskModel counter snapshot.
+        metrics: per-stage :class:`~repro.metrics.QueryMetrics` (cache
+            hits, postings decoded, intersection sizes, prefilter
+            rejects, phase timings).
     """
 
     pattern: str
@@ -65,6 +70,7 @@ class SearchReport:
     execute_seconds: float = 0.0
     io_cost: float = 0.0
     io_detail: Dict[str, float] = field(default_factory=dict)
+    metrics: Optional[QueryMetrics] = None
 
     @property
     def total_seconds(self) -> float:

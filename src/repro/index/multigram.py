@@ -21,6 +21,7 @@ from repro.errors import IndexBuildError
 from repro.index.directory import KeyTrie
 from repro.index.postings import PostingsList
 from repro.index.stats import IndexStats
+from repro.metrics import LRUCache, QueryMetrics
 
 
 class GramIndex:
@@ -33,6 +34,9 @@ class GramIndex:
         threshold: the usefulness threshold c (None for Complete).
         max_gram_len: the key-length cutoff used at build time.
         stats: optional build statistics (filled by the builders).
+        ids_cache_size: LRU capacity (in keys) of the decoded-postings
+            cache used by :meth:`lookup_ids`; 0 disables it.  The index
+            is immutable, so cached decodes never go stale.
     """
 
     def __init__(
@@ -43,10 +47,12 @@ class GramIndex:
         threshold: Optional[float] = None,
         max_gram_len: Optional[int] = None,
         stats: Optional[IndexStats] = None,
+        ids_cache_size: int = 256,
     ):
         if n_docs < 0:
             raise IndexBuildError("n_docs must be >= 0")
         self._postings = dict(postings)
+        self._ids_cache = LRUCache(ids_cache_size)
         self.kind = kind
         self.n_docs = n_docs
         self.threshold = threshold
@@ -75,6 +81,31 @@ class GramIndex:
     def lookup(self, gram: str) -> PostingsList:
         """Postings for an exact key; raises KeyError if absent."""
         return self._postings[gram]
+
+    def lookup_ids(
+        self, gram: str, metrics: Optional[QueryMetrics] = None
+    ) -> List[int]:
+        """Decoded doc ids for an exact key, LRU-cached.
+
+        Varint decoding is the CPU cost of a lookup, so hot keys are
+        served from a bounded cache of decoded lists.  The returned
+        list is shared with the cache — callers must treat it as
+        immutable.  Raises KeyError if ``gram`` is not a key.
+        """
+        ids = self._ids_cache.get(gram)
+        if ids is None:
+            ids = self._postings[gram].ids()
+            self._ids_cache.put(gram, ids)
+            if metrics is not None:
+                metrics.record_lookup(gram, len(ids), from_cache=False)
+        elif metrics is not None:
+            metrics.record_lookup(gram, len(ids), from_cache=True)
+        return ids
+
+    @property
+    def ids_cache(self) -> LRUCache:
+        """The decoded-postings cache (hit/miss stats for reporting)."""
+        return self._ids_cache
 
     def covering_substrings(self, gram: str) -> List[str]:
         """Keys occurring as substrings of ``gram`` (Section 4.3)."""

@@ -28,6 +28,7 @@ from repro.errors import IndexBuildError
 from repro.index.builder import MultigramIndexBuilder
 from repro.index.multigram import GramIndex
 from repro.iomodel.diskmodel import DiskModel
+from repro.metrics import QueryMetrics
 
 if TYPE_CHECKING:  # plan/engine layers import this package: defer.
     from repro.plan.logical import LogicalPlan
@@ -63,6 +64,7 @@ class Segment:
         logical: "LogicalPlan",
         policy: "CoverPolicy",
         disk: Optional[DiskModel] = None,
+        metrics: Optional[QueryMetrics] = None,
     ) -> List[int]:
         """Global candidate ids in this segment (tombstones excluded)."""
         from repro.engine.executor import execute_plan
@@ -71,7 +73,7 @@ class Segment:
         physical = PhysicalPlan.compile(logical, self.index, policy)
         if physical.is_full_scan:
             return self.live_global_ids()
-        local = execute_plan(physical, self.index, disk)
+        local = execute_plan(physical, self.index, disk, metrics)
         if local is None:
             return self.live_global_ids()
         out = []
@@ -95,6 +97,9 @@ class SegmentedGramIndex:
         self.builder = builder or MultigramIndexBuilder()
         self.segments: List[Segment] = []
         self._segment_of: Dict[int, Segment] = {}
+        #: Content version: bumped on every add/delete/merge so engine
+        #: candidate caches keyed on it can never serve stale results.
+        self.epoch = 0
 
     # -- construction -----------------------------------------------------
 
@@ -138,6 +143,7 @@ class SegmentedGramIndex:
         self.segments.append(segment)
         for unit in units:
             self._segment_of[unit.doc_id] = segment
+        self.epoch += 1
         return segment
 
     def delete(self, doc_id: int) -> bool:
@@ -146,6 +152,7 @@ class SegmentedGramIndex:
         if segment is None or doc_id in segment.deleted:
             return False
         segment.deleted.add(doc_id)
+        self.epoch += 1
         return True
 
     # -- maintenance --------------------------------------------------------
@@ -174,6 +181,8 @@ class SegmentedGramIndex:
                     self._segment_of.pop(gid, None)
             if units:
                 self.add_documents(units)
+            else:
+                self.epoch += 1  # pure removal still changes contents
             merges += 1
         return merges
 
@@ -200,6 +209,7 @@ class SegmentedGramIndex:
         logical: "LogicalPlan",
         policy: Union["CoverPolicy", str] = "all",
         disk: Optional[DiskModel] = None,
+        metrics: Optional[QueryMetrics] = None,
     ) -> Optional[List[int]]:
         """Sorted global candidate ids, or None for "scan everything".
 
@@ -217,7 +227,7 @@ class SegmentedGramIndex:
             physical = PhysicalPlan.compile(logical, segment.index, policy)
             if not physical.is_full_scan:
                 all_null = False
-            merged.extend(segment.candidates(logical, policy, disk))
+            merged.extend(segment.candidates(logical, policy, disk, metrics))
         if all_null and not self.has_deletions:
             return None
         merged.sort()
@@ -254,6 +264,7 @@ class SegmentedFreeEngine:
         disk: Optional[DiskModel] = None,
         cover_policy: Union["CoverPolicy", str] = "all",
         distribute: bool = False,
+        candidate_cache_size: int = 0,
     ):
         from repro.engine.free import FreeEngine
         from repro.plan.logical import LogicalPlan
@@ -265,13 +276,16 @@ class SegmentedFreeEngine:
         outer = self
 
         class _Engine(FreeEngine):
-            def _candidates(self, pattern):
+            def _candidates(self, pattern, metrics=None):
                 logical = LogicalPlan.from_pattern(
                     pattern, distribute=self.distribute
                 )
                 return outer.seg_index.candidates(
-                    logical, outer.cover_policy, self.disk
+                    logical, outer.cover_policy, self.disk, metrics
                 )
+
+            def _cache_epoch(self):
+                return outer.seg_index.epoch
 
         self._engine = _Engine(
             corpus,
@@ -279,11 +293,20 @@ class SegmentedFreeEngine:
             backend=backend,
             disk=disk,
             distribute=distribute,
+            candidate_cache_size=candidate_cache_size,
         )
 
     @property
     def disk(self) -> DiskModel:
         return self._engine.disk
+
+    def invalidate_caches(self) -> None:
+        """Drop plan/candidate caches (epoch keys already prevent
+        stale hits after index mutations; this frees the memory too)."""
+        self._engine.invalidate_caches()
+
+    def cache_stats(self) -> dict:
+        return self._engine.cache_stats()
 
     def search(self, pattern: str, limit: Optional[int] = None,
                collect_matches: bool = True):

@@ -21,7 +21,7 @@ from typing import BinaryIO, Dict
 
 from repro.errors import SerializationError
 from repro.index.multigram import GramIndex
-from repro.index.postings import PostingsList
+from repro.index.postings import PostingsList, decode_gaps
 
 _MAGIC = b"FREEIDX1"
 _U16 = struct.Struct("<H")
@@ -69,7 +69,7 @@ def load_index(path: str) -> GramIndex:
             (count,) = _U32.unpack(_read_exact(infile, _U32.size, path))
             (data_len,) = _U32.unpack(_read_exact(infile, _U32.size, path))
             data = _read_exact(infile, data_len, path)
-            postings[key] = PostingsList(data, count)
+            postings[key] = _validated_postings(data, count, key, path)
     return GramIndex(
         postings,
         kind=meta["kind"],
@@ -77,6 +77,32 @@ def load_index(path: str) -> GramIndex:
         threshold=meta["threshold"],
         max_gram_len=meta["max_gram_len"],
     )
+
+
+def _validated_postings(
+    data: bytes, count: int, key: str, path: str
+) -> PostingsList:
+    """Decode-check a postings payload before trusting it.
+
+    Soundness depends on complete postings (candidates ⊇ matches), so a
+    corrupt payload must fail the *load*, not silently shrink a result
+    set later: an unterminated trailing varint raises ``ValueError`` in
+    :func:`decode_gaps`, and a payload whose bytes happen to end on a
+    varint boundary is caught by comparing the decoded count against
+    the stored header count.
+    """
+    try:
+        ids = decode_gaps(data)
+    except ValueError as exc:
+        raise SerializationError(
+            f"{path!r}: corrupt postings for key {key!r}: {exc}"
+        ) from exc
+    if len(ids) != count:
+        raise SerializationError(
+            f"{path!r}: postings count mismatch for key {key!r}: "
+            f"header says {count}, payload decodes to {len(ids)}"
+        )
+    return PostingsList(data, count)
 
 
 def _read_block(infile: BinaryIO, path: str) -> bytes:

@@ -16,6 +16,9 @@ on it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.metrics import QueryMetrics
 
 
 @dataclass
@@ -28,6 +31,10 @@ class DiskModel:
             (the paper's 10x; pairs with the default threshold c = 0.1).
         posting_cost_chars: cost of reading one posting entry from a
             postings list (a compressed integer, ~ a few chars).
+
+    A :class:`~repro.metrics.QueryMetrics` can be attached for the
+    duration of one query; every charge is then mirrored into it, so a
+    query's report carries its own share of the shared disk's I/O.
     """
 
     sequential_cost_per_char: float = 1.0
@@ -39,18 +46,36 @@ class DiskModel:
     postings_read: int = field(default=0, init=False)
     random_accesses: int = field(default=0, init=False)
 
+    _metrics: Optional[QueryMetrics] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def attach_metrics(self, metrics: QueryMetrics) -> None:
+        """Mirror subsequent charges into ``metrics`` (one at a time)."""
+        self._metrics = metrics
+
+    def detach_metrics(self) -> None:
+        self._metrics = None
+
     def charge_sequential(self, n_chars: int) -> None:
         """A forward streaming read of ``n_chars`` (corpus scan)."""
         self.sequential_chars += n_chars
+        if self._metrics is not None:
+            self._metrics.sequential_chars += n_chars
 
     def charge_random(self, n_chars: int) -> None:
         """A seek + read of one data unit (candidate confirmation)."""
         self.random_accesses += 1
         self.random_chars += n_chars
+        if self._metrics is not None:
+            self._metrics.random_accesses += 1
+            self._metrics.random_chars += n_chars
 
     def charge_postings(self, n_postings: int) -> None:
         """Reading a postings list (they are stored contiguously)."""
         self.postings_read += n_postings
+        if self._metrics is not None:
+            self._metrics.postings_charged += n_postings
 
     @property
     def total_cost(self) -> float:

@@ -92,7 +92,10 @@ class PAnd(PhysNode):
         return "AND(" + ", ".join(map(repr, self.children)) + ")"
 
     def __eq__(self, other):
-        return isinstance(other, PAnd) and self.children == other.children
+        # Exact-type match: a COVER with the same children is *not*
+        # equal — its children are correlated and the cost model treats
+        # it differently, so _dedup must never merge the two.
+        return type(other) is PAnd and self.children == other.children
 
     def __hash__(self):
         return hash(("PAnd", self.children))
@@ -113,6 +116,12 @@ class PCover(PAnd):
 
     def __repr__(self):
         return "COVER(" + ", ".join(map(repr, self.children)) + ")"
+
+    def __eq__(self, other):
+        return type(other) is PCover and self.children == other.children
+
+    def __hash__(self):
+        return hash(("PCover", self.children))
 
 
 class POr(PhysNode):
@@ -151,9 +160,15 @@ class PhysicalPlan:
         _collect_lookups(self.root, keys)
         return keys
 
-    def pretty(self) -> str:
+    def pretty(self, annotations: Optional[dict] = None) -> str:
+        """Indented tree dump.
+
+        ``annotations`` optionally maps lookup keys to suffix strings
+        appended to their LOOKUP lines (``explain --analyze`` uses this
+        to print actual postings sizes next to each lookup).
+        """
         lines = [f"PhysicalPlan for {self.pattern!r}:"]
-        _render(self.root, 1, lines)
+        _render(self.root, 1, lines, annotations)
         if self.unavailable_grams:
             lines.append(
                 "  (grams with no index entry: "
@@ -252,19 +267,26 @@ def _collect_lookups(node: PhysNode, keys: List[str]) -> None:
             _collect_lookups(child, keys)
 
 
-def _render(node: PhysNode, depth: int, lines: List[str]) -> None:
+def _render(
+    node: PhysNode,
+    depth: int,
+    lines: List[str],
+    annotations: Optional[dict] = None,
+) -> None:
     pad = "  " * depth
     if isinstance(node, PLookup):
-        lines.append(f"{pad}LOOKUP {node.key!r}")
+        suffix = annotations.get(node.key, "") if annotations else ""
+        lines.append(f"{pad}LOOKUP {node.key!r}{suffix}")
     elif isinstance(node, PAll):
         lines.append(f"{pad}ALL (no restriction)")
     elif isinstance(node, PAnd):
-        lines.append(f"{pad}AND")
+        # COVER before the generic AND: PCover is a PAnd subclass.
+        lines.append(f"{pad}COVER" if isinstance(node, PCover) else f"{pad}AND")
         for child in node.children:
-            _render(child, depth + 1, lines)
+            _render(child, depth + 1, lines, annotations)
     elif isinstance(node, POr):
         lines.append(f"{pad}OR")
         for child in node.children:
-            _render(child, depth + 1, lines)
+            _render(child, depth + 1, lines, annotations)
     else:
         raise PlanError(f"unknown physical node {type(node).__name__}")

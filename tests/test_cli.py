@@ -60,6 +60,15 @@ class TestSearch:
         assert main(["search", corpus_path, index_path, "(((" ]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_search_metrics_flag(self, images, capsys):
+        corpus_path, index_path = images
+        assert main(["search", corpus_path, index_path, "<title>",
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "query metrics:" in out
+        assert "caches:" in out
+        assert "postings:" in out
+
 
 class TestExplain:
     def test_explain_prints_plans(self, images, capsys):
@@ -69,6 +78,17 @@ class TestExplain:
         out = capsys.readouterr().out
         assert "LogicalPlan" in out
         assert "PhysicalPlan" in out
+
+    def test_explain_analyze_prints_actuals(self, images, capsys):
+        corpus_path, index_path = images
+        assert main(["explain", corpus_path, index_path, "Clinton",
+                     "--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "analyze:" in out
+        assert "est " in out and "actual" in out
+        assert "candidates: actual" in out
+        assert "vs estimated" in out
+        assert "query metrics:" in out
 
 
 class TestEstimate:
@@ -92,6 +112,14 @@ class TestBench:
         out = capsys.readouterr().out
         assert "table3" in out
         assert "multigram" in out
+
+    def test_bench_repeat_small(self, capsys):
+        assert main(["bench", "--pages", "60", "--experiment", "repeat",
+                     "--repeats", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "repeat" in out
+        assert "plan_cache_hits" in out
+        assert "full-cache" in out
 
 
 class TestNoArgs:

@@ -98,6 +98,32 @@ class TestLimits:
         engine.search("aa")
         assert engine._matcher("aa") is first
 
+    def test_limit_mid_unit_accounting(self, engine):
+        # each "aaa" unit holds three "a" matches; limit=2 stops inside
+        # the first unit — the counters must reflect the truncation
+        report = engine.search("a", limit=2)
+        assert report.truncated
+        assert report.n_matches_found == 2
+        assert report.n_matches == 2
+        assert report.matching_units == 1
+        assert report.n_units_read == 1
+        assert len(report.matches) == 2
+
+    def test_limit_on_unit_boundary(self, engine):
+        # limit=3 is exactly one unit's worth: still truncated (the
+        # engine cannot know no more matches follow without reading on)
+        report = engine.search("a", limit=3)
+        assert report.truncated
+        assert report.n_matches_found == 3
+        assert report.matching_units == 1
+        assert report.n_units_read == 1
+
+    def test_unlimited_counts_every_unit(self, engine):
+        report = engine.search("a")
+        assert not report.truncated
+        assert report.n_matches_found == 15  # 5 units x 3
+        assert report.matching_units == 5
+
 
 class TestMinCandidateRatioGuard:
     def test_guard_prefers_scan_on_fat_candidates(self):
@@ -112,3 +138,28 @@ class TestMinCandidateRatioGuard:
         report2 = unguarded.search("common")
         assert not report2.used_full_scan
         assert report.n_matches == report2.n_matches
+
+    def test_fallback_still_shows_postings_io(self):
+        # the guard decides *after* executing the index plan: the
+        # postings I/O already spent must stay visible in io_detail
+        # (and the fallback itself must be flagged in the metrics)
+        texts = ["common gram here"] * 9 + ["rare thing"]
+        corpus = InMemoryCorpus.from_texts(texts)
+        index = build_multigram_index(corpus, threshold=0.95,
+                                      max_gram_len=6)
+        guarded = FreeEngine(corpus, index, min_candidate_ratio=0.1)
+        report = guarded.search("common")
+        assert report.used_full_scan
+        assert report.io_detail["postings_read"] > 0
+        assert report.io_detail["sequential_chars"] > 0
+        assert report.metrics.optimizer_fallback
+        assert report.metrics.candidate_cache_hit is None
+
+    def test_fallback_not_flagged_on_index_path(self):
+        texts = ["common gram here"] * 9 + ["rare thing"]
+        corpus = InMemoryCorpus.from_texts(texts)
+        index = build_multigram_index(corpus, threshold=0.95,
+                                      max_gram_len=6)
+        report = FreeEngine(corpus, index).search("rare")
+        assert not report.used_full_scan
+        assert not report.metrics.optimizer_fallback

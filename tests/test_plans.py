@@ -84,14 +84,14 @@ class TestPhysicalCompile:
         plan = PhysicalPlan.compile(logical, index)
         # Bill unavailable -> its OR branch is ALL -> whole OR is ALL ->
         # plan reduces to the Clinton cover.
-        assert plan.root == PAnd((PLookup("Clint"), PLookup("nton")))
+        assert plan.root == PCover((PLookup("Clint"), PLookup("nton")))
         assert "Bill" in plan.unavailable_grams
 
     def test_pruned_gram_uses_substring_cover(self):
         index = index_with({"llia": [1], "ia": [1, 2]})
         logical = LogicalPlan.from_pattern("William")
         plan = PhysicalPlan.compile(logical, index)
-        assert plan.root == PAnd((PLookup("llia"), PLookup("ia")))
+        assert plan.root == PCover((PLookup("llia"), PLookup("ia")))
 
     def test_nothing_available_is_full_scan(self):
         index = index_with({"zz": [1]})
@@ -151,7 +151,7 @@ class TestCoverPolicies:
         })
         logical = LogicalPlan.from_pattern("William")
         plan = PhysicalPlan.compile(logical, index, CoverPolicy.CHEAPEST2)
-        assert plan.root == PAnd((PLookup("llia"), PLookup("Wil")))
+        assert plan.root == PCover((PLookup("llia"), PLookup("Wil")))
 
     def test_policy_accepts_strings(self):
         index = index_with({"ab": [1]})
@@ -194,9 +194,32 @@ class TestCoverNode:
         )
         assert execute_plan(plan, index) == [1, 3]
 
-    def test_cover_equals_plain_and_structurally(self):
+    def test_cover_is_not_plain_and(self):
+        # A COVER's children are correlated; the cost model estimates it
+        # as min-selectivity, not the independence product.  Merging the
+        # two in _dedup would silently flip the estimate, so they must
+        # not compare (or hash) equal in either direction.
         children = (PLookup("a"), PLookup("b"))
-        assert PCover(children) == PAnd(children)
+        assert PCover(children) != PAnd(children)
+        assert PAnd(children) != PCover(children)
+        assert hash(PCover(children)) != hash(PAnd(children))
+        assert PCover(children) == PCover(children)
+        assert PAnd(children) == PAnd(children)
+
+    def test_dedup_keeps_cover_and_and_apart(self):
+        from repro.plan.physical import _dedup
+
+        children = (PLookup("a"), PLookup("b"))
+        kept = _dedup([PCover(children), PAnd(children)])
+        assert len(kept) == 2
+
+    def test_render_prints_cover(self):
+        plan = PhysicalPlan(
+            pattern="x", root=PCover((PLookup("a"), PLookup("b")))
+        )
+        text = plan.pretty()
+        assert "COVER" in text
+        assert "AND" not in text
 
     def test_cover_selectivity_is_min(self):
         index = index_with({"ab": [1], "bc": [1, 2, 3, 4]}, n_docs=10)

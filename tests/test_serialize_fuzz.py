@@ -1,13 +1,14 @@
 """Serialization fuzzing: random indexes round-trip; truncations fail clean."""
 
 import os
+import struct
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import SerializationError
 from repro.index.multigram import GramIndex
-from repro.index.postings import PostingsList
+from repro.index.postings import PostingsList, decode_gaps, encode_gaps
 from repro.index.serialize import load_index, save_index
 
 
@@ -64,3 +65,77 @@ def test_any_truncation_fails_clean(index, cut_fraction, tmp_path_factory):
         f.truncate(cut)
     with pytest.raises(SerializationError):
         load_index(path)
+
+
+class TestTruncatedVarints:
+    """A postings payload ending mid-varint must never decode silently:
+    soundness (candidates ⊇ matches) dies with the dropped doc ids."""
+
+    def test_lone_continuation_byte_raises(self):
+        with pytest.raises(ValueError):
+            decode_gaps(b"\x80")
+
+    def test_chopped_multibyte_varint_raises(self):
+        # The gap 299 needs two varint bytes; dropping the final byte
+        # leaves the continuation bit set on the stream's last byte.
+        data = encode_gaps([5, 305])
+        assert len(data) == 3
+        with pytest.raises(ValueError):
+            decode_gaps(data[:-1])
+
+    @settings(max_examples=60, deadline=None)
+    @given(ids=st.lists(st.integers(0, 10_000), unique=True, min_size=1))
+    def test_any_mid_varint_cut_raises_or_shrinks(self, ids):
+        """Cutting anywhere inside the payload either raises (mid-varint)
+        or decodes strictly fewer ids (boundary cut) — never garbage."""
+        data = encode_gaps(sorted(ids))
+        for cut in range(len(data)):
+            try:
+                decoded = decode_gaps(data[:cut])
+            except ValueError:
+                continue
+            assert len(decoded) < len(ids)
+            assert decoded == sorted(ids)[: len(decoded)]
+
+
+def _write_image(path, key, payload, count):
+    """A minimal hand-rolled index image with one key."""
+    meta = (b'{"kind": "multigram", "n_docs": 10, '
+            b'"threshold": 0.1, "max_gram_len": 4}')
+    with open(path, "wb") as out:
+        out.write(b"FREEIDX1")
+        out.write(struct.pack("<I", len(meta)))
+        out.write(meta)
+        out.write(struct.pack("<I", 1))
+        key_bytes = key.encode("utf-8")
+        out.write(struct.pack("<H", len(key_bytes)))
+        out.write(key_bytes)
+        out.write(struct.pack("<I", count))
+        out.write(struct.pack("<I", len(payload)))
+        out.write(payload)
+
+
+class TestCorruptPostingsPayloads:
+    """load_index must validate payloads, not just field framing."""
+
+    def test_unterminated_varint_payload_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.img")
+        _write_image(path, "ab", encode_gaps([1, 200])[:-1], count=2)
+        with pytest.raises(SerializationError, match="corrupt postings"):
+            load_index(path)
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        # A cut on a varint boundary decodes cleanly but loses ids; the
+        # stored count is the tripwire that still catches it.
+        path = str(tmp_path / "bad.img")
+        payload = encode_gaps([1, 2, 3])
+        assert decode_gaps(payload[:-1]) == [1, 2]  # boundary cut
+        _write_image(path, "ab", payload[:-1], count=3)
+        with pytest.raises(SerializationError, match="count mismatch"):
+            load_index(path)
+
+    def test_exact_payload_loads(self, tmp_path):
+        path = str(tmp_path / "good.img")
+        _write_image(path, "ab", encode_gaps([1, 200]), count=2)
+        index = load_index(path)
+        assert index.lookup("ab").ids() == [1, 200]
