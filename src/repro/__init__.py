@@ -22,6 +22,9 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured comparison of every table and figure.
 """
 
+from __future__ import annotations
+
+from repro.analysis import AnalysisReport, Finding, Severity, run_check
 from repro.corpus import (
     CorpusConfig,
     CorpusStore,
@@ -39,9 +42,11 @@ from repro.engine import (
     frequency_ranked,
 )
 from repro.errors import (
+    AnalysisError,
     CorpusError,
     FreeError,
     IndexBuildError,
+    InternalError,
     PlanError,
     RegexSyntaxError,
     SerializationError,
@@ -107,6 +112,11 @@ __all__ = [
     "Matcher",
     "compile_matcher",
     "parse",
+    # analysis
+    "AnalysisReport",
+    "Finding",
+    "Severity",
+    "run_check",
     # errors
     "FreeError",
     "RegexSyntaxError",
@@ -114,5 +124,7 @@ __all__ = [
     "PlanError",
     "CorpusError",
     "SerializationError",
+    "InternalError",
+    "AnalysisError",
     "__version__",
 ]

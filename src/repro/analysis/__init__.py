@@ -1,0 +1,53 @@
+"""Static invariant analysis for indexes, plans, and the codebase.
+
+The paper's guarantees — candidate-superset soundness (§4), key-set
+prefix-freeness (Theorem 3.9), the postings-size bound (Observation
+3.8), presuf-shell uniqueness (Observations 3.13/3.14) — are invariants
+the test suite only probes dynamically.  This package checks them
+*statically*: given a built (or serialized) index, a compiled plan
+pair, or the source tree itself, it proves or refutes each invariant
+without running a single query, and reports violations as structured
+:class:`~repro.analysis.findings.Finding` values carrying the paper
+reference being violated.
+
+Three analyzer families (all reachable via ``free check``):
+
+* :mod:`~repro.analysis.index_checks` — index structure invariants;
+* :mod:`~repro.analysis.plan_checks` — logical→physical weakening
+  proofs (no false negatives by construction);
+* :mod:`~repro.analysis.lint` — repo-specific AST lint rules
+  (FREE001..FREE005).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.index_checks import (
+    check_gram_index,
+    check_key_set,
+    check_segmented_index,
+)
+from repro.analysis.lint import lint_paths, lint_source
+from repro.analysis.plan_checks import (
+    Justification,
+    check_physical_plan,
+    check_plan_pair,
+    entails,
+)
+from repro.analysis.runner import run_check
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Severity",
+    "Justification",
+    "check_gram_index",
+    "check_key_set",
+    "check_segmented_index",
+    "check_physical_plan",
+    "check_plan_pair",
+    "entails",
+    "lint_paths",
+    "lint_source",
+    "run_check",
+]

@@ -1,0 +1,192 @@
+"""Structured analyzer output: findings, severities, reports.
+
+Every analyzer in this package returns plain lists of :class:`Finding`;
+:class:`AnalysisReport` aggregates them for the CLI, decides the exit
+code, and renders both human-readable and JSON forms.  A finding always
+names the invariant's *paper reference* (``Thm 3.9``, ``Obs 3.8``, ...)
+so a violation message points straight at the theorem it breaks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering enables max()/sorting."""
+
+    INFO = 0      # observation, no action needed
+    WARNING = 1   # suspicious but not provably unsound
+    ERROR = 2     # a paper invariant is provably violated
+
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer result.
+
+    Attributes:
+        code: stable machine identifier (``IDX001``, ``PLAN002``,
+            ``FREE003``...).
+        severity: see :class:`Severity`.
+        message: human-readable description of the violation.
+        paper_ref: the paper statement the invariant comes from
+            (``Thm 3.9``, ``Obs 3.8``, ``Table 2``, ``§4.3``), or
+            ``""`` for repo-convention rules.
+        subject: what was analyzed (an index kind, a pattern, a file
+            path).
+        location: finer position inside the subject (a key, a plan
+            path like ``root.children[1]``, or ``line:col``).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    paper_ref: str = ""
+    subject: str = ""
+    location: str = ""
+
+    def render(self) -> str:
+        parts = [f"{self.severity.label()} {self.code}"]
+        if self.subject:
+            parts.append(f"[{self.subject}]")
+        if self.location:
+            parts.append(f"at {self.location}:")
+        parts.append(self.message)
+        if self.paper_ref:
+            parts.append(f"({self.paper_ref})")
+        return " ".join(parts)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "severity": self.severity.label(),
+            "message": self.message,
+            "paper_ref": self.paper_ref,
+            "subject": self.subject,
+            "location": self.location,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """All findings of one ``free check`` run, plus run metadata.
+
+    ``sections`` records which analyzer families actually ran (an empty
+    report is only a clean bill of health for the analyses that ran).
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    sections: List[str] = field(default_factory=list)
+    #: per-plan justification lines (plan analyzer attaches them).
+    justifications: Dict[str, List[str]] = field(default_factory=dict)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def begin_section(self, name: str) -> None:
+        if name not in self.sections:
+            self.sections.append(name)
+
+    # -- verdicts -----------------------------------------------------------
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity invariant violation was found."""
+        return not self.errors
+
+    def exit_code(self, strict_warnings: bool = False) -> int:
+        if self.errors:
+            return 1
+        if strict_warnings and self.warnings:
+            return 1
+        return 0
+
+    # -- rendering ----------------------------------------------------------
+
+    def pretty(self, verbose: bool = False) -> str:
+        lines: List[str] = []
+        if self.sections:
+            lines.append("checked: " + ", ".join(self.sections))
+        for finding in sorted(
+            self.findings, key=lambda f: (-int(f.severity), f.code)
+        ):
+            lines.append("  " + finding.render())
+        if verbose and self.justifications:
+            for subject, entries in self.justifications.items():
+                lines.append(f"justifications for {subject}:")
+                for entry in entries:
+                    lines.append(f"  {entry}")
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        n_info = len(self.findings) - n_err - n_warn
+        lines.append(
+            f"{n_err} error(s), {n_warn} warning(s), {n_info} info"
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "sections": list(self.sections),
+            "findings": [f.as_dict() for f in self.findings],
+            "justifications": {
+                subject: list(entries)
+                for subject, entries in self.justifications.items()
+            },
+            "ok": self.ok,
+        }
+
+    def merge(self, other: "AnalysisReport") -> None:
+        self.findings.extend(other.findings)
+        for name in other.sections:
+            self.begin_section(name)
+        self.justifications.update(other.justifications)
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalysisReport({len(self.findings)} findings, "
+            f"{len(self.errors)} errors)"
+        )
+
+
+def make_finding(
+    code: str,
+    message: str,
+    paper_ref: str = "",
+    severity: Severity = Severity.ERROR,
+    subject: str = "",
+    location: str = "",
+) -> Finding:
+    """Keyword-friendly constructor used by the analyzers."""
+    return Finding(
+        code=code,
+        severity=severity,
+        message=message,
+        paper_ref=paper_ref,
+        subject=subject,
+        location=location,
+    )
+
+
+# Optional = re-exported convenience for analyzers' signatures.
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Severity",
+    "make_finding",
+    "Optional",
+]

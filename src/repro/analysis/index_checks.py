@@ -1,0 +1,303 @@
+"""Index invariant analysis: prove the paper's structural guarantees.
+
+Checks a built :class:`~repro.index.multigram.GramIndex` (or a
+:class:`~repro.index.segmented.SegmentedGramIndex`) against every
+statically decidable invariant the planner and executor rely on:
+
+===========  ==========================================================
+code         invariant (paper reference)
+===========  ==========================================================
+IDX001       key set is prefix-free (Thm 3.9)
+IDX002       total postings <= corpus chars (Obs 3.8)
+IDX003       presuf key set is suffix-free (Def 3.11 / Obs 3.13)
+IDX004       presuf key set is its own shell — shortest common suffix
+             rule, shell uniqueness (Obs 3.13/3.14)
+IDX005       postings ids sorted, duplicate-free, in [0, n_docs)
+IDX006       postings header count matches decoded payload
+IDX007       key with empty postings (useful grams occur somewhere)
+IDX008       stats bookkeeping matches the directory
+IDX009       directory trie agrees with the postings key set
+SEG001       global doc ids unique across segments
+SEG002       routing table == union of segment ids
+SEG003       tombstones are ids the segment actually holds
+SEG004       segment id count == its index's n_docs
+SEG005       epoch covers every recorded mutation
+===========  ==========================================================
+
+All checks are read-only and run without executing any query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.analysis.findings import Finding, Severity, make_finding
+from repro.index.multigram import GramIndex
+from repro.index.presuf import (
+    presuf_shell,
+    prefix_violations,
+    suffix_violations,
+)
+from repro.index.segmented import SegmentedGramIndex
+
+#: Cap on per-invariant witnesses so a badly broken index stays readable.
+MAX_WITNESSES = 5
+
+
+def check_key_set(
+    keys: Iterable[str], kind: str, subject: str = "index"
+) -> List[Finding]:
+    """Directory-level invariants of a key set of the given index kind.
+
+    Prefix-freeness applies to the multigram selection (Theorem 3.9
+    proves the minimal-useful-gram miner emits a prefix-free set); a
+    Complete index unions several gram lengths and is prefix-nested by
+    design, so IDX001 is skipped for ``kind="complete"``.
+    """
+    findings: List[Finding] = []
+    key_list = list(keys)
+    if kind in ("multigram", "presuf"):
+        for prefix, extension in prefix_violations(key_list)[:MAX_WITNESSES]:
+            findings.append(make_finding(
+                "IDX001",
+                f"key {prefix!r} is a proper prefix of key {extension!r}; "
+                f"the minimal useful gram set must be prefix-free",
+                paper_ref="Thm 3.9",
+                subject=subject,
+                location=repr(extension),
+            ))
+    if kind == "presuf":
+        for suffix, extension in suffix_violations(key_list)[:MAX_WITNESSES]:
+            findings.append(make_finding(
+                "IDX003",
+                f"key {suffix!r} is a proper suffix of key {extension!r}; "
+                f"a presuf shell must be suffix-free",
+                paper_ref="Def 3.11 / Obs 3.13",
+                subject=subject,
+                location=repr(extension),
+            ))
+        shell = presuf_shell(key_list)
+        extra = sorted(set(key_list) - shell)
+        if extra:
+            witnesses = ", ".join(repr(k) for k in extra[:MAX_WITNESSES])
+            findings.append(make_finding(
+                "IDX004",
+                f"{len(extra)} key(s) are not in the presuf shell of the "
+                f"key set (shortest common suffix rule violated; the "
+                f"shell is unique): {witnesses}",
+                paper_ref="Obs 3.13/3.14",
+                subject=subject,
+            ))
+    return findings
+
+
+def check_gram_index(
+    index: GramIndex,
+    corpus_chars: Optional[int] = None,
+    subject: Optional[str] = None,
+) -> List[Finding]:
+    """Every statically checkable invariant of one gram index."""
+    name = subject if subject is not None else f"{index.kind} index"
+    findings = check_key_set(index.keys(), index.kind, subject=name)
+    findings.extend(_check_postings(index, name))
+    findings.extend(_check_stats(index, name))
+    findings.extend(_check_directory(index, name))
+
+    chars = corpus_chars
+    if chars is None:
+        chars = index.stats.corpus_chars or None
+    if chars and index.kind in ("multigram", "presuf"):
+        total = sum(len(plist) for _key, plist in index.items())
+        if total > chars:
+            findings.append(make_finding(
+                "IDX002",
+                f"total postings {total} exceeds corpus size {chars} "
+                f"chars; a prefix-free key set admits at most one "
+                f"posting-occurrence per text position",
+                paper_ref="Obs 3.8",
+                subject=name,
+            ))
+    return findings
+
+
+def _check_postings(index: GramIndex, subject: str) -> List[Finding]:
+    findings: List[Finding] = []
+    reported = 0
+    for key, plist in index.items():
+        if reported >= MAX_WITNESSES:
+            break
+        try:
+            ids = plist.ids()
+        except ValueError as exc:
+            findings.append(make_finding(
+                "IDX006",
+                f"postings for key {key!r} fail to decode: {exc}",
+                paper_ref="§5.2",
+                subject=subject,
+                location=repr(key),
+            ))
+            reported += 1
+            continue
+        if len(ids) != len(plist):
+            findings.append(make_finding(
+                "IDX006",
+                f"postings for key {key!r}: header count {len(plist)} "
+                f"!= decoded count {len(ids)}",
+                paper_ref="§5.2",
+                subject=subject,
+                location=repr(key),
+            ))
+            reported += 1
+            continue
+        if any(b <= a for a, b in zip(ids, ids[1:])):
+            findings.append(make_finding(
+                "IDX005",
+                f"postings for key {key!r} are not strictly increasing",
+                paper_ref="§5.2",
+                subject=subject,
+                location=repr(key),
+            ))
+            reported += 1
+            continue
+        if ids and (ids[0] < 0 or ids[-1] >= index.n_docs):
+            findings.append(make_finding(
+                "IDX005",
+                f"postings for key {key!r} contain doc ids outside "
+                f"[0, {index.n_docs}): {ids[0]}..{ids[-1]}",
+                paper_ref="§5.2",
+                subject=subject,
+                location=repr(key),
+            ))
+            reported += 1
+            continue
+        if not ids:
+            findings.append(make_finding(
+                "IDX007",
+                f"key {key!r} has empty postings — a useful gram has "
+                f"sel > 0, so it occurs in at least one data unit",
+                paper_ref="Def 3.4",
+                severity=Severity.WARNING,
+                subject=subject,
+                location=repr(key),
+            ))
+            reported += 1
+    return findings
+
+
+def _check_stats(index: GramIndex, subject: str) -> List[Finding]:
+    findings: List[Finding] = []
+    stats = index.stats
+    if stats.n_keys != len(index):
+        findings.append(make_finding(
+            "IDX008",
+            f"stats.n_keys={stats.n_keys} but the directory holds "
+            f"{len(index)} keys",
+            severity=Severity.WARNING,
+            subject=subject,
+        ))
+    total = sum(len(plist) for _key, plist in index.items())
+    if stats.n_postings != total:
+        findings.append(make_finding(
+            "IDX008",
+            f"stats.n_postings={stats.n_postings} but postings lists "
+            f"sum to {total}",
+            severity=Severity.WARNING,
+            subject=subject,
+        ))
+    return findings
+
+
+def _check_directory(index: GramIndex, subject: str) -> List[Finding]:
+    """The trie and the postings dict must describe the same key set."""
+    findings: List[Finding] = []
+    trie_keys = set(index.trie.iter_keys())
+    dict_keys = set(index.keys())
+    if trie_keys != dict_keys:
+        missing = sorted(dict_keys - trie_keys)[:MAX_WITNESSES]
+        extra = sorted(trie_keys - dict_keys)[:MAX_WITNESSES]
+        findings.append(make_finding(
+            "IDX009",
+            f"directory trie and postings disagree "
+            f"(missing from trie: {missing}, extra in trie: {extra})",
+            paper_ref="§5.2",
+            subject=subject,
+        ))
+    return findings
+
+
+def check_segmented_index(
+    seg_index: SegmentedGramIndex,
+    corpus_chars: Optional[int] = None,
+) -> List[Finding]:
+    """Segment/epoch bookkeeping plus per-segment index invariants."""
+    findings: List[Finding] = []
+    seen_ids = {}
+    n_tombstones = 0
+    for position, segment in enumerate(seg_index.segments):
+        subject = f"segment[{position}]"
+        for gid in segment.global_ids:
+            if gid in seen_ids:
+                findings.append(make_finding(
+                    "SEG001",
+                    f"doc id {gid} appears in both "
+                    f"segment[{seen_ids[gid]}] and {subject}",
+                    subject=subject,
+                ))
+            else:
+                seen_ids[gid] = position
+        ghost = segment.deleted - set(segment.global_ids)
+        if ghost:
+            findings.append(make_finding(
+                "SEG003",
+                f"tombstones for ids the segment does not hold: "
+                f"{sorted(ghost)[:MAX_WITNESSES]}",
+                subject=subject,
+            ))
+        n_tombstones += len(segment.deleted)
+        if len(segment.global_ids) != segment.index.n_docs:
+            findings.append(make_finding(
+                "SEG004",
+                f"segment holds {len(segment.global_ids)} ids but its "
+                f"index was built over {segment.index.n_docs} docs",
+                subject=subject,
+            ))
+        findings.extend(check_gram_index(
+            segment.index,
+            corpus_chars=None,
+            subject=f"{subject} ({segment.index.kind})",
+        ))
+
+    routed = seg_index.segment_assignments()
+    if set(routed) != set(seen_ids):
+        missing = sorted(set(seen_ids) - set(routed))[:MAX_WITNESSES]
+        extra = sorted(set(routed) - set(seen_ids))[:MAX_WITNESSES]
+        findings.append(make_finding(
+            "SEG002",
+            f"routing table out of sync with segments "
+            f"(unrouted ids: {missing}, dangling routes: {extra})",
+            subject="segmented index",
+        ))
+    else:
+        misrouted = [
+            gid for gid, segment in routed.items()
+            if seg_index.segments[seen_ids[gid]] is not segment
+        ]
+        if misrouted:
+            findings.append(make_finding(
+                "SEG002",
+                f"{len(misrouted)} doc id(s) routed to the wrong "
+                f"segment: {sorted(misrouted)[:MAX_WITNESSES]}",
+                subject="segmented index",
+            ))
+
+    floor = len(seg_index.segments) + n_tombstones
+    if seg_index.epoch < floor:
+        findings.append(make_finding(
+            "SEG005",
+            f"epoch {seg_index.epoch} < {floor} recorded mutations "
+            f"({len(seg_index.segments)} segments + {n_tombstones} "
+            f"tombstones); some mutation skipped its epoch bump, so "
+            f"candidate caches may serve stale results",
+            subject="segmented index",
+        ))
+    return findings

@@ -1,0 +1,375 @@
+"""Repo-specific AST lint rules (the custom-flake8-plugin family).
+
+Small, dependency-free lint engine over ``ast``: each rule is a visitor
+hook producing :class:`~repro.analysis.findings.Finding` values with a
+``FREE0xx`` code.  The rules encode conventions this codebase depends
+on for *correctness*, not style:
+
+=========  ============================================================
+FREE001    no bare ``assert`` for runtime invariants in ``src/`` —
+           asserts vanish under ``python -O``; raise
+           :class:`~repro.errors.InternalError` instead
+FREE002    no mutable default arguments (shared-state bugs)
+FREE003    no float ``==``/``!=`` against float literals (cost model
+           comparisons must use tolerances or ordering)
+FREE004    no unbounded ``dict`` caches on long-lived objects — use
+           :class:`~repro.metrics.LRUCache` (attribute names matching
+           ``cache``/``memo`` assigned ``{}``/``dict()``)
+FREE005    no index mutation without an epoch bump: in classes that
+           maintain ``self.epoch``, any method mutating indexed state
+           must bump the epoch or call a sibling method that does
+=========  ============================================================
+
+Suppression: a line containing ``# noqa`` (optionally ``# noqa:
+FREE00x``) is exempt, same contract as flake8.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.findings import Finding, Severity, make_finding
+from repro.errors import AnalysisError
+
+#: Attribute names treated as caches by FREE004.
+CACHE_NAME = re.compile(r"cache|memo", re.IGNORECASE)
+
+#: Method names on self-attributes that mutate a collection (FREE005).
+MUTATOR_CALLS = frozenset({
+    "append", "extend", "insert", "pop", "remove", "clear",
+    "add", "discard", "update", "sort", "popitem", "setdefault",
+})
+
+_NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+def lint_paths(paths: Sequence[str]) -> List[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: List[Finding] = []
+    for filename in _iter_python_files(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {filename!r}: {exc}") from exc
+        findings.extend(lint_source(source, filename))
+    return findings
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        if not os.path.isdir(path):
+            raise AnalysisError(f"no such file or directory: {path!r}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def lint_source(source: str, filename: str = "<string>") -> List[Finding]:
+    """Run every FREE rule over one module's source text."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        raise AnalysisError(f"cannot parse {filename!r}: {exc}") from exc
+    lines = source.splitlines()
+    findings: List[Finding] = []
+    findings.extend(_rule_bare_assert(tree))
+    findings.extend(_rule_mutable_defaults(tree))
+    findings.extend(_rule_float_equality(tree))
+    findings.extend(_rule_unbounded_cache(tree))
+    findings.extend(_rule_epoch_bump(tree))
+    return [
+        _locate(finding, filename)
+        for finding in findings
+        if not _suppressed(finding, lines)
+    ]
+
+
+def _locate(finding: Finding, filename: str) -> Finding:
+    return Finding(
+        code=finding.code,
+        severity=finding.severity,
+        message=finding.message,
+        paper_ref=finding.paper_ref,
+        subject=filename,
+        location=finding.location,
+    )
+
+
+def _suppressed(finding: Finding, lines: List[str]) -> bool:
+    line_no = int(finding.location.split(":", 1)[0])
+    if not 1 <= line_no <= len(lines):
+        return False
+    match = _NOQA.search(lines[line_no - 1])
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True  # bare "# noqa" silences everything on the line
+    return finding.code in {c.strip().upper() for c in codes.split(",")}
+
+
+def _pos(node: ast.AST) -> str:
+    return f"{node.lineno}:{node.col_offset}"
+
+
+# -- FREE001: bare assert ---------------------------------------------------
+
+def _rule_bare_assert(tree: ast.Module) -> List[Finding]:
+    return [
+        make_finding(
+            "FREE001",
+            "bare assert used for a runtime invariant; it is stripped "
+            "under `python -O` — raise InternalError instead",
+            location=_pos(node),
+        )
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Assert)
+    ]
+
+
+# -- FREE002: mutable default arguments -------------------------------------
+
+def _rule_mutable_defaults(tree: ast.Module) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                findings.append(make_finding(
+                    "FREE002",
+                    f"mutable default argument in {node.name}(); the "
+                    f"default is shared across calls — use None and "
+                    f"construct inside",
+                    location=_pos(default),
+                ))
+    return findings
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "bytearray")
+    return False
+
+
+# -- FREE003: float equality ------------------------------------------------
+
+def _rule_float_equality(tree: ast.Module) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left] + list(node.comparators)
+        has_eq = any(
+            isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+        )
+        if has_eq and any(_is_float_literal(o) for o in operands):
+            findings.append(make_finding(
+                "FREE003",
+                "float equality comparison against a float literal; "
+                "cost-model comparisons must use ordering or an "
+                "explicit tolerance (math.isclose)",
+                location=_pos(node),
+            ))
+    return findings
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        return _is_float_literal(node.operand)
+    return False
+
+
+# -- FREE004: unbounded dict caches -----------------------------------------
+
+def _rule_unbounded_cache(tree: ast.Module) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if target is None or value is None:
+            continue
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and CACHE_NAME.search(target.attr)
+        ):
+            continue
+        if _is_bare_dict(value):
+            findings.append(make_finding(
+                "FREE004",
+                f"self.{target.attr} is an unbounded dict cache on a "
+                f"long-lived object; use repro.metrics.LRUCache so it "
+                f"cannot grow without limit",
+                location=_pos(node),
+            ))
+    return findings
+
+
+def _is_bare_dict(node: ast.expr) -> bool:
+    if isinstance(node, ast.Dict) and not node.keys:
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("dict", "OrderedDict", "defaultdict")
+        and not node.args
+        and not node.keywords
+    ):
+        return True
+    return False
+
+
+# -- FREE005: index mutation without epoch bump -----------------------------
+
+def _rule_epoch_bump(tree: ast.Module) -> List[Finding]:
+    """In classes maintaining ``self.epoch``, every mutating method must
+    bump it (directly, or by calling a sibling method that does).
+
+    Heuristic by design: "mutating" means calling a collection mutator
+    (append/pop/add/...) on a ``self.<attr>`` expression or assigning /
+    deleting through a ``self.<attr>[...]`` subscript, where the
+    attribute is not ``epoch`` itself and not a cache/statistics name.
+    """
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = [
+            item for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        if not any(_bumps_epoch(m) for m in methods):
+            continue  # class does not maintain an epoch
+        bumpers = {m.name for m in methods if _bumps_epoch(m)}
+        for method in methods:
+            if method.name == "__init__":
+                continue
+            mutation = _first_state_mutation(method)
+            if mutation is None:
+                continue
+            if method.name in bumpers:
+                continue
+            if _calls_any(method, bumpers):
+                continue
+            findings.append(make_finding(
+                "FREE005",
+                f"method {node.name}.{method.name}() mutates indexed "
+                f"state (self.{mutation}) without bumping self.epoch; "
+                f"epoch-keyed caches would serve stale results",
+                location=_pos(method),
+            ))
+    return findings
+
+
+def _bumps_epoch(method: ast.AST) -> bool:
+    for node in ast.walk(method):
+        target: Optional[ast.expr] = None
+        if isinstance(node, ast.AugAssign):
+            target = node.target
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and target.attr == "epoch"
+        ):
+            return True
+    return False
+
+
+def _first_state_mutation(method: ast.AST) -> Optional[str]:
+    """Name of the first mutated ``self`` attribute, or None."""
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_CALLS
+            ):
+                attr = _self_attr_root(func.value)
+                if attr is not None:
+                    return attr
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets: List[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            else:
+                targets = list(node.targets)
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    attr = _self_attr_root(target.value)
+                    if attr is not None:
+                        return attr
+    return None
+
+
+def _self_attr_root(node: ast.expr) -> Optional[str]:
+    """``self.<attr>`` (possibly through subscripts) -> attr name."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr != "epoch"
+        and not CACHE_NAME.search(node.attr)
+        and "stat" not in node.attr.lower()
+    ):
+        return node.attr
+    return None
+
+
+def _calls_any(method: ast.AST, names: Set[str]) -> bool:
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and func.attr in names
+            ):
+                return True
+    return False
+
+
+#: Rule registry (docs and the CLI's --list-rules use this).
+RULES = {
+    "FREE001": "no bare assert for runtime invariants (python -O)",
+    "FREE002": "no mutable default arguments",
+    "FREE003": "no float == / != against float literals",
+    "FREE004": "no unbounded dict caches on long-lived objects",
+    "FREE005": "no index mutation without an epoch bump",
+}
+
+# Severity is re-exported so callers can filter lint output levels.
+__all__ = ["lint_paths", "lint_source", "RULES", "Severity"]

@@ -1,0 +1,328 @@
+"""Plan soundness analysis: prove the physical plan weakens the logical.
+
+The logical plan is sound by construction (every matching data unit
+satisfies it — see :mod:`repro.regex.rewrite`).  The physical rewrite
+(Section 4.3) must only ever *weaken* it: replace a gram by itself, by
+an AND of its substrings (which every unit containing the gram also
+contains), or by NULL.  If any rewrite step strengthens the formula the
+candidate set can lose true matches — the false-negative bug class this
+analyzer exists to catch before a query ever runs.
+
+:func:`entails` is a little structural implication prover: it verifies
+``logical ⊨ physical`` (every data unit satisfying the logical formula
+satisfies the physical one) using only sound rules, and records one
+:class:`Justification` per proof step so the report is machine- and
+human-checkable:
+
+=========  =============================================================
+rule       meaning
+=========  =============================================================
+true       physical node is NULL/ALL — implied by anything (Table 2)
+exact      gram looked up verbatim
+substring  lookup key is a substring of the required gram (Obs 3.14)
+cover      gram replaced by an AND of its substring keys (§4.3)
+and-elim   a logical conjunct alone implies the physical node
+and-intro  every physical conjunct is implied by the logical side
+or-elim    every logical disjunct implies the physical side
+or-intro   some physical disjunct is implied by the logical side
+=========  =============================================================
+
+Failure of the prover does not execute anything either — it emits a
+``PLAN001`` finding naming the unprovable pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.findings import Finding, Severity, make_finding
+from repro.plan.logical import LogicalPlan
+from repro.plan.physical import (
+    PAll,
+    PAnd,
+    PCover,
+    PLookup,
+    POr,
+    PhysNode,
+    PhysicalPlan,
+)
+from repro.regex.rewrite import Req, ReqAnd, ReqAny, ReqGram, ReqOr
+
+
+@dataclass(frozen=True)
+class Justification:
+    """One machine-checkable proof step of the weakening argument."""
+
+    rule: str
+    logical: str
+    physical: str
+    detail: str = ""
+
+    def render(self) -> str:
+        text = f"{self.rule}: {self.logical} => {self.physical}"
+        if self.detail:
+            text += f"  [{self.detail}]"
+        return text
+
+
+def entails(
+    req: Req,
+    phys: PhysNode,
+    justifications: Optional[List[Justification]] = None,
+) -> bool:
+    """Prove ``req ⊨ phys`` — ``phys`` is a sound weakening of ``req``.
+
+    Sound and complete for the plan shapes
+    :meth:`repro.plan.physical.PhysicalPlan.compile` produces;
+    conservative (may say False) on arbitrary formula pairs.  On
+    success, appends the proof steps to ``justifications``.
+    """
+    local: List[Justification] = []
+    ok = _entails(req, phys, local)
+    if ok and justifications is not None:
+        justifications.extend(local)
+    return ok
+
+
+def _entails(req: Req, phys: PhysNode, out: List[Justification]) -> bool:
+    if isinstance(phys, PAll):
+        out.append(Justification(
+            "true", _req_str(req), "ALL", "x => TRUE (Table 2)"
+        ))
+        return True
+    if isinstance(req, ReqOr):
+        # OR-elimination: every disjunct must independently imply phys.
+        steps: List[Justification] = []
+        for child in req.children:
+            if not _entails(child, phys, steps):
+                return False
+        out.extend(steps)
+        out.append(Justification(
+            "or-elim", _req_str(req), _phys_str(phys),
+            f"all {len(req.children)} disjuncts imply it",
+        ))
+        return True
+    if isinstance(phys, PAnd):  # includes PCover
+        # AND-introduction: the logical side must imply every conjunct.
+        steps = []
+        for child in phys.children:
+            if not _entails(req, child, steps):
+                return False
+        out.extend(steps)
+        rule = "cover" if isinstance(phys, PCover) else "and-intro"
+        detail = (
+            "gram replaced by AND of its substring keys (§4.3)"
+            if isinstance(phys, PCover)
+            else f"all {len(phys.children)} conjuncts implied"
+        )
+        out.append(Justification(
+            rule, _req_str(req), _phys_str(phys), detail
+        ))
+        return True
+    if isinstance(phys, POr):
+        # OR-introduction: implying one disjunct suffices.  On failure
+        # fall through — a logical conjunct may imply the whole OR
+        # (e.g. a logical OR child matching disjunct-to-disjunct).
+        for child in phys.children:
+            steps = []
+            if _entails(req, child, steps):
+                out.extend(steps)
+                out.append(Justification(
+                    "or-intro", _req_str(req), _phys_str(phys),
+                    f"via disjunct {_phys_str(child)}",
+                ))
+                return True
+    if isinstance(req, ReqGram) and isinstance(phys, PLookup):
+        if phys.key == req.gram:
+            out.append(Justification(
+                "exact", _req_str(req), _phys_str(phys)
+            ))
+            return True
+        if phys.key in req.gram:
+            out.append(Justification(
+                "substring", _req_str(req), _phys_str(phys),
+                f"{phys.key!r} occurs inside {req.gram!r} (Obs 3.14)",
+            ))
+            return True
+        return False
+    if isinstance(req, ReqAnd):
+        # AND-elimination: one conjunct alone implying phys suffices.
+        for child in req.children:
+            steps = []
+            if _entails(child, phys, steps):
+                out.extend(steps)
+                out.append(Justification(
+                    "and-elim", _req_str(req), _phys_str(phys),
+                    f"via conjunct {_req_str(child)}",
+                ))
+                return True
+        return False
+    return False
+
+
+def check_plan_pair(
+    logical: LogicalPlan,
+    physical: PhysicalPlan,
+    index: Optional[object] = None,
+) -> Tuple[List[Finding], List[Justification]]:
+    """Full soundness verdict for one compiled plan pair.
+
+    Checks, without executing the plan:
+
+    * PLAN001 — the physical plan is a provable weakening of the
+      logical plan (candidate-superset soundness, no false negatives);
+    * PLAN002 — every lookup key actually exists in the index (when an
+      index is supplied);
+    * PLAN003 — Table 2 normal form of the physical tree (no ALL child
+      inside a connective, no single-child or duplicate-child
+      connective);
+    * PLAN004 — Table 2 normal form of the logical tree.
+    """
+    findings: List[Finding] = []
+    justifications: List[Justification] = []
+    subject = f"plan for {logical.pattern!r}"
+
+    if not entails(logical.root, physical.root, justifications):
+        findings.append(make_finding(
+            "PLAN001",
+            f"physical plan {physical.root!r} is not a provable "
+            f"weakening of logical plan {logical.root!r}; candidate "
+            f"sets may lose true matches (false negatives)",
+            paper_ref="§4.3",
+            subject=subject,
+        ))
+
+    if index is not None:
+        for key in physical.lookups():
+            if key not in index:
+                findings.append(make_finding(
+                    "PLAN002",
+                    f"plan looks up {key!r}, which is not an index key",
+                    paper_ref="§4.3",
+                    subject=subject,
+                    location=repr(key),
+                ))
+
+    findings.extend(check_physical_plan(physical, subject=subject))
+    findings.extend(_check_logical_normal_form(logical, subject=subject))
+    return findings, justifications
+
+
+def check_physical_plan(
+    physical: PhysicalPlan, subject: Optional[str] = None
+) -> List[Finding]:
+    """Table 2 normal-form checks on a physical tree alone."""
+    name = subject if subject is not None else (
+        f"plan for {physical.pattern!r}"
+    )
+    findings: List[Finding] = []
+    _walk_physical(physical.root, "root", findings, name, is_root=True)
+    return findings
+
+
+def _walk_physical(
+    node: PhysNode,
+    path: str,
+    findings: List[Finding],
+    subject: str,
+    is_root: bool = False,
+) -> None:
+    if isinstance(node, (PAnd, POr)):
+        kind = "OR" if isinstance(node, POr) else "AND"
+        if len(node.children) < 2:
+            findings.append(make_finding(
+                "PLAN003",
+                f"{kind} node with {len(node.children)} child(ren) "
+                f"should have been unwrapped",
+                paper_ref="Table 2",
+                severity=Severity.WARNING,
+                subject=subject,
+                location=path,
+            ))
+        if len(set(node.children)) != len(node.children):
+            findings.append(make_finding(
+                "PLAN003",
+                f"{kind} node has duplicate children "
+                f"(dedup missed): {node!r}",
+                paper_ref="Table 2",
+                severity=Severity.WARNING,
+                subject=subject,
+                location=path,
+            ))
+        for position, child in enumerate(node.children):
+            if isinstance(child, PAll):
+                rule = (
+                    "x OR TRUE == TRUE" if kind == "OR"
+                    else "x AND TRUE == x"
+                )
+                findings.append(make_finding(
+                    "PLAN003",
+                    f"ALL survives as child {position} of {kind}; "
+                    f"NULL elimination ({rule}) was not applied",
+                    paper_ref="Table 2",
+                    subject=subject,
+                    location=f"{path}.children[{position}]",
+                ))
+            _walk_physical(
+                child, f"{path}.children[{position}]", findings, subject
+            )
+    elif not isinstance(node, (PAll, PLookup)):
+        findings.append(make_finding(
+            "PLAN003",
+            f"unknown physical node type {type(node).__name__}",
+            subject=subject,
+            location=path,
+        ))
+
+
+def _check_logical_normal_form(
+    logical: LogicalPlan, subject: str
+) -> List[Finding]:
+    findings: List[Finding] = []
+    _walk_logical(logical.root, "root", findings, subject)
+    return findings
+
+
+def _walk_logical(
+    req: Req, path: str, findings: List[Finding], subject: str
+) -> None:
+    if isinstance(req, (ReqAnd, ReqOr)):
+        kind = "OR" if isinstance(req, ReqOr) else "AND"
+        if len(req.children) < 2:
+            findings.append(make_finding(
+                "PLAN004",
+                f"logical {kind} node with {len(req.children)} "
+                f"child(ren) should have been unwrapped",
+                paper_ref="Table 2",
+                severity=Severity.WARNING,
+                subject=subject,
+                location=path,
+            ))
+        for position, child in enumerate(req.children):
+            if isinstance(child, ReqAny):
+                rule = (
+                    "x OR TRUE == TRUE" if kind == "OR"
+                    else "x AND TRUE == x"
+                )
+                findings.append(make_finding(
+                    "PLAN004",
+                    f"NULL survives as child {position} of logical "
+                    f"{kind}; Table 2 elimination ({rule}) missed it",
+                    paper_ref="Table 2",
+                    subject=subject,
+                    location=f"{path}.children[{position}]",
+                ))
+            _walk_logical(
+                child, f"{path}.children[{position}]", findings, subject
+            )
+
+
+def _req_str(req: Req) -> str:
+    text = repr(req)
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def _phys_str(phys: PhysNode) -> str:
+    text = repr(phys)
+    return text if len(text) <= 60 else text[:57] + "..."

@@ -1,0 +1,121 @@
+"""Orchestration for ``free check``: run analyzer families, merge reports.
+
+The pre-deploy gate: load a (serialized or in-memory) index, statically
+verify its structural invariants, compile the benchmark query set (or
+user-supplied patterns) against it and prove every physical plan is a
+sound weakening of its logical plan, and optionally lint the source
+tree — all without executing a single query.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Union
+
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.index_checks import (
+    check_gram_index,
+    check_segmented_index,
+)
+from repro.analysis.lint import lint_paths
+from repro.analysis.plan_checks import check_plan_pair
+from repro.bench.queries import BENCHMARK_QUERIES
+from repro.errors import AnalysisError
+from repro.index.multigram import GramIndex
+from repro.index.segmented import SegmentedGramIndex
+from repro.plan.logical import LogicalPlan
+from repro.plan.physical import CoverPolicy, PhysicalPlan
+
+
+def default_lint_root() -> str:
+    """The installed ``repro`` package directory (what ``--lint`` scans)."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_check(
+    index: Optional[Union[GramIndex, SegmentedGramIndex, str]] = None,
+    patterns: Optional[Sequence[str]] = None,
+    lint: bool = False,
+    lint_root: Optional[str] = None,
+    policy: Union[CoverPolicy, str] = CoverPolicy.ALL,
+    corpus_chars: Optional[int] = None,
+) -> AnalysisReport:
+    """Run the requested analyzer families and return one merged report.
+
+    Args:
+        index: a built index, a segmented index, or a path to a
+            serialized index image; None skips index and plan analysis.
+        patterns: regexes whose plan pairs to verify against ``index``;
+            defaults to the ten benchmark queries of Figure 8 when an
+            index is present.  An explicit empty sequence skips plan
+            analysis.
+        lint: run the FREE lint rules.
+        lint_root: directory/file to lint (default: the installed
+            ``repro`` package).
+        policy: cover policy used when compiling physical plans.
+        corpus_chars: corpus size for the Observation 3.8 bound
+            (default: whatever the index's stats recorded).
+    """
+    report = AnalysisReport()
+    if index is None and not lint:
+        raise AnalysisError(
+            "nothing to check: supply an index and/or enable lint"
+        )
+
+    if index is not None:
+        index = _resolve_index(index)
+        report.begin_section("index invariants")
+        if isinstance(index, SegmentedGramIndex):
+            report.extend(check_segmented_index(index, corpus_chars))
+        else:
+            report.extend(check_gram_index(index, corpus_chars))
+        _check_plans(report, index, patterns, policy)
+
+    if lint:
+        report.begin_section("lint")
+        root = lint_root if lint_root is not None else default_lint_root()
+        report.extend(lint_paths([root]))
+    return report
+
+
+def _resolve_index(
+    index: Union[GramIndex, SegmentedGramIndex, str],
+) -> Union[GramIndex, SegmentedGramIndex]:
+    if isinstance(index, (GramIndex, SegmentedGramIndex)):
+        return index
+    from repro.index.serialize import load_index
+
+    return load_index(index)
+
+
+def _check_plans(
+    report: AnalysisReport,
+    index: Union[GramIndex, SegmentedGramIndex],
+    patterns: Optional[Sequence[str]],
+    policy: Union[CoverPolicy, str],
+) -> None:
+    if patterns is None:
+        patterns = list(BENCHMARK_QUERIES.values())
+    if not patterns:
+        return
+    report.begin_section("plan soundness")
+    policy = CoverPolicy(policy)
+    targets: List[GramIndex] = (
+        [segment.index for segment in index.segments]
+        if isinstance(index, SegmentedGramIndex)
+        else [index]
+    )
+    for pattern in patterns:
+        logical = LogicalPlan.from_pattern(pattern)
+        for position, target in enumerate(targets):
+            physical = PhysicalPlan.compile(logical, target, policy)
+            findings, justifications = check_plan_pair(
+                logical, physical, target
+            )
+            report.extend(findings)
+            subject = pattern if len(targets) == 1 else (
+                f"{pattern} @ segment[{position}]"
+            )
+            report.justifications[subject] = [
+                step.render() for step in justifications
+            ]

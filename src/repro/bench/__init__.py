@@ -7,6 +7,8 @@
 - :mod:`repro.bench.report` — ASCII table rendering.
 """
 
+from __future__ import annotations
+
 from repro.bench.queries import BENCHMARK_QUERIES
 from repro.bench.workloads import Workload, default_workload
 

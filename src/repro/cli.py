@@ -1,4 +1,5 @@
-"""Command-line front end: ``free synth | build | search | explain | bench``.
+"""Command-line front end: ``free synth | build | search | explain |
+check | bench``.
 
 Typical session::
 
@@ -6,6 +7,7 @@ Typical session::
     free build corpus.img --out corpus.idx --threshold 0.1 --presuf
     free search corpus.img corpus.idx 'motorola.*(xpc|mpc)[0-9]+'
     free explain corpus.img corpus.idx '(Bill|William).*Clinton'
+    free check --index corpus.idx --lint
     free bench --pages 800 --experiment fig9
 """
 
@@ -25,6 +27,7 @@ from repro.engine.results import frequency_ranked
 from repro.errors import FreeError
 from repro.index.builder import build_multigram_index
 from repro.index.serialize import load_index, save_index
+from repro.plan.physical import CoverPolicy
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -101,6 +104,46 @@ def _build_parser() -> argparse.ArgumentParser:
     p_estimate.add_argument("--seed", type=int, default=0)
     p_estimate.set_defaults(func=_cmd_estimate)
 
+    p_check = sub.add_parser(
+        "check",
+        help="static invariant analysis: index, plans, lint "
+             "(pre-deploy gate; exits nonzero on violations)",
+    )
+    p_check.add_argument(
+        "--index", default=None, metavar="PATH",
+        help="serialized index image to verify (Thm 3.9, Obs 3.8, ...)",
+    )
+    p_check.add_argument(
+        "--pattern", action="append", default=None, metavar="REGEX",
+        help="verify the plan pair for this regex (repeatable; "
+             "default: the ten benchmark queries)",
+    )
+    p_check.add_argument(
+        "--policy", choices=[p.value for p in CoverPolicy], default="all",
+        help="cover policy used when compiling physical plans",
+    )
+    p_check.add_argument(
+        "--lint", action="store_true",
+        help="run the FREE001..FREE005 AST lint rules",
+    )
+    p_check.add_argument(
+        "--lint-root", default=None, metavar="PATH",
+        help="directory to lint (default: the installed repro package)",
+    )
+    p_check.add_argument(
+        "--json", action="store_true",
+        help="emit the findings as JSON instead of text",
+    )
+    p_check.add_argument(
+        "--verbose", action="store_true",
+        help="also print the per-node plan weakening justifications",
+    )
+    p_check.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as violations (nonzero exit)",
+    )
+    p_check.set_defaults(func=_cmd_check)
+
     p_bench = sub.add_parser("bench", help="run paper experiments")
     p_bench.add_argument("--pages", type=int, default=None)
     p_bench.add_argument(
@@ -120,7 +163,7 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_synth(args) -> int:
+def _cmd_synth(args: argparse.Namespace) -> int:
     corpus = build_corpus(n_pages=args.pages, seed=args.seed)
     DiskCorpus.save(args.out, corpus)
     print(
@@ -130,7 +173,7 @@ def _cmd_synth(args) -> int:
     return 0
 
 
-def _cmd_build(args) -> int:
+def _cmd_build(args: argparse.Namespace) -> int:
     with DiskCorpus(args.corpus) as corpus:
         index = build_multigram_index(
             corpus,
@@ -149,7 +192,7 @@ def _cmd_build(args) -> int:
     return 0
 
 
-def _cmd_search(args) -> int:
+def _cmd_search(args: argparse.Namespace) -> int:
     with DiskCorpus(args.corpus) as corpus:
         engine = FreeEngine(corpus, load_index(args.index))
         report = engine.search(args.pattern, limit=args.limit)
@@ -167,14 +210,14 @@ def _cmd_search(args) -> int:
     return 0
 
 
-def _cmd_explain(args) -> int:
+def _cmd_explain(args: argparse.Namespace) -> int:
     with DiskCorpus(args.corpus) as corpus:
         engine = FreeEngine(corpus, load_index(args.index))
         print(engine.explain(args.pattern, analyze=args.analyze))
     return 0
 
 
-def _cmd_estimate(args) -> int:
+def _cmd_estimate(args: argparse.Namespace) -> int:
     from repro.plan.sampling import SampledSelectivityEstimator
 
     with DiskCorpus(args.corpus) as corpus:
@@ -192,7 +235,35 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
-def _cmd_bench(args) -> int:
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis import run_check
+
+    if args.index is None and not args.lint:
+        print(
+            "error: nothing to check — pass --index and/or --lint",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_check(
+        index=args.index,
+        patterns=args.pattern,
+        lint=args.lint,
+        lint_root=args.lint_root,
+        policy=args.policy,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.pretty(verbose=args.verbose))
+    code = report.exit_code(strict_warnings=args.strict)
+    if not args.json:
+        print("check: OK" if code == 0 else "check: FAILED")
+    return code
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
     if args.repeats < 1:
         print("error: --repeats must be >= 1", file=sys.stderr)
         return 2

@@ -17,6 +17,8 @@ DESIGN.md:
   "web crawler" box of Figure 1).
 """
 
+from __future__ import annotations
+
 from repro.corpus.document import DataUnit
 from repro.corpus.store import CorpusStore, DiskCorpus, InMemoryCorpus
 from repro.corpus.synthesis import CorpusConfig, SyntheticWeb, build_corpus

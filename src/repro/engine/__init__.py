@@ -10,6 +10,8 @@
   frequency-ranked answer strings (S17, Example 1.2).
 """
 
+from __future__ import annotations
+
 from repro.engine.free import FreeEngine
 from repro.engine.results import Match, SearchReport, frequency_ranked
 from repro.engine.scan import ScanEngine

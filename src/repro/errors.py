@@ -47,5 +47,19 @@ class SerializationError(FreeError):
     """An index or corpus image on disk is malformed or truncated."""
 
 
+class InternalError(FreeError):
+    """An internal invariant was violated (a bug in this package).
+
+    Raised instead of ``assert`` for load-bearing runtime invariants so
+    they survive ``python -O`` (which strips assert statements); the
+    ``free check --lint`` rule FREE001 enforces this convention.
+    """
+
+
+class AnalysisError(FreeError):
+    """A static analysis run could not be performed (not a violation —
+    violations are reported as findings, not raised)."""
+
+
 # Friendlier public alias.
 IndexBuildError = IndexError_

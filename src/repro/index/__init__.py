@@ -18,6 +18,8 @@ Implements Section 3 of the paper:
   rows).
 """
 
+from __future__ import annotations
+
 from repro.index.builder import MultigramIndexBuilder, build_multigram_index
 from repro.index.kgram import build_complete_index
 from repro.index.multigram import GramIndex

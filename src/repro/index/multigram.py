@@ -69,6 +69,12 @@ class GramIndex:
 
     # -- directory queries -------------------------------------------------
 
+    #: Content version stamp.  A plain :class:`GramIndex` is immutable,
+    #: so it is always at epoch 0; mutable wrappers (the segmented
+    #: index) bump their own counter.  The engine's candidate-cache
+    #: keys and the static analyzer both read this uniformly.
+    epoch: int = 0
+
     def __contains__(self, gram: str) -> bool:
         return gram in self._postings
 
@@ -77,6 +83,10 @@ class GramIndex:
 
     def keys(self) -> Iterator[str]:
         return iter(self._postings)
+
+    def items(self) -> Iterator[tuple]:
+        """Iterate (key, PostingsList) pairs (analysis and diagnostics)."""
+        return iter(self._postings.items())
 
     def lookup(self, gram: str) -> PostingsList:
         """Postings for an exact key; raises KeyError if absent."""

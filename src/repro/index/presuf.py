@@ -19,7 +19,7 @@ that prefix.)
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set
+from typing import Iterable, List, Set, Tuple
 
 
 def presuf_shell(keys: Iterable[str]) -> Set[str]:
@@ -51,6 +51,50 @@ def presuf_shell_naive(keys: Iterable[str]) -> Set[str]:
         if not has_proper_suffix:
             shell.add(key)
     return shell
+
+
+def is_prefix_free(keys: Iterable[str]) -> bool:
+    """Theorem 3.9(3) check over an arbitrary key iterable.
+
+    Sort-based O(n log n) companion to
+    :meth:`repro.index.directory.KeyTrie.is_prefix_free` for callers
+    (the static analyzer) that have a key set but no trie.
+    """
+    ordered = sorted(keys)
+    for previous, current in zip(ordered, ordered[1:]):
+        if current.startswith(previous):
+            return False
+    return True
+
+
+def prefix_violations(keys: Iterable[str]) -> List[Tuple[str, str]]:
+    """The offending (prefix, extension) pairs breaking Theorem 3.9(3).
+
+    Adjacent-pair scan over the sorted keys: if any kept key is a
+    prefix of the current one, its longest such prefix is adjacent in
+    sorted order, so reporting adjacent violations names at least one
+    witness per violating extension.
+    """
+    ordered = sorted(keys)
+    violations: List[Tuple[str, str]] = []
+    stack: List[str] = []
+    for key in ordered:
+        while stack and not key.startswith(stack[-1]):
+            stack.pop()
+        if stack and key.startswith(stack[-1]) and key != stack[-1]:
+            violations.append((stack[-1], key))
+        stack.append(key)
+    return violations
+
+
+def suffix_violations(keys: Iterable[str]) -> List[Tuple[str, str]]:
+    """The offending (suffix, extension) pairs breaking Definition 3.11."""
+    return [
+        (suffix[::-1], extension[::-1])
+        for suffix, extension in prefix_violations(
+            key[::-1] for key in keys
+        )
+    ]
 
 
 def is_suffix_free(keys: Iterable[str]) -> bool:

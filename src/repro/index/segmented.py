@@ -188,6 +188,15 @@ class SegmentedGramIndex:
 
     # -- queries -------------------------------------------------------------
 
+    def segment_assignments(self) -> Dict[int, Segment]:
+        """Copy of the doc-id -> segment routing table.
+
+        Exposed for diagnostics and the static analyzer
+        (:func:`repro.analysis.index_checks.check_segmented_index`),
+        which cross-checks it against every segment's ``global_ids``.
+        """
+        return dict(self._segment_of)
+
     @property
     def n_docs(self) -> int:
         return sum(segment.n_docs for segment in self.segments)

@@ -35,6 +35,11 @@ def save_index(index: GramIndex, path: str) -> None:
         "n_docs": index.n_docs,
         "threshold": index.threshold,
         "max_gram_len": index.max_gram_len,
+        # Corpus size in chars: lets `free check` verify the
+        # Observation 3.8 postings bound on a loaded image without
+        # re-reading the corpus.  Absent in pre-v2 images (treated
+        # as unknown on load).
+        "corpus_chars": index.stats.corpus_chars,
     }
     meta_bytes = json.dumps(meta).encode("utf-8")
     with open(path, "wb") as out:
@@ -70,13 +75,15 @@ def load_index(path: str) -> GramIndex:
             (data_len,) = _U32.unpack(_read_exact(infile, _U32.size, path))
             data = _read_exact(infile, data_len, path)
             postings[key] = _validated_postings(data, count, key, path)
-    return GramIndex(
+    index = GramIndex(
         postings,
         kind=meta["kind"],
         n_docs=meta["n_docs"],
         threshold=meta["threshold"],
         max_gram_len=meta["max_gram_len"],
     )
+    index.stats.corpus_chars = int(meta.get("corpus_chars") or 0)
+    return index
 
 
 def _validated_postings(

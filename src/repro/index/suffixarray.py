@@ -28,12 +28,13 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_right
-from typing import Dict, Iterator, List, Optional
+from typing import Iterator, List, Optional
 
 from repro.corpus.store import CorpusStore
 from repro.errors import IndexBuildError
 from repro.index.postings import PostingsList
 from repro.index.stats import IndexStats
+from repro.metrics import LRUCache
 
 #: Document separator in the concatenated text.  Outside the engine
 #: alphabet, so no alphabet-only gram can span a document boundary.
@@ -74,7 +75,7 @@ class SuffixArrayIndex:
     ``covering_substrings``, ``selectivity``, ``n_docs``, ``stats``).
     """
 
-    def __init__(self, corpus: CorpusStore):
+    def __init__(self, corpus: CorpusStore, cache_size: int = 512):
         parts: List[str] = []
         self._doc_offsets = array("l")
         offset = 0
@@ -101,7 +102,9 @@ class SuffixArrayIndex:
         self.stats.n_keys = len(self._sa)  # one entry per suffix
         self.stats.n_postings = len(self._sa)
         self.stats.postings_bytes = self._sa.itemsize * len(self._sa)
-        self._cache: Dict[str, PostingsList] = {}
+        # Bounded: the gram universe is the whole substring space, so an
+        # unbounded memo would grow with query diversity forever.
+        self._cache = LRUCache(cache_size)
 
     # -- directory interface ------------------------------------------------
 
@@ -128,8 +131,13 @@ class SuffixArrayIndex:
         for idx in range(lo, hi):
             doc_ids.add(bisect_right(offsets, self._sa[idx]) - 1)
         plist = PostingsList.from_ids(doc_ids)
-        self._cache[gram] = plist
+        self._cache.put(gram, plist)
         return plist
+
+    @property
+    def lookup_cache(self) -> LRUCache:
+        """The bounded postings-lookup cache (eviction stats for tests)."""
+        return self._cache
 
     def selectivity(self, gram: str) -> Optional[float]:
         if self.n_docs == 0:

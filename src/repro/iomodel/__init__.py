@@ -1,5 +1,7 @@
 """Simulated I/O cost accounting (hardware-independent timing shapes)."""
 
+from __future__ import annotations
+
 from repro.iomodel.diskmodel import DiskModel
 
 __all__ = ["DiskModel"]

@@ -8,6 +8,8 @@
   policies (the optimization the paper defers to future work) (S13).
 """
 
+from __future__ import annotations
+
 from repro.plan.logical import LogicalPlan
 from repro.plan.physical import PhysicalPlan, CoverPolicy
 from repro.plan.sampling import SampledSelectivityEstimator

@@ -54,13 +54,13 @@ class PAll(PhysNode):
 
     __slots__ = ()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "ALL"
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, PAll)
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash("PAll")
 
 
@@ -72,13 +72,13 @@ class PLookup(PhysNode):
     def __init__(self, key: str):
         object.__setattr__(self, "key", key)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"LOOKUP({self.key!r})"
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, PLookup) and self.key == other.key
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(("PLookup", self.key))
 
 
@@ -88,16 +88,16 @@ class PAnd(PhysNode):
     def __init__(self, children: Tuple[PhysNode, ...]):
         object.__setattr__(self, "children", tuple(children))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "AND(" + ", ".join(map(repr, self.children)) + ")"
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         # Exact-type match: a COVER with the same children is *not*
         # equal — its children are correlated and the cost model treats
         # it differently, so _dedup must never merge the two.
         return type(other) is PAnd and self.children == other.children
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(("PAnd", self.children))
 
 
@@ -114,13 +114,13 @@ class PCover(PAnd):
 
     __slots__ = ()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "COVER(" + ", ".join(map(repr, self.children)) + ")"
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return type(other) is PCover and self.children == other.children
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(("PCover", self.children))
 
 
@@ -130,13 +130,13 @@ class POr(PhysNode):
     def __init__(self, children: Tuple[PhysNode, ...]):
         object.__setattr__(self, "children", tuple(children))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "OR(" + ", ".join(map(repr, self.children)) + ")"
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, POr) and self.children == other.children
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(("POr", self.children))
 
 

@@ -15,6 +15,8 @@ of Table 1 of the paper (plus the ``{m,n}`` counted repetition the
   used by the query planner.
 """
 
+from __future__ import annotations
+
 from repro.regex.parser import parse
 from repro.regex.matcher import Matcher, compile_matcher
 

@@ -109,10 +109,10 @@ class Char(Node):
         inner = "".join(_class_escape(c) for c in self.cls)
         return f"[{inner}]"
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, Char) and self.cls == other.cls
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(("Char", self.cls))
 
 
@@ -141,10 +141,10 @@ class Empty(Node):
     def to_pattern(self) -> str:
         return ""
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, Empty)
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash("Empty")
 
 
@@ -172,10 +172,10 @@ class Concat(Node):
         return "".join(p._pattern_at(2) if isinstance(p, Alt) else p._pattern_at(1)
                        for p in self.parts)
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, Concat) and self.parts == other.parts
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(("Concat", self.parts))
 
 
@@ -200,10 +200,10 @@ class Alt(Node):
     def to_pattern(self) -> str:
         return "|".join(o._pattern_at(1) for o in self.options)
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, Alt) and self.options == other.options
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(("Alt", self.options))
 
 
@@ -222,10 +222,10 @@ class Star(Node):
     def to_pattern(self) -> str:
         return self.child._pattern_at(3) + "*"
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, Star) and self.child == other.child
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(("Star", self.child))
 
 
@@ -244,10 +244,10 @@ class Plus(Node):
     def to_pattern(self) -> str:
         return self.child._pattern_at(3) + "+"
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, Plus) and self.child == other.child
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(("Plus", self.child))
 
 
@@ -266,10 +266,10 @@ class Opt(Node):
     def to_pattern(self) -> str:
         return self.child._pattern_at(3) + "?"
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, Opt) and self.child == other.child
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(("Opt", self.child))
 
 
@@ -299,7 +299,7 @@ class Repeat(Node):
             return f"{base}{{{self.lo}}}"
         return f"{base}{{{self.lo},{self.hi}}}"
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Repeat)
             and self.child == other.child
@@ -307,7 +307,7 @@ class Repeat(Node):
             and self.hi == other.hi
         )
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(("Repeat", self.child, self.lo, self.hi))
 
 

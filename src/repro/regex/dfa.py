@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.errors import InternalError
 from repro.regex.charclass import partition_classes
 from repro.regex.nfa import NFA
 
@@ -67,7 +68,14 @@ class DFA:
 
     __slots__ = ("table", "accepting", "start", "classmap", "n_blocks")
 
-    def __init__(self, table, accepting, start, classmap, n_blocks):
+    def __init__(
+        self,
+        table: List[List[int]],
+        accepting: List[bool],
+        start: int,
+        classmap: List[int],
+        n_blocks: int,
+    ):
         self.table = table
         self.accepting = accepting
         self.start = start
@@ -184,7 +192,9 @@ def build_dfa(nfa: NFA, minimize: bool = True, max_states: int = 50_000) -> DFA:
         return state_id
 
     dead = intern(frozenset())
-    assert dead == 0
+    if dead != 0:
+        # Scanning loops identify the dead state by id 0; survive -O.
+        raise InternalError(f"dead state interned as {dead}, expected 0")
     start = intern(start_set)
 
     worklist = [start_set]

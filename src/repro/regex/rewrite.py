@@ -81,13 +81,13 @@ class ReqAny(Req):
 
     __slots__ = ()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "ANY"
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, ReqAny)
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash("ReqAny")
 
 
@@ -101,13 +101,13 @@ class ReqGram(Req):
             raise ValueError("empty gram")
         object.__setattr__(self, "gram", gram)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"GRAM({self.gram!r})"
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, ReqGram) and self.gram == other.gram
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(("ReqGram", self.gram))
 
 
@@ -119,13 +119,13 @@ class ReqAnd(Req):
     def __init__(self, children: Tuple[Req, ...]):
         object.__setattr__(self, "children", tuple(children))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "AND(" + ", ".join(map(repr, self.children)) + ")"
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, ReqAnd) and self.children == other.children
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(("ReqAnd", self.children))
 
 
@@ -137,13 +137,13 @@ class ReqOr(Req):
     def __init__(self, children: Tuple[Req, ...]):
         object.__setattr__(self, "children", tuple(children))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "OR(" + ", ".join(map(repr, self.children)) + ")"
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, ReqOr) and self.children == other.children
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(("ReqOr", self.children))
 
 

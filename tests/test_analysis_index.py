@@ -1,0 +1,217 @@
+"""Index invariant analyzer tests: clean fixtures stay clean, seeded
+violations are detected with the right code and paper reference."""
+
+import pytest
+
+from repro.analysis import (
+    check_gram_index,
+    check_key_set,
+    check_segmented_index,
+)
+from repro.corpus.document import DataUnit
+from repro.corpus.store import InMemoryCorpus
+from repro.index.builder import MultigramIndexBuilder
+from repro.index.multigram import GramIndex
+from repro.index.postings import PostingsList, encode_gaps
+from repro.index.segmented import SegmentedGramIndex
+from repro.index.serialize import load_index, save_index
+
+
+def make_index(key_ids, kind="multigram", n_docs=10, **kwargs):
+    postings = {
+        key: PostingsList.from_ids(ids) for key, ids in key_ids.items()
+    }
+    return GramIndex(postings, kind=kind, n_docs=n_docs, **kwargs)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def errors(findings):
+    return [f for f in findings if f.severity.label() == "error"]
+
+
+class TestKeySet:
+    def test_prefix_free_set_is_clean(self):
+        assert check_key_set(["ab", "cd", "ba"], "multigram") == []
+
+    def test_prefix_violation_detected(self):
+        findings = check_key_set(["ab", "abc", "cd"], "multigram")
+        assert codes(findings) == ["IDX001"]
+        assert findings[0].paper_ref == "Thm 3.9"
+        assert "'ab'" in findings[0].message
+
+    def test_complete_kind_skips_prefix_check(self):
+        # A complete index unions k-gram lengths; prefix nesting is by
+        # design there, not a Theorem 3.9 violation.
+        assert check_key_set(["ab", "abc"], "complete") == []
+
+    def test_suffix_violation_detected_for_presuf(self):
+        findings = check_key_set(["xab", "ab"], "presuf")
+        assert "IDX003" in codes(findings)
+        idx003 = next(f for f in findings if f.code == "IDX003")
+        assert idx003.paper_ref == "Def 3.11 / Obs 3.13"
+
+    def test_suffix_nesting_allowed_for_multigram(self):
+        # Suffix-freeness only binds the presuf shell.
+        assert check_key_set(["xab", "ab"], "multigram") == []
+
+    def test_shell_fixpoint_violation_detected(self):
+        # 'xab' should have been pruned to its suffix 'ab'.
+        findings = check_key_set(["xab", "ab"], "presuf")
+        assert "IDX004" in codes(findings)
+        idx004 = next(f for f in findings if f.code == "IDX004")
+        assert idx004.paper_ref == "Obs 3.13/3.14"
+
+    def test_clean_presuf_set(self):
+        assert check_key_set(["ab", "ba", "cc"], "presuf") == []
+
+
+class TestGramIndex:
+    def test_fixture_multigram_index_clean(self, multigram_index):
+        assert errors(check_gram_index(multigram_index)) == []
+
+    def test_fixture_presuf_index_clean(self, presuf_index):
+        assert errors(check_gram_index(presuf_index)) == []
+
+    def test_fixture_complete_index_clean(self, complete_index):
+        assert errors(check_gram_index(complete_index)) == []
+
+    def test_postings_bound_violation(self):
+        # 4 postings over a 2-char corpus cannot happen (Obs 3.8).
+        index = make_index({"ab": [0, 1, 2, 3]}, n_docs=4)
+        findings = check_gram_index(index, corpus_chars=2)
+        assert "IDX002" in codes(findings)
+        idx002 = next(f for f in findings if f.code == "IDX002")
+        assert idx002.paper_ref == "Obs 3.8"
+
+    def test_postings_bound_respects_index_stats(self):
+        index = make_index({"ab": [0, 1]}, n_docs=2)
+        index.stats.corpus_chars = 1
+        assert "IDX002" in codes(check_gram_index(index))
+
+    def test_postings_bound_skipped_without_corpus_size(self):
+        index = make_index({"ab": [0, 1, 2, 3]}, n_docs=4)
+        index.stats.corpus_chars = 0  # unknown
+        assert "IDX002" not in codes(check_gram_index(index))
+
+    def test_out_of_range_doc_id(self):
+        index = make_index({"ab": [0, 99]}, n_docs=4)
+        findings = check_gram_index(index)
+        assert "IDX005" in codes(findings)
+
+    def test_header_count_mismatch(self):
+        # Forge a postings list whose header lies about the count.
+        bad = PostingsList(encode_gaps([0, 1, 2]), 2)
+        index = GramIndex({"ab": bad}, kind="multigram", n_docs=4)
+        findings = check_gram_index(index)
+        assert "IDX006" in codes(findings)
+
+    def test_corrupt_payload(self):
+        # 0x80 continuation bit with no terminating byte.
+        bad = PostingsList(b"\x80", 1)
+        index = GramIndex({"ab": bad}, kind="multigram", n_docs=4)
+        findings = check_gram_index(index)
+        assert "IDX006" in codes(findings)
+
+    def test_empty_postings_is_warning_not_error(self):
+        index = make_index({"ab": []}, n_docs=4)
+        findings = check_gram_index(index)
+        assert "IDX007" in codes(findings)
+        assert errors(findings) == []
+
+    def test_stats_drift_is_warning(self):
+        index = make_index({"ab": [0, 1]}, n_docs=4)
+        index.stats.n_postings = 99
+        findings = check_gram_index(index)
+        assert "IDX008" in codes(findings)
+        assert errors(findings) == []
+
+    def test_directory_trie_drift(self):
+        index = make_index({"ab": [0, 1]}, n_docs=4)
+        index.trie.insert("zz")  # trie key with no postings
+        findings = check_gram_index(index)
+        assert "IDX009" in codes(findings)
+
+    def test_witness_cap(self):
+        # 20 broken keys must not produce 20 findings per invariant.
+        index = make_index(
+            {f"k{i:02d}": [99] for i in range(20)}, n_docs=4
+        )
+        idx005 = [f for f in check_gram_index(index) if f.code == "IDX005"]
+        assert len(idx005) <= 5
+
+    def test_loaded_image_checks_clean(self, tmp_path, multigram_index):
+        path = str(tmp_path / "img.idx")
+        save_index(multigram_index, path)
+        loaded = load_index(path)
+        # corpus_chars survives the round trip, so Obs 3.8 is
+        # checkable on the image without re-reading the corpus.
+        assert loaded.stats.corpus_chars == (
+            multigram_index.stats.corpus_chars
+        )
+        assert errors(check_gram_index(loaded)) == []
+
+
+BUILDER = MultigramIndexBuilder(threshold=0.3, max_gram_len=5)
+
+TEXTS = [
+    "the cat sat on the mat",
+    "william jefferson clinton",
+    "motorola mpc750 chip",
+    "nothing to see here",
+    "the cat ran fast",
+    "buy this mp3 song now",
+]
+
+
+def seg_index():
+    corpus = InMemoryCorpus.from_texts(TEXTS)
+    return SegmentedGramIndex.build(
+        corpus, segment_docs=3, builder=BUILDER
+    )
+
+
+class TestSegmented:
+    def test_fresh_segmented_index_clean(self):
+        assert errors(check_segmented_index(seg_index())) == []
+
+    def test_clean_after_add_and_delete(self):
+        seg = seg_index()
+        seg.add_documents([DataUnit(len(TEXTS), "a brand new page")])
+        seg.delete(0)
+        assert errors(check_segmented_index(seg)) == []
+
+    def test_epoch_too_low_detected(self):
+        seg = seg_index()
+        seg.epoch = 0  # forge a skipped bump
+        findings = check_segmented_index(seg)
+        assert "SEG005" in codes(findings)
+        seg005 = next(f for f in findings if f.code == "SEG005")
+        assert "epoch" in seg005.message
+
+    def test_ghost_tombstone_detected(self):
+        seg = seg_index()
+        seg.segments[0].deleted.add(999)  # id segment[0] never held
+        assert "SEG003" in codes(check_segmented_index(seg))
+
+    def test_dangling_route_detected(self):
+        seg = seg_index()
+        seg._segment_of[999] = seg.segments[0]
+        assert "SEG002" in codes(check_segmented_index(seg))
+
+    def test_misroute_detected(self):
+        seg = seg_index()
+        some_id = seg.segments[0].global_ids[0]
+        seg._segment_of[some_id] = seg.segments[1]
+        assert "SEG002" in codes(check_segmented_index(seg))
+
+    def test_per_segment_invariants_recursed(self):
+        seg = seg_index()
+        seg.segments[0].index.stats.n_keys = 9999
+        findings = check_segmented_index(seg)
+        assert "IDX008" in codes(findings)
+        assert "segment[0]" in next(
+            f for f in findings if f.code == "IDX008"
+        ).subject

@@ -1,0 +1,181 @@
+"""FREE lint rule tests: each rule fires on a minimal seeded snippet,
+stays silent on the compliant variant, and the repo itself lints clean."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.lint import RULES
+from repro.analysis.runner import default_lint_root
+from repro.errors import AnalysisError
+
+
+def run(snippet):
+    return lint_source(textwrap.dedent(snippet), "snippet.py")
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestBareAssert:
+    def test_fires(self):
+        assert codes(run("assert x == 1\n")) == ["FREE001"]
+
+    def test_silent_on_raise(self):
+        snippet = """
+        if x != 1:
+            raise InternalError("x drifted")
+        """
+        assert run(snippet) == []
+
+
+class TestMutableDefaults:
+    def test_list_literal(self):
+        assert codes(run("def f(a=[]):\n    pass\n")) == ["FREE002"]
+
+    def test_dict_call(self):
+        assert codes(run("def f(a=dict()):\n    pass\n")) == ["FREE002"]
+
+    def test_keyword_only_default(self):
+        assert codes(run("def f(*, a={}):\n    pass\n")) == ["FREE002"]
+
+    def test_none_default_ok(self):
+        assert run("def f(a=None):\n    pass\n") == []
+
+    def test_tuple_default_ok(self):
+        assert run("def f(a=()):\n    pass\n") == []
+
+
+class TestFloatEquality:
+    def test_eq_literal(self):
+        assert codes(run("ok = cost == 0.5\n")) == ["FREE003"]
+
+    def test_noteq_negative_literal(self):
+        assert codes(run("ok = cost != -1.0\n")) == ["FREE003"]
+
+    def test_ordering_ok(self):
+        assert run("ok = cost < 0.5\n") == []
+
+    def test_int_equality_ok(self):
+        assert run("ok = count == 3\n") == []
+
+
+class TestUnboundedCache:
+    def test_dict_literal_cache(self):
+        snippet = """
+        class A:
+            def __init__(self):
+                self._cache = {}
+        """
+        assert codes(run(snippet)) == ["FREE004"]
+
+    def test_memo_name_matches(self):
+        snippet = """
+        class A:
+            def __init__(self):
+                self.memo_table = dict()
+        """
+        assert codes(run(snippet)) == ["FREE004"]
+
+    def test_lru_cache_ok(self):
+        snippet = """
+        class A:
+            def __init__(self):
+                self._cache = LRUCache(64)
+        """
+        assert run(snippet) == []
+
+    def test_non_cache_dict_ok(self):
+        snippet = """
+        class A:
+            def __init__(self):
+                self._postings = {}
+        """
+        assert run(snippet) == []
+
+
+EPOCH_SNIPPET = """
+class Index:
+    def __init__(self):
+        self.epoch = 0
+        self.segments = []
+
+    def add(self, segment):
+        self.segments.append(segment)
+        %s
+"""
+
+
+class TestEpochBump:
+    def test_mutation_without_bump_fires(self):
+        findings = run(EPOCH_SNIPPET % "pass")
+        assert codes(findings) == ["FREE005"]
+        assert "Index.add()" in findings[0].message
+
+    def test_direct_bump_ok(self):
+        assert run(EPOCH_SNIPPET % "self.epoch += 1") == []
+
+    def test_bump_via_sibling_ok(self):
+        snippet = EPOCH_SNIPPET % "self._bump()" + """
+    def _bump(self):
+        self.epoch += 1
+"""
+        assert run(snippet) == []
+
+    def test_class_without_epoch_ignored(self):
+        snippet = """
+        class Bag:
+            def add(self, item):
+                self.items.append(item)
+        """
+        assert run(snippet) == []
+
+    def test_cache_mutation_exempt(self):
+        snippet = """
+        class Index:
+            def __init__(self):
+                self.epoch = 0
+
+            def warm(self, key, value):
+                self._cache[key] = value
+        """
+        assert run(snippet) == []
+
+
+class TestSuppression:
+    def test_bare_noqa(self):
+        assert run("assert x  # noqa\n") == []
+
+    def test_targeted_noqa(self):
+        assert run("assert x  # noqa: FREE001\n") == []
+
+    def test_wrong_code_does_not_suppress(self):
+        assert codes(run("assert x  # noqa: FREE003\n")) == ["FREE001"]
+
+
+class TestEngine:
+    def test_syntax_error_raises_analysis_error(self):
+        with pytest.raises(AnalysisError):
+            lint_source("def f(:\n", "bad.py")
+
+    def test_missing_path_raises(self):
+        with pytest.raises(AnalysisError):
+            lint_paths(["/no/such/path/anywhere"])
+
+    def test_findings_carry_filename_and_position(self):
+        findings = run("x = 1\nassert x\n")
+        assert findings[0].subject == "snippet.py"
+        assert findings[0].location.startswith("2:")
+
+    def test_rule_registry_complete(self):
+        assert sorted(RULES) == [
+            "FREE001", "FREE002", "FREE003", "FREE004", "FREE005",
+        ]
+
+    def test_repo_lints_clean(self):
+        # The gate the CI job enforces: the package's own source has
+        # no ERROR-severity lint findings.
+        findings = lint_paths([default_lint_root()])
+        assert [f for f in findings if f.severity.label() == "error"] == []

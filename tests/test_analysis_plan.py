@@ -1,0 +1,234 @@
+"""Plan soundness analyzer tests: the implication prover accepts every
+plan the compiler produces and rejects seeded strengthenings."""
+
+import pytest
+
+from repro.analysis import check_physical_plan, check_plan_pair, entails
+from repro.analysis.plan_checks import Justification
+from repro.bench.queries import BENCHMARK_QUERIES
+from repro.plan.logical import LogicalPlan
+from repro.plan.physical import (
+    PAll,
+    PAnd,
+    PCover,
+    PLookup,
+    POr,
+    PhysicalPlan,
+)
+from repro.regex.rewrite import ReqAnd, ReqAny, ReqGram, ReqOr
+
+
+def gram(text):
+    return ReqGram(text)
+
+
+class TestEntails:
+    def test_anything_entails_all(self):
+        steps = []
+        assert entails(gram("abc"), PAll(), steps)
+        assert steps[0].rule == "true"
+
+    def test_exact_lookup(self):
+        steps = []
+        assert entails(gram("abc"), PLookup("abc"), steps)
+        assert [s.rule for s in steps] == ["exact"]
+
+    def test_substring_lookup(self):
+        steps = []
+        assert entails(gram("motorola"), PLookup("toro"), steps)
+        assert [s.rule for s in steps] == ["substring"]
+
+    def test_non_substring_rejected(self):
+        assert not entails(gram("abc"), PLookup("xyz"))
+
+    def test_superstring_rejected(self):
+        # Looking up a LONGER gram strengthens the plan: units
+        # containing 'ab' need not contain 'abc'.
+        assert not entails(gram("ab"), PLookup("abc"))
+
+    def test_cover(self):
+        steps = []
+        cover = PCover((PLookup("mot"), PLookup("oro"), PLookup("ola")))
+        assert entails(gram("motorola"), cover, steps)
+        assert steps[-1].rule == "cover"
+
+    def test_cover_with_foreign_key_rejected(self):
+        cover = PCover((PLookup("mot"), PLookup("zzz")))
+        assert not entails(gram("motorola"), cover)
+
+    def test_and_elim(self):
+        req = ReqAnd((gram("abc"), gram("def")))
+        steps = []
+        assert entails(req, PLookup("def"), steps)
+        assert steps[-1].rule == "and-elim"
+
+    def test_and_intro(self):
+        req = ReqAnd((gram("abc"), gram("def")))
+        phys = PAnd((PLookup("abc"), PLookup("def")))
+        steps = []
+        assert entails(req, phys, steps)
+        assert steps[-1].rule == "and-intro"
+
+    def test_and_intro_with_extra_conjunct_rejected(self):
+        # AND(abc, zzz) is stronger than GRAM(abc): rejected.
+        phys = PAnd((PLookup("abc"), PLookup("zzz")))
+        assert not entails(gram("abc"), phys)
+
+    def test_or_elim(self):
+        req = ReqOr((gram("abc"), gram("abd")))
+        steps = []
+        assert entails(req, PLookup("ab"), steps)
+        assert steps[-1].rule == "or-elim"
+
+    def test_or_elim_requires_every_disjunct(self):
+        req = ReqOr((gram("abc"), gram("xyz")))
+        assert not entails(req, PLookup("ab"))
+
+    def test_or_intro(self):
+        phys = POr((PLookup("abc"), PLookup("zzz")))
+        steps = []
+        assert entails(gram("abc"), phys, steps)
+        assert steps[-1].rule == "or-intro"
+
+    def test_dropping_a_disjunct_rejected(self):
+        # Physical OR(abc) for logical OR(abc, xyz) loses xyz matches.
+        req = ReqOr((gram("abc"), gram("xyz")))
+        assert not entails(req, PLookup("abc"))
+
+    def test_or_to_or_disjunctwise(self):
+        # Each logical disjunct maps to its own physical disjunct;
+        # needs or-elim on the logical side to split first.
+        req = ReqOr((gram("auction"), gram("bidder")))
+        phys = POr((PLookup("tion"), PLookup("idde")))
+        steps = []
+        assert entails(req, phys, steps)
+        rules = {s.rule for s in steps}
+        assert "or-elim" in rules and "or-intro" in rules
+
+    def test_nested_conjunct_through_or(self):
+        # The ebay shape: AND(eb, OR(tion, COVER(bid, idde, dde)))
+        # for AND(ebay, OR(auction, bidder)).  The POr branch must
+        # fall through to and-elim on the logical side.
+        req = ReqAnd((
+            gram("ebay"),
+            ReqOr((gram("auction"), gram("bidder"))),
+        ))
+        phys = PAnd((
+            PLookup("eb"),
+            POr((
+                PLookup("tion"),
+                PCover((PLookup("bid"), PLookup("idde"))),
+            )),
+        ))
+        steps = []
+        assert entails(req, phys, steps)
+        assert steps[-1].rule == "and-intro"
+
+    def test_failure_leaves_justifications_untouched(self):
+        steps = [Justification("exact", "x", "y")]
+        assert not entails(gram("abc"), PLookup("xyz"), steps)
+        assert len(steps) == 1
+
+
+def plan_pair(pattern, index, **kwargs):
+    logical = LogicalPlan.from_pattern(pattern)
+    physical = PhysicalPlan.compile(logical, index, **kwargs)
+    return logical, physical
+
+
+def errors(findings):
+    return [f for f in findings if f.severity.label() == "error"]
+
+
+class TestCheckPlanPair:
+    @pytest.mark.parametrize(
+        "pattern", sorted(BENCHMARK_QUERIES.values())
+    )
+    def test_benchmark_plans_prove_sound(self, multigram_index, pattern):
+        logical, physical = plan_pair(pattern, multigram_index)
+        findings, justifications = check_plan_pair(
+            logical, physical, multigram_index
+        )
+        assert errors(findings) == []
+        assert justifications  # the proof is recorded, not just True
+
+    @pytest.mark.parametrize("policy", ["all", "best", "cheapest2"])
+    def test_every_cover_policy_sound(self, presuf_index, policy):
+        pattern = BENCHMARK_QUERIES["powerpc"]
+        logical, physical = plan_pair(
+            pattern, presuf_index, policy=policy
+        )
+        findings, _ = check_plan_pair(logical, physical, presuf_index)
+        assert errors(findings) == []
+
+    def test_seeded_unsound_plan_flagged(self, multigram_index):
+        logical = LogicalPlan.from_pattern("clinton")
+        # Forge a plan that looks up an unrelated key: candidate sets
+        # would silently lose every true match.
+        physical = PhysicalPlan(
+            pattern="clinton",
+            root=PLookup("mot"),
+            unavailable_grams=(),
+        )
+        findings, _ = check_plan_pair(logical, physical)
+        assert "PLAN001" in [f.code for f in findings]
+        plan001 = next(f for f in findings if f.code == "PLAN001")
+        assert plan001.paper_ref == "§4.3"
+
+    def test_foreign_lookup_key_flagged(self, multigram_index):
+        logical = LogicalPlan.from_pattern("clinton")
+        physical = PhysicalPlan(
+            pattern="clinton",
+            root=PLookup("clin-no-such-key"),
+            unavailable_grams=(),
+        )
+        findings, _ = check_plan_pair(
+            logical, physical, multigram_index
+        )
+        assert "PLAN002" in [f.code for f in findings]
+
+    def test_surviving_all_child_flagged(self):
+        physical = PhysicalPlan(
+            pattern="x",
+            root=PAnd((PLookup("ab"), PAll())),
+            unavailable_grams=(),
+        )
+        findings = check_physical_plan(physical)
+        assert any(
+            f.code == "PLAN003" and f.severity.label() == "error"
+            for f in findings
+        )
+        assert any("Table 2" in f.paper_ref for f in findings)
+
+    def test_single_child_connective_warns(self):
+        physical = PhysicalPlan(
+            pattern="x",
+            root=POr((PLookup("ab"),)),
+            unavailable_grams=(),
+        )
+        findings = check_physical_plan(physical)
+        assert [f.code for f in findings] == ["PLAN003"]
+        assert findings[0].severity.label() == "warning"
+
+    def test_duplicate_children_warn(self):
+        physical = PhysicalPlan(
+            pattern="x",
+            root=PAnd((PLookup("ab"), PLookup("ab"))),
+            unavailable_grams=(),
+        )
+        findings = check_physical_plan(physical)
+        assert "PLAN003" in [f.code for f in findings]
+
+    def test_compiled_plans_pass_normal_form(self, multigram_index):
+        for pattern in BENCHMARK_QUERIES.values():
+            _, physical = plan_pair(pattern, multigram_index)
+            assert errors(check_physical_plan(physical)) == []
+
+    def test_full_scan_plan_is_sound(self, multigram_index):
+        # A pattern with no useful grams compiles to ALL — trivially
+        # sound (weakest possible plan), never a PLAN001.
+        logical, physical = plan_pair("[0-9]", multigram_index)
+        findings, justifications = check_plan_pair(
+            logical, physical, multigram_index
+        )
+        assert errors(findings) == []

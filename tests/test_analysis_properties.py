@@ -1,0 +1,134 @@
+"""Property tests for the presuf-shell invariants, driven through the
+static analyzer (satellite of the `free check` tentpole).
+
+Each property asserts a paper statement over random gram sets and then
+re-asserts it *through* :func:`check_key_set` / :func:`check_gram_index`,
+so the analyzer itself is exercised on thousands of random inputs: it
+must accept every shell the construction produces and flag every seeded
+violation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import check_gram_index, check_key_set
+from repro.index.multigram import GramIndex
+from repro.index.postings import PostingsList
+from repro.index.presuf import (
+    covers,
+    is_prefix_free,
+    is_suffix_free,
+    presuf_shell,
+    presuf_shell_naive,
+    prefix_violations,
+    suffix_violations,
+)
+
+grams = st.text(alphabet="abc", min_size=1, max_size=6)
+gram_sets = st.sets(grams, max_size=25)
+
+
+def prefix_free(keys):
+    """Largest prefix-free subset: drop every key a shorter key prefixes."""
+    kept = []
+    for key in sorted(keys):
+        if not (kept and key.startswith(kept[-1])):
+            kept.append(key)
+    return kept
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+class TestShellProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(keys=gram_sets)
+    def test_shell_matches_naive_oracle(self, keys):
+        # Obs 3.13: reverse-then-sort equals the quadratic definition.
+        pf = prefix_free(keys)
+        assert presuf_shell(pf) == presuf_shell_naive(pf)
+
+    @settings(max_examples=300, deadline=None)
+    @given(keys=gram_sets)
+    def test_shell_is_suffix_free_subset_and_covers(self, keys):
+        # Definition 3.12's three clauses.
+        pf = prefix_free(keys)
+        shell = presuf_shell(pf)
+        assert shell <= set(pf)
+        assert is_suffix_free(shell)
+        assert covers(shell, pf)
+
+    @settings(max_examples=300, deadline=None)
+    @given(keys=gram_sets)
+    def test_shell_is_idempotent(self, keys):
+        # Obs 3.13 uniqueness: the shell is its own shell.
+        shell = presuf_shell(prefix_free(keys))
+        assert presuf_shell(shell) == shell
+
+    @settings(max_examples=300, deadline=None)
+    @given(keys=gram_sets)
+    def test_violation_scans_agree_with_predicates(self, keys):
+        key_list = sorted(keys)
+        assert bool(prefix_violations(key_list)) == (
+            not is_prefix_free(key_list)
+        )
+        assert bool(suffix_violations(key_list)) == (
+            not is_suffix_free(key_list)
+        )
+
+
+class TestAnalyzerOnRandomSets:
+    @settings(max_examples=300, deadline=None)
+    @given(keys=gram_sets)
+    def test_analyzer_accepts_every_shell(self, keys):
+        # The construction's output always satisfies IDX001/003/004.
+        shell = presuf_shell(prefix_free(keys))
+        assert check_key_set(shell, "presuf") == []
+
+    @settings(max_examples=300, deadline=None)
+    @given(keys=gram_sets)
+    def test_analyzer_agrees_with_prefix_free_predicate(self, keys):
+        findings = check_key_set(sorted(keys), "multigram")
+        assert ("IDX001" in codes(findings)) == (
+            not is_prefix_free(keys)
+        )
+
+    @settings(max_examples=300, deadline=None)
+    @given(keys=st.sets(grams, min_size=2, max_size=25))
+    def test_analyzer_flags_every_unshelled_presuf_set(self, keys):
+        # If the prefix-free set is NOT its own shell, the analyzer
+        # must say so (IDX003 and/or IDX004); if it is, stay silent.
+        pf = prefix_free(keys)
+        findings = check_key_set(pf, "presuf")
+        if presuf_shell(pf) == set(pf):
+            assert findings == []
+        else:
+            assert codes(findings) & {"IDX003", "IDX004"}
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        keys=gram_sets,
+        n_docs=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    def test_analyzer_accepts_consistent_random_index(
+        self, keys, n_docs, data
+    ):
+        # A well-formed index over random keys and random non-empty
+        # postings has no ERROR findings.
+        shell = sorted(presuf_shell(prefix_free(keys)))
+        postings = {}
+        for key in shell:
+            ids = data.draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=n_docs - 1),
+                    min_size=1,
+                ),
+                label=f"ids[{key}]",
+            )
+            postings[key] = PostingsList.from_ids(ids)
+        index = GramIndex(postings, kind="presuf", n_docs=n_docs)
+        findings = check_gram_index(index)
+        assert [
+            f for f in findings if f.severity.label() == "error"
+        ] == []

@@ -126,3 +126,59 @@ class TestNoArgs:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2
         assert "usage" in capsys.readouterr().out.lower()
+
+
+class TestCheck:
+    def test_clean_index_passes(self, images, capsys):
+        _, index_path = images
+        assert main(["check", "--index", index_path]) == 0
+        out = capsys.readouterr().out
+        assert "index invariants" in out
+        assert "plan soundness" in out
+        assert "check: OK" in out
+
+    def test_corrupt_index_fails(self, images, tmp_path, capsys):
+        _, index_path = images
+        from repro.index.postings import PostingsList, encode_gaps
+        from repro.index.serialize import load_index, save_index
+
+        index = load_index(index_path)
+        key = next(iter(index.keys()))
+        # Forge an out-of-range doc id behind the loaded image's back.
+        index._postings[key] = PostingsList.from_ids(
+            [index.n_docs + 7]
+        )
+        bad_path = str(tmp_path / "bad.idx")
+        save_index(index, bad_path)
+        assert main(["check", "--index", bad_path,
+                     "--pattern", "clinton"]) == 1
+        out = capsys.readouterr().out
+        assert "IDX005" in out
+        assert "check: FAILED" in out
+
+    def test_lint_only_passes_on_repo(self, capsys):
+        assert main(["check", "--lint"]) == 0
+        out = capsys.readouterr().out
+        assert "lint" in out
+
+    def test_no_args_is_usage_error(self, capsys):
+        assert main(["check"]) == 2
+        assert "nothing to check" in capsys.readouterr().err
+
+    def test_json_output(self, images, capsys):
+        import json
+
+        _, index_path = images
+        assert main(["check", "--index", index_path,
+                     "--pattern", "clinton", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert "index invariants" in payload["sections"]
+        assert "clinton" in payload["justifications"]
+
+    def test_verbose_prints_justifications(self, images, capsys):
+        _, index_path = images
+        assert main(["check", "--index", index_path,
+                     "--pattern", "motorola", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "justifications for" in out

@@ -134,3 +134,31 @@ class TestEngineIntegration:
         corpus = corpus_of(*self.TEXTS)
         index = SuffixArrayIndex(corpus)
         assert index.index_bytes >= corpus.total_chars
+
+
+class TestCacheBound:
+    """The postings cache must stay bounded (regression: it used to be
+    an unbounded dict that grew with every distinct gram queried)."""
+
+    def test_eviction_keeps_cache_bounded(self):
+        index = SuffixArrayIndex(
+            corpus_of("abcdefgh"), cache_size=2
+        )
+        for gram in ("ab", "cd", "ef", "gh"):
+            index.lookup(gram)
+        assert len(index.lookup_cache) <= 2
+        assert index.lookup_cache.evictions >= 2
+
+    def test_evicted_gram_still_correct(self):
+        index = SuffixArrayIndex(
+            corpus_of("abcd", "cdef"), cache_size=1
+        )
+        first = index.lookup("cd").ids()
+        index.lookup("ab")  # evicts 'cd'
+        assert index.lookup("cd").ids() == first == [0, 1]
+
+    def test_zero_capacity_disables_caching(self):
+        index = SuffixArrayIndex(corpus_of("abcd"), cache_size=0)
+        assert index.lookup("ab").ids() == [0]
+        assert index.lookup("ab").ids() == [0]
+        assert index.lookup_cache.hits == 0
