@@ -10,17 +10,20 @@ without running a single query, and reports violations as structured
 :class:`~repro.analysis.findings.Finding` values carrying the paper
 reference being violated.
 
-Three analyzer families (all reachable via ``free check``):
+Four analyzer families (all reachable via ``free check``):
 
 * :mod:`~repro.analysis.index_checks` — index structure invariants;
 * :mod:`~repro.analysis.plan_checks` — logical→physical weakening
   proofs (no false negatives by construction);
+* :mod:`~repro.analysis.build_checks` — persisted build-report vs
+  index image cross-validation (BLD001..BLD005);
 * :mod:`~repro.analysis.lint` — repo-specific AST lint rules
-  (FREE001..FREE005).
+  (FREE001..FREE006).
 """
 
 from __future__ import annotations
 
+from repro.analysis.build_checks import check_build_report
 from repro.analysis.findings import AnalysisReport, Finding, Severity
 from repro.analysis.index_checks import (
     check_gram_index,
@@ -41,6 +44,7 @@ __all__ = [
     "Finding",
     "Severity",
     "Justification",
+    "check_build_report",
     "check_gram_index",
     "check_key_set",
     "check_segmented_index",

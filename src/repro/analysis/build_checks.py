@@ -1,0 +1,113 @@
+"""Cross-validate a persisted :class:`BuildReport` against its index.
+
+``free build`` writes a profiling report next to every index image
+(``<image>.build.json``); ``free check --index`` auto-discovers it and
+verifies that the report still describes the image it sits next to — a
+stale or foreign report would make every profiling number a lie:
+
+* **BLD001** — key count mismatch (report vs loaded image).
+* **BLD002** — postings totals mismatch (count or compressed bytes).
+* **BLD003** — the report itself violates Observation 3.8's bound
+  (postings > corpus chars), impossible for a prefix-free key set.
+* **BLD004** — corpus size disagreement between report and image meta
+  (warning: pre-v2 images carry no corpus size).
+
+Level arithmetic is also checked: at every mined level,
+``candidates == useful + pruned`` by construction (BLD005).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.analysis.findings import Finding, Severity, make_finding
+from repro.index.multigram import GramIndex
+from repro.obs.buildreport import BuildReport
+
+
+def check_build_report(
+    report: Union[BuildReport, str],
+    index: GramIndex,
+) -> List[Finding]:
+    """Findings for a build report vs the index it claims to describe.
+
+    Args:
+        report: a :class:`BuildReport` or a path to its JSON file.
+        index: the loaded index image the report sits next to.
+    """
+    if isinstance(report, str):
+        report = BuildReport.load(report)
+    findings: List[Finding] = []
+    subject = f"build report ({report.kind})"
+    stats = index.stats
+
+    if report.kind != index.kind:
+        findings.append(make_finding(
+            "BLD001",
+            f"report describes a {report.kind!r} index but the image "
+            f"is {index.kind!r}",
+            subject=subject,
+        ))
+    if report.n_keys != stats.n_keys:
+        findings.append(make_finding(
+            "BLD001",
+            f"report says {report.n_keys} keys, image has "
+            f"{stats.n_keys}",
+            paper_ref="Thm 3.9",
+            subject=subject,
+        ))
+    if report.n_postings != stats.n_postings:
+        findings.append(make_finding(
+            "BLD002",
+            f"report says {report.n_postings} postings, image has "
+            f"{stats.n_postings}",
+            subject=subject,
+        ))
+    if report.postings_bytes != stats.postings_bytes:
+        findings.append(make_finding(
+            "BLD002",
+            f"report says {report.postings_bytes} postings bytes, "
+            f"image has {stats.postings_bytes}",
+            subject=subject,
+        ))
+    if report.corpus_chars and report.n_postings > report.corpus_chars:
+        findings.append(make_finding(
+            "BLD003",
+            f"report records {report.n_postings} postings over a "
+            f"{report.corpus_chars}-char corpus; a prefix-free key "
+            f"set admits at most one posting per corpus position",
+            paper_ref="Obs 3.8",
+            subject=subject,
+        ))
+    if (
+        report.corpus_chars
+        and stats.corpus_chars
+        and report.corpus_chars != stats.corpus_chars
+    ):
+        findings.append(make_finding(
+            "BLD004",
+            f"report was built over {report.corpus_chars} corpus "
+            f"chars, image meta says {stats.corpus_chars}",
+            severity=Severity.WARNING,
+            subject=subject,
+        ))
+    for lp in report.levels:
+        if lp.candidates != lp.useful + lp.pruned:
+            findings.append(make_finding(
+                "BLD005",
+                f"level {lp.level}: {lp.candidates} candidates != "
+                f"{lp.useful} useful + {lp.pruned} pruned",
+                paper_ref="Alg 3.1",
+                subject=subject,
+                location=f"level {lp.level}",
+            ))
+        if lp.hash_classified > lp.useful:
+            findings.append(make_finding(
+                "BLD005",
+                f"level {lp.level}: {lp.hash_classified} "
+                f"hash-classified grams exceed the {lp.useful} useful "
+                f"grams they are a subset of",
+                subject=subject,
+                location=f"level {lp.level}",
+            ))
+    return findings

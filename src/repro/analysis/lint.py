@@ -18,6 +18,9 @@ FREE004    no unbounded ``dict`` caches on long-lived objects — use
 FREE005    no index mutation without an epoch bump: in classes that
            maintain ``self.epoch``, any method mutating indexed state
            must bump the epoch or call a sibling method that does
+FREE006    no ``time.time()`` calls — wall clocks jump (NTP, DST) and
+           cannot be injected in tests; spans, metrics and engine
+           timings must read :func:`repro.obs.clock.monotonic`
 =========  ============================================================
 
 Suppression: a line containing ``# noqa`` (optionally ``# noqa:
@@ -87,6 +90,7 @@ def lint_source(source: str, filename: str = "<string>") -> List[Finding]:
     findings.extend(_rule_float_equality(tree))
     findings.extend(_rule_unbounded_cache(tree))
     findings.extend(_rule_epoch_bump(tree))
+    findings.extend(_rule_wall_clock(tree))
     return [
         _locate(finding, filename)
         for finding in findings
@@ -362,6 +366,55 @@ def _calls_any(method: ast.AST, names: Set[str]) -> bool:
     return False
 
 
+# -- FREE006: wall-clock reads ----------------------------------------------
+
+def _rule_wall_clock(tree: ast.Module) -> List[Finding]:
+    """No ``time.time()`` (however imported): timings must come from
+    the injectable monotonic clock of :mod:`repro.obs.clock`.
+
+    Catches ``time.time()`` through any binding of the ``time`` module
+    (``import time``, ``import time as t``) and direct bindings of the
+    function (``from time import time``, ``from time import time as
+    now``).  ``perf_counter``/``monotonic`` reads via the clock module
+    are the sanctioned replacement.
+    """
+    module_names: Set[str] = set()
+    function_names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    module_names.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    function_names.add(alias.asname or "time")
+    if not module_names and not function_names:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        wall_clock = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in module_names
+        ) or (
+            isinstance(func, ast.Name) and func.id in function_names
+        )
+        if wall_clock:
+            findings.append(make_finding(
+                "FREE006",
+                "wall-clock read via time.time(); it jumps under NTP "
+                "and cannot be injected in tests — use "
+                "repro.obs.clock.monotonic() instead",
+                location=_pos(node),
+            ))
+    return findings
+
+
 #: Rule registry (docs and the CLI's --list-rules use this).
 RULES = {
     "FREE001": "no bare assert for runtime invariants (python -O)",
@@ -369,6 +422,7 @@ RULES = {
     "FREE003": "no float == / != against float literals",
     "FREE004": "no unbounded dict caches on long-lived objects",
     "FREE005": "no index mutation without an epoch bump",
+    "FREE006": "no time.time() — use the injectable obs clock",
 }
 
 # Severity is re-exported so callers can filter lint output levels.

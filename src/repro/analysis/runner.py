@@ -12,6 +12,7 @@ from __future__ import annotations
 import os
 from typing import List, Optional, Sequence, Union
 
+from repro.analysis.build_checks import check_build_report
 from repro.analysis.findings import AnalysisReport
 from repro.analysis.index_checks import (
     check_gram_index,
@@ -23,6 +24,7 @@ from repro.bench.queries import BENCHMARK_QUERIES
 from repro.errors import AnalysisError
 from repro.index.multigram import GramIndex
 from repro.index.segmented import SegmentedGramIndex
+from repro.obs.buildreport import BuildReport, default_report_path
 from repro.plan.logical import LogicalPlan
 from repro.plan.physical import CoverPolicy, PhysicalPlan
 
@@ -39,6 +41,7 @@ def run_check(
     lint_root: Optional[str] = None,
     policy: Union[CoverPolicy, str] = CoverPolicy.ALL,
     corpus_chars: Optional[int] = None,
+    build_report: Optional[Union[BuildReport, str]] = None,
 ) -> AnalysisReport:
     """Run the requested analyzer families and return one merged report.
 
@@ -55,6 +58,9 @@ def run_check(
         policy: cover policy used when compiling physical plans.
         corpus_chars: corpus size for the Observation 3.8 bound
             (default: whatever the index's stats recorded).
+        build_report: a :class:`BuildReport` (or path to its JSON) to
+            cross-validate against the index; when ``index`` is an
+            image path, ``<image>.build.json`` is auto-discovered.
     """
     report = AnalysisReport()
     if index is None and not lint:
@@ -63,12 +69,19 @@ def run_check(
         )
 
     if index is not None:
+        if build_report is None and isinstance(index, str):
+            candidate = default_report_path(index)
+            if os.path.exists(candidate):
+                build_report = candidate
         index = _resolve_index(index)
         report.begin_section("index invariants")
         if isinstance(index, SegmentedGramIndex):
             report.extend(check_segmented_index(index, corpus_chars))
         else:
             report.extend(check_gram_index(index, corpus_chars))
+        if build_report is not None and isinstance(index, GramIndex):
+            report.begin_section("build report")
+            report.extend(check_build_report(build_report, index))
         _check_plans(report, index, patterns, policy)
 
     if lint:

@@ -9,6 +9,8 @@ cost, which is hardware-independent; wall time is informational.
 
 from __future__ import annotations
 
+import json
+import math
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -20,6 +22,7 @@ from repro.engine.scan import ScanEngine
 from repro.index.builder import build_multigram_index
 from repro.index.kgram import build_complete_index
 from repro.iomodel.diskmodel import DiskModel
+from repro.obs.registry import MetricsRegistry
 from repro.plan.physical import CoverPolicy
 
 
@@ -338,6 +341,119 @@ def run_repeated_queries(
                 "query-path caching changed match results — cache unsound"
             )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# E10: the core smoke benchmark (CI artifact BENCH_free_core.json)
+# ---------------------------------------------------------------------------
+
+#: Format tag of the BENCH_free_core.json artifact.
+BENCH_CORE_SCHEMA = "free-bench-core/1"
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(int(math.ceil(q * len(sorted_values))) - 1, 0)
+    return sorted_values[rank]
+
+
+def run_core(
+    workload: Optional[Workload] = None,
+    queries: Optional[Dict[str, str]] = None,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """One summary record of engine health, the CI smoke benchmark.
+
+    Runs the benchmark query set ``repeats`` times against the
+    multigram index with the full query-path cache on, and reports
+    latency percentiles, the candidate ratio, the cache hit rate, and
+    the index build time.  Cache hit rates are read back from a private
+    :class:`MetricsRegistry` — the same ``free_cache_requests_total``
+    counters ``free metrics`` exposes — so the artifact exercises the
+    whole observability path, not a parallel bookkeeping scheme.
+    ``free bench --experiment core`` writes the record to
+    ``BENCH_free_core.json`` (see :func:`write_bench_core`).
+    """
+    workload = workload or default_workload()
+    queries = queries or BENCHMARK_QUERIES
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    registry = MetricsRegistry()
+    engine = FreeEngine(
+        workload.corpus,
+        workload.multigram,
+        disk=DiskModel(),
+        plan_cache_size=256,
+        candidate_cache_size=256,
+        matcher_cache_size=256,
+        registry=registry,
+    )
+    baseline = registry.snapshot()
+    latencies: List[float] = []
+    total_candidates = 0
+    total_matches = 0
+    for _round in range(repeats):
+        for pattern in queries.values():
+            report = engine.search(pattern, collect_matches=False)
+            latencies.append(report.total_seconds)
+            total_candidates += report.n_candidates
+            total_matches += report.n_matches
+    latencies.sort()
+    n_queries = len(latencies)
+    window = registry.delta(baseline)
+    cache_samples = window.get(
+        "free_cache_requests_total", {}
+    ).get("samples", {})
+    cache_hits = sum(
+        value for key, value in cache_samples.items()
+        if "result=hit" in key
+    )
+    cache_total = sum(cache_samples.values())
+    corpus_units = len(workload.corpus)
+    return {
+        "schema": BENCH_CORE_SCHEMA,
+        "name": "free_core",
+        "workload": {
+            "pages": corpus_units,
+            "corpus_chars": workload.corpus.total_chars,
+            "seed": workload.seed,
+            "threshold": workload.threshold,
+            "queries": len(queries),
+            "repeats": repeats,
+        },
+        "latency_seconds": {
+            "p50": _percentile(latencies, 0.50),
+            "p95": _percentile(latencies, 0.95),
+            "mean": sum(latencies) / n_queries,
+        },
+        "candidate_ratio": (
+            total_candidates / (n_queries * corpus_units)
+            if corpus_units else 0.0
+        ),
+        "cache_hit_rate": (
+            cache_hits / cache_total if cache_total else 0.0
+        ),
+        "index_build_seconds": (
+            workload.multigram.stats.construction_seconds
+        ),
+        "matches": total_matches,
+    }
+
+
+def write_bench_core(
+    path: str,
+    workload: Optional[Workload] = None,
+    queries: Optional[Dict[str, str]] = None,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Run :func:`run_core` and persist the record as JSON."""
+    record = run_core(workload, queries=queries, repeats=repeats)
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(record, out, indent=2, sort_keys=True)
+        out.write("\n")
+    return record
 
 
 # ---------------------------------------------------------------------------

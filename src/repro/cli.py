@@ -1,5 +1,5 @@
 """Command-line front end: ``free synth | build | search | explain |
-check | bench``.
+check | bench | metrics``.
 
 Typical session::
 
@@ -9,16 +9,24 @@ Typical session::
     free explain corpus.img corpus.idx '(Bill|William).*Clinton'
     free check --index corpus.idx --lint
     free bench --pages 800 --experiment fig9
+
+Observability (see docs/observability.md)::
+
+    free build corpus.img --out corpus.idx --profile   # level-wise stats
+    free search corpus.img corpus.idx 'pat' --trace    # span tree
+    free metrics corpus.img corpus.idx                 # Prometheus text
+    free bench --experiment core                       # BENCH_free_core.json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional, cast
 
 from repro.bench import report as report_mod
 from repro.bench import runner as runner_mod
+from repro.bench.queries import BENCHMARK_QUERIES
 from repro.bench.workloads import default_workload
 from repro.corpus.store import DiskCorpus
 from repro.corpus.synthesis import build_corpus
@@ -27,6 +35,7 @@ from repro.engine.results import frequency_ranked
 from repro.errors import FreeError
 from repro.index.builder import build_multigram_index
 from repro.index.serialize import load_index, save_index
+from repro.obs.buildreport import default_report_path
 from repro.plan.physical import CoverPolicy
 
 
@@ -56,7 +65,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument("--out", required=True, help="corpus image path")
     p_synth.set_defaults(func=_cmd_synth)
 
-    p_build = sub.add_parser("build", help="build a multigram index")
+    p_build = sub.add_parser(
+        "build", aliases=["index"], help="build a multigram index",
+    )
     p_build.add_argument("corpus", help="corpus image path")
     p_build.add_argument("--out", required=True, help="index image path")
     p_build.add_argument("--threshold", type=float, default=0.1)
@@ -64,6 +75,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_build.add_argument(
         "--presuf", action="store_true",
         help="apply the shortest common suffix rule",
+    )
+    p_build.add_argument(
+        "--profile", action="store_true",
+        help="print the per-level Algorithm 3.1 build profile "
+             "(the report is persisted next to the image either way)",
     )
     p_build.set_defaults(func=_cmd_build)
 
@@ -81,6 +97,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print per-stage query metrics (cache hits, postings "
              "decoded, intersection sizes, prefilter rejects)",
     )
+    p_search.add_argument(
+        "--trace", action="store_true",
+        help="record the request as a span tree and print it",
+    )
     p_search.set_defaults(func=_cmd_search)
 
     p_explain = sub.add_parser("explain", help="show the access plan")
@@ -91,6 +111,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--analyze", action="store_true",
         help="run the query and annotate the plan with actual postings "
              "sizes and cache hits next to the cost model's estimates",
+    )
+    p_explain.add_argument(
+        "--trace", action="store_true",
+        help="append the span tree of the (planning, or with "
+             "--analyze, full) request",
     )
     p_explain.set_defaults(func=_cmd_explain)
 
@@ -123,8 +148,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cover policy used when compiling physical plans",
     )
     p_check.add_argument(
+        "--build-report", default=None, metavar="PATH",
+        help="build report JSON to cross-validate against --index "
+             "(default: <index>.build.json when it exists)",
+    )
+    p_check.add_argument(
         "--lint", action="store_true",
-        help="run the FREE001..FREE005 AST lint rules",
+        help="run the FREE001..FREE006 AST lint rules",
     )
     p_check.add_argument(
         "--lint-root", default=None, metavar="PATH",
@@ -150,7 +180,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--experiment",
         choices=[
             "table3", "fig9", "fig10", "fig11", "fig12",
-            "threshold", "policy", "repeat", "all",
+            "threshold", "policy", "repeat", "core", "all",
         ],
         default="all",
     )
@@ -158,7 +188,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=5,
         help="rounds for the repeated-query experiment",
     )
+    p_bench.add_argument(
+        "--out", default="BENCH_free_core.json", metavar="PATH",
+        help="where --experiment core writes its JSON record",
+    )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run queries and print the metrics registry exposition",
+    )
+    p_metrics.add_argument("corpus")
+    p_metrics.add_argument("index")
+    p_metrics.add_argument(
+        "--pattern", action="append", default=None, metavar="REGEX",
+        help="query to run before exposing (repeatable; default: the "
+             "ten benchmark queries)",
+    )
+    p_metrics.add_argument(
+        "--repeats", type=int, default=1,
+        help="how many times to run the pattern set",
+    )
+    p_metrics.add_argument(
+        "--json", action="store_true",
+        help="emit the registry snapshot as JSON instead of "
+             "Prometheus text",
+    )
+    p_metrics.add_argument(
+        "--check", action="store_true",
+        help="validate the text exposition with the strict parser "
+             "(nonzero exit on malformed output; the CI gate)",
+    )
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     return parser
 
@@ -189,16 +250,27 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"{stats.corpus_scans} corpus scans, "
         f"{stats.construction_seconds:.2f}s -> {args.out}"
     )
+    build_report = stats.build_report
+    if build_report is not None:
+        report_path = default_report_path(args.out)
+        build_report.save(report_path)
+        print(f"build report -> {report_path}")
+        if args.profile:
+            print(build_report.render())
     return 0
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
     with DiskCorpus(args.corpus) as corpus:
         engine = FreeEngine(corpus, load_index(args.index))
-        report = engine.search(args.pattern, limit=args.limit)
+        report = engine.search(
+            args.pattern, limit=args.limit, trace=args.trace
+        )
         print(report.summary())
         if args.metrics and report.metrics is not None:
             print(report.metrics.pretty())
+        if args.trace and report.trace is not None:
+            print(report.trace.render())
         if args.ranked:
             for text, count in frequency_ranked(report.matches, top=20):
                 print(f"{count:6d}  {text!r}")
@@ -213,7 +285,43 @@ def _cmd_search(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     with DiskCorpus(args.corpus) as corpus:
         engine = FreeEngine(corpus, load_index(args.index))
-        print(engine.explain(args.pattern, analyze=args.analyze))
+        print(engine.explain(
+            args.pattern, analyze=args.analyze, trace=args.trace
+        ))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.registry import get_registry, parse_prometheus_text
+
+    if args.repeats < 1:
+        print("error: --repeats must be >= 1", file=sys.stderr)
+        return 2
+    patterns = (
+        args.pattern if args.pattern
+        else list(BENCHMARK_QUERIES.values())
+    )
+    registry = get_registry()
+    with DiskCorpus(args.corpus) as corpus:
+        engine = FreeEngine(
+            corpus, load_index(args.index), registry=registry,
+        )
+        for _round in range(args.repeats):
+            for pattern in patterns:
+                engine.search(pattern, collect_matches=False)
+    if args.json:
+        import json
+
+        print(json.dumps(registry.as_dict(), indent=2, sort_keys=True))
+        return 0
+    text = registry.render_prometheus()
+    print(text, end="")
+    if args.check:
+        parse_prometheus_text(text)  # FreeError -> exit 1 via main()
+        print(
+            f"metrics: OK ({len(text.splitlines())} exposition lines)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -250,6 +358,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         lint=args.lint,
         lint_root=args.lint_root,
         policy=args.policy,
+        build_report=args.build_report,
     )
     if args.json:
         import json
@@ -272,6 +381,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.pages
         else default_workload()
     )
+    if args.experiment == "core":
+        record = runner_mod.write_bench_core(args.out, workload)
+        latency = cast(Dict[str, float], record["latency_seconds"])
+        ratio = cast(float, record["candidate_ratio"])
+        hit_rate = cast(float, record["cache_hit_rate"])
+        build_s = cast(float, record["index_build_seconds"])
+        print(
+            f"core: p50={latency['p50'] * 1000:.2f}ms "
+            f"p95={latency['p95'] * 1000:.2f}ms "
+            f"candidate_ratio={ratio:.4f} "
+            f"cache_hit_rate={hit_rate:.3f} "
+            f"build={build_s:.2f}s -> {args.out}"
+        )
+        return 0
     experiments = {
         "table3": lambda: runner_mod.run_table3(workload),
         "fig9": lambda: runner_mod.run_fig9(workload),

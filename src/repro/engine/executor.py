@@ -23,6 +23,7 @@ from repro.index.multigram import GramIndex
 from repro.index.postings import intersect_many, union_many
 from repro.iomodel.diskmodel import DiskModel
 from repro.metrics import QueryMetrics
+from repro.obs.trace import maybe_span
 from repro.plan.physical import PAll, PAnd, PLookup, POr, PhysNode, PhysicalPlan
 
 
@@ -54,15 +55,21 @@ def _evaluate(
     if isinstance(node, PAll):
         return None
     if isinstance(node, PLookup):
-        lookup_ids = getattr(index, "lookup_ids", None)
-        if lookup_ids is not None:
-            ids = lookup_ids(node.key, metrics)
-        else:  # duck-typed index (e.g. SuffixArrayIndex): no ids cache
-            ids = index.lookup(node.key).ids()
-            if metrics is not None:
-                metrics.record_lookup(node.key, len(ids), from_cache=False)
-        if disk is not None:
-            disk.charge_postings(len(ids))
+        trace = metrics.trace if metrics is not None else None
+        with maybe_span(trace, "postings_fetch", gram=node.key) as span:
+            lookup_ids = getattr(index, "lookup_ids", None)
+            if lookup_ids is not None:
+                ids = lookup_ids(node.key, metrics)
+            else:  # duck-typed index (e.g. SuffixArrayIndex): no ids cache
+                ids = index.lookup(node.key).ids()
+                if metrics is not None:
+                    metrics.record_lookup(
+                        node.key, len(ids), from_cache=False
+                    )
+            if disk is not None:
+                disk.charge_postings(len(ids))
+            if span is not None:
+                span.attrs["n_ids"] = len(ids)
         return ids
     if isinstance(node, PAnd):
         # ALL children are identities for AND; evaluate the rest.

@@ -33,11 +33,25 @@ Every execution reports wall time *and* simulated I/O cost, plus a
 :class:`~repro.metrics.QueryMetrics` with per-stage counters; the
 benchmarks compare the figures' shapes on the simulated cost, which does
 not depend on the host machine.
+
+Observability (PR 3) adds two more outputs, both documented in
+``docs/observability.md``:
+
+* ``search(..., trace=True)`` records the request as a nested span
+  tree (parse / rewrite / physical_plan / postings_fetch / verify) on
+  ``report.trace`` — ``free search --trace`` prints it;
+* every query's latency, candidate-set size, postings decodes and
+  cache hit/miss outcomes are folded into a process-wide
+  :class:`~repro.obs.registry.MetricsRegistry` (the global one by
+  default), keeping *cumulative* numbers distinct from the *per-query*
+  :class:`~repro.metrics.QueryMetrics` — ``free metrics`` exposes them.
+
+All engine timings read the injectable monotonic clock of
+:mod:`repro.obs.clock`, never ``time.time()`` (lint rule FREE006).
 """
 
 from __future__ import annotations
 
-import time
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.corpus.document import DataUnit
@@ -47,6 +61,13 @@ from repro.engine.results import Match, SearchReport, frequency_ranked
 from repro.index.multigram import GramIndex
 from repro.iomodel.diskmodel import DiskModel
 from repro.metrics import LRUCache, QueryMetrics
+from repro.obs.clock import monotonic
+from repro.obs.registry import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import Trace, maybe_span
 from repro.plan.cost import PlanCost, estimate_cost
 from repro.plan.logical import LogicalPlan
 from repro.plan.physical import CoverPolicy, PhysicalPlan
@@ -82,6 +103,10 @@ class FreeEngine:
             on.
         matcher_cache_size: LRU capacity of the compiled-matcher cache
             (previously unbounded).
+        registry: the :class:`MetricsRegistry` cumulative query metrics
+            are recorded into (default: the process-wide registry of
+            :func:`repro.obs.registry.get_registry`; pass a private
+            registry to isolate an engine's numbers, e.g. in tests).
     """
 
     def __init__(
@@ -96,6 +121,7 @@ class FreeEngine:
         plan_cache_size: int = 128,
         candidate_cache_size: int = 0,
         matcher_cache_size: int = 128,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.corpus = corpus
         self.backend = backend
@@ -103,6 +129,7 @@ class FreeEngine:
         self.cover_policy = CoverPolicy(cover_policy)
         self.min_candidate_ratio = min_candidate_ratio
         self.distribute = distribute
+        self.registry = registry if registry is not None else get_registry()
         self._plan_cache = LRUCache(plan_cache_size)
         self._candidate_cache = LRUCache(candidate_cache_size)
         self._matcher_cache = LRUCache(matcher_cache_size)
@@ -148,7 +175,17 @@ class FreeEngine:
         self._candidate_cache.clear()
 
     def cache_stats(self) -> dict:
-        """Hit/miss counters of all engine caches (for reporting)."""
+        """Hit/miss counters of all engine caches (for reporting).
+
+        These are *cumulative for the engine's lifetime* — every query
+        served by this process accumulates into them.  Per-query cache
+        outcomes live on each report's
+        :class:`~repro.metrics.QueryMetrics` (tri-state hit flags), and
+        the same outcomes are folded into :attr:`registry` as labeled
+        ``free_cache_requests_total`` counters whose
+        ``snapshot()``/``delta()``/``reset()`` API distinguishes
+        per-window from cumulative numbers.
+        """
         return {
             "plan": self._plan_cache.stats(),
             "candidates": self._candidate_cache.stats(),
@@ -167,51 +204,75 @@ class FreeEngine:
     # -- planning -----------------------------------------------------------
 
     def plan(
-        self, pattern: str, metrics: Optional[QueryMetrics] = None
+        self,
+        pattern: str,
+        metrics: Optional[QueryMetrics] = None,
+        trace: Optional[Trace] = None,
     ) -> Tuple[LogicalPlan, Optional[PhysicalPlan]]:
         """Phases 1-2: parse and compile; physical plan None without index.
 
         Served from the plan cache when possible — the compiled pair is
-        immutable, so sharing it across queries is safe.
+        immutable, so sharing it across queries is safe.  With tracing
+        on, a ``plan`` span wraps the work; cache misses additionally
+        record ``parse``, ``rewrite`` and ``physical_plan`` child spans
+        (a cache hit is a single leaf span).
         """
-        key = (pattern, self.cover_policy, self.distribute)
-        cached = self._plan_cache.get(key)
-        if cached is not None:
+        if trace is None and metrics is not None:
+            trace = metrics.trace
+        with maybe_span(trace, "plan"):
+            key = (pattern, self.cover_policy, self.distribute)
+            cached = self._plan_cache.get(key)
+            if cached is not None:
+                if metrics is not None:
+                    metrics.plan_cache_hit = True
+                return cached
             if metrics is not None:
-                metrics.plan_cache_hit = True
-            return cached
-        if metrics is not None:
-            metrics.plan_cache_hit = False
-        logical = LogicalPlan.from_pattern(
-            pattern, distribute=self.distribute
-        )
-        if self._index is None:
-            compiled: Tuple[LogicalPlan, Optional[PhysicalPlan]] = (
-                logical, None
+                metrics.plan_cache_hit = False
+            logical = LogicalPlan.from_pattern(
+                pattern, distribute=self.distribute, trace=trace
             )
-        else:
-            compiled = (
-                logical,
-                PhysicalPlan.compile(logical, self._index, self.cover_policy),
-            )
-        self._plan_cache.put(key, compiled)
-        return compiled
+            if self._index is None:
+                compiled: Tuple[LogicalPlan, Optional[PhysicalPlan]] = (
+                    logical, None
+                )
+            else:
+                with maybe_span(trace, "physical_plan"):
+                    physical = PhysicalPlan.compile(
+                        logical, self._index, self.cover_policy
+                    )
+                compiled = (logical, physical)
+            self._plan_cache.put(key, compiled)
+            return compiled
 
-    def explain(self, pattern: str, analyze: bool = False) -> str:
+    def explain(
+        self,
+        pattern: str,
+        analyze: bool = False,
+        trace: bool = False,
+    ) -> str:
         """Human-readable plan dump (CLI ``free explain``).
 
         With ``analyze=True`` the query is actually executed and the
         physical plan is annotated with the *actual* postings sizes and
         cache behaviour next to the cost model's estimates — the
-        ``EXPLAIN ANALYZE`` of the engine.
+        ``EXPLAIN ANALYZE`` of the engine.  With ``trace=True`` the
+        rendered span tree is appended (planning spans only, unless
+        ``analyze`` also executes the query).
         """
-        logical, physical = self.plan(pattern)
+        plan_trace = Trace() if (trace and not analyze) else None
+        logical, physical = self.plan(pattern, trace=plan_trace)
         parts = [logical.pretty()]
         if physical is None:
             parts.append("(no index attached: sequential scan)")
             if analyze:
-                report = self.search(pattern, collect_matches=False)
+                report = self.search(
+                    pattern, collect_matches=False, trace=trace
+                )
                 parts.append(self._analyze_text(report, None))
+                if report.trace is not None:
+                    parts.append(report.trace.render())
+            elif plan_trace is not None:
+                parts.append(plan_trace.render())
             return "\n".join(parts)
         cost = estimate_cost(
             physical, self._index, self.corpus.total_chars, self.disk
@@ -223,8 +284,10 @@ class FreeEngine:
                 f"candidates~{cost.candidate_units:.0f}, "
                 f"io={cost.io_cost:.0f} (scan io={cost.scan_io_cost:.0f})"
             )
+            if plan_trace is not None:
+                parts.append(plan_trace.render())
             return "\n".join(parts)
-        report = self.search(pattern, collect_matches=False)
+        report = self.search(pattern, collect_matches=False, trace=trace)
         sizes = report.metrics.lookup_sizes() if report.metrics else {}
         annotations = {}
         for key in set(physical.lookups()):
@@ -245,6 +308,8 @@ class FreeEngine:
             f"io={cost.io_cost:.0f} (scan io={cost.scan_io_cost:.0f})"
         )
         parts.append(self._analyze_text(report, cost))
+        if report.trace is not None:
+            parts.append(report.trace.render())
         return "\n".join(parts)
 
     def _analyze_text(
@@ -283,6 +348,7 @@ class FreeEngine:
         pattern: str,
         limit: Optional[int] = None,
         collect_matches: bool = True,
+        trace: bool = False,
     ) -> SearchReport:
         """Run a query end to end.
 
@@ -292,36 +358,50 @@ class FreeEngine:
                 (the first-k streaming mode of Section 5.4).
             collect_matches: False counts matches without keeping the
                 strings (saves memory on huge result sets).
+            trace: record the request as a span tree on
+                ``report.trace`` (off by default: the disabled path is
+                a few ``None`` checks, < 2% on the repeated-query
+                benchmark).
         """
         metrics = QueryMetrics()
+        request_trace = Trace() if trace else None
+        metrics.trace = request_trace
         report = SearchReport(
-            pattern=pattern, engine=self.name, metrics=metrics
+            pattern=pattern, engine=self.name, metrics=metrics,
+            trace=request_trace,
         )
         io_before = self.disk.snapshot()
         self.disk.attach_metrics(metrics)
         try:
-            plan_started = time.perf_counter()
-            matcher = self._matcher(pattern, metrics)
-            candidates = self._cached_candidates(pattern, metrics)
-            if candidates is not None and self.min_candidate_ratio is not None:
-                if len(candidates) > self.min_candidate_ratio * len(self.corpus):
-                    candidates = None  # optimizer chose the sequential scan
-                    metrics.optimizer_fallback = True
-            report.plan_seconds = time.perf_counter() - plan_started
-            metrics.phase_seconds["plan"] = report.plan_seconds
+            with maybe_span(request_trace, "search", pattern=pattern):
+                plan_started = monotonic()
+                matcher = self._matcher(pattern, metrics)
+                candidates = self._cached_candidates(pattern, metrics)
+                if (
+                    candidates is not None
+                    and self.min_candidate_ratio is not None
+                ):
+                    if (
+                        len(candidates)
+                        > self.min_candidate_ratio * len(self.corpus)
+                    ):
+                        candidates = None  # optimizer chose the scan
+                        metrics.optimizer_fallback = True
+                report.plan_seconds = monotonic() - plan_started
+                metrics.phase_seconds["plan"] = report.plan_seconds
 
-            execute_started = time.perf_counter()
-            if candidates is None:
-                report.used_full_scan = True
-                report.n_candidates = len(self.corpus)
-                units: Iterable[DataUnit] = self._scan_units()
-            else:
-                report.n_candidates = len(candidates)
-                units = self._fetch_units(candidates)
+                execute_started = monotonic()
+                if candidates is None:
+                    report.used_full_scan = True
+                    report.n_candidates = len(self.corpus)
+                    units: Iterable[DataUnit] = self._scan_units()
+                else:
+                    report.n_candidates = len(candidates)
+                    units = self._fetch_units(candidates)
 
-            self._confirm(units, matcher, report, limit, collect_matches)
-            report.execute_seconds = time.perf_counter() - execute_started
-            metrics.phase_seconds["execute"] = report.execute_seconds
+                self._confirm(units, matcher, report, limit, collect_matches)
+                report.execute_seconds = monotonic() - execute_started
+                metrics.phase_seconds["execute"] = report.execute_seconds
         finally:
             self.disk.detach_metrics()
 
@@ -330,6 +410,7 @@ class FreeEngine:
         report.io_detail = {
             key: io_after[key] - io_before[key] for key in io_after
         }
+        self._observe_query(report, metrics)
         return report
 
     def first_k(self, pattern: str, k: int = 10) -> SearchReport:
@@ -385,7 +466,9 @@ class FreeEngine:
         _logical, physical = self.plan(pattern, metrics)
         if physical is None or physical.is_full_scan:
             return None
-        return execute_plan(physical, self._index, self.disk, metrics)
+        trace = metrics.trace if metrics is not None else None
+        with maybe_span(trace, "postings"):
+            return execute_plan(physical, self._index, self.disk, metrics)
 
     def _matcher(
         self, pattern: str, metrics: Optional[QueryMetrics] = None
@@ -394,7 +477,9 @@ class FreeEngine:
         if matcher is None:
             if metrics is not None:
                 metrics.matcher_cache_hit = False
-            matcher = Matcher(pattern, backend=self.backend)
+            trace = metrics.trace if metrics is not None else None
+            with maybe_span(trace, "matcher"):
+                matcher = Matcher(pattern, backend=self.backend)
             self._matcher_cache.put(pattern, matcher)
         elif metrics is not None:
             metrics.matcher_cache_hit = True
@@ -423,33 +508,112 @@ class FreeEngine:
     ) -> None:
         """Phase 3 confirmation: run the matcher over candidate units."""
         metrics = report.metrics
+        trace = metrics.trace if metrics is not None else None
         n_matches = 0
-        for unit in units:
-            report.n_units_read += 1
-            if matcher.prefilter_rejects(unit.text):
-                # Anchoring prefilter (grep-style): a unit failing a
-                # mandatory-literal clause provably contains no match.
+        with maybe_span(trace, "verify") as span:
+            for unit in units:
+                report.n_units_read += 1
+                if matcher.prefilter_rejects(unit.text):
+                    # Anchoring prefilter (grep-style): a unit failing a
+                    # mandatory-literal clause provably has no match.
+                    if metrics is not None:
+                        metrics.prefilter_rejected += 1
+                    continue
                 if metrics is not None:
-                    metrics.prefilter_rejected += 1
-                continue
-            if metrics is not None:
-                metrics.units_confirmed += 1
-            unit_matched = False
-            for start, end in matcher.finditer(unit.text):
-                unit_matched = True
-                n_matches += 1
-                if collect_matches:
-                    report.matches.append(
-                        Match(unit.doc_id, start, end, unit.text[start:end])
-                    )
+                    metrics.units_confirmed += 1
+                unit_matched = False
+                for start, end in matcher.finditer(unit.text):
+                    unit_matched = True
+                    n_matches += 1
+                    if collect_matches:
+                        report.matches.append(
+                            Match(
+                                unit.doc_id, start, end,
+                                unit.text[start:end],
+                            )
+                        )
+                    if limit is not None and n_matches >= limit:
+                        break
+                if unit_matched:
+                    report.matching_units += 1
                 if limit is not None and n_matches >= limit:
+                    report.truncated = True
                     break
-            if unit_matched:
-                report.matching_units += 1
-            if limit is not None and n_matches >= limit:
-                report.truncated = True
-                break
+            if span is not None:
+                span.attrs["units_read"] = report.n_units_read
+                span.attrs["matches"] = n_matches
         report.n_matches_found = n_matches
+
+    def _observe_query(
+        self, report: SearchReport, metrics: QueryMetrics
+    ) -> None:
+        """Fold one query's outcome into the cumulative registry.
+
+        Per-query numbers stay on ``report.metrics``; the registry only
+        ever accumulates (until ``registry.reset()``), so "this query"
+        and "this process so far" can never be conflated again.
+        """
+        registry = self.registry
+        engine = self.name
+        registry.counter(
+            "free_queries_total", "Queries executed.", ["engine"],
+        ).labels(engine=engine).inc()
+        registry.histogram(
+            "free_query_seconds",
+            "End-to-end query latency (plan + execute), seconds.",
+            ["engine"],
+        ).labels(engine=engine).observe(report.total_seconds)
+        registry.histogram(
+            "free_query_candidate_units",
+            "Candidate data units per query (corpus size on full scan).",
+            ["engine"],
+            buckets=DEFAULT_SIZE_BUCKETS,
+        ).labels(engine=engine).observe(report.n_candidates)
+        registry.counter(
+            "free_postings_entries_decoded_total",
+            "Postings entries varint-decoded (decoded-cache misses).",
+        ).unlabeled().inc(metrics.postings_entries_decoded)
+        postings_requests = registry.counter(
+            "free_postings_cache_requests_total",
+            "Decoded-postings cache lookups by outcome.",
+            ["result"],
+        )
+        if metrics.postings_cache_hits:
+            postings_requests.labels(result="hit").inc(
+                metrics.postings_cache_hits
+            )
+        if metrics.postings_cache_misses:
+            postings_requests.labels(result="miss").inc(
+                metrics.postings_cache_misses
+            )
+        cache_requests = registry.counter(
+            "free_cache_requests_total",
+            "Query-path cache lookups by cache and outcome.",
+            ["cache", "result"],
+        )
+        for cache_name, flag in (
+            ("plan", metrics.plan_cache_hit),
+            ("candidates", metrics.candidate_cache_hit),
+            ("matcher", metrics.matcher_cache_hit),
+        ):
+            if flag is None:
+                continue  # cache never consulted for this query
+            cache_requests.labels(
+                cache=cache_name, result="hit" if flag else "miss"
+            ).inc()
+        registry.counter(
+            "free_units_confirmed_total",
+            "Candidate units scanned by the automaton.",
+        ).unlabeled().inc(metrics.units_confirmed)
+        registry.counter(
+            "free_prefilter_rejected_total",
+            "Candidate units rejected by the anchoring prefilter.",
+        ).unlabeled().inc(metrics.prefilter_rejected)
+        registry.counter(
+            "free_io_cost_total",
+            "Simulated I/O cost in char-read units.",
+            ["engine"],
+        ).labels(engine=engine).inc(report.io_cost)
 
     def estimate(self, pattern: str) -> Optional[PlanCost]:
         """Predicted cost of the current plan (None without an index)."""

@@ -10,9 +10,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.metrics import QueryMetrics
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Trace
 
 
 @dataclass(frozen=True)
@@ -55,6 +58,8 @@ class SearchReport:
         metrics: per-stage :class:`~repro.metrics.QueryMetrics` (cache
             hits, postings decoded, intersection sizes, prefilter
             rejects, phase timings).
+        trace: the request's span tree when the query ran with
+            ``trace=True`` (``free search --trace``); None otherwise.
     """
 
     pattern: str
@@ -71,6 +76,7 @@ class SearchReport:
     io_cost: float = 0.0
     io_detail: Dict[str, float] = field(default_factory=dict)
     metrics: Optional[QueryMetrics] = None
+    trace: Optional["Trace"] = field(default=None, repr=False)
 
     @property
     def total_seconds(self) -> float:

@@ -22,7 +22,6 @@ key set is further reduced to its presuf shell before the postings pass
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.corpus.store import CorpusStore
@@ -33,6 +32,8 @@ from repro.index.pcy import PCYHashFilter
 from repro.index.postings import PostingsList
 from repro.index.presuf import presuf_shell
 from repro.index.stats import IndexStats
+from repro.obs.buildreport import BuildReport
+from repro.obs.clock import monotonic
 
 
 class MultigramIndexBuilder:
@@ -78,16 +79,25 @@ class MultigramIndexBuilder:
     # -- key selection (the mining loop) -----------------------------------
 
     def select_keys(self, corpus: CorpusStore, stats: IndexStats) -> Set[str]:
-        """Run the level-wise miner; returns the minimal useful grams."""
+        """Run the level-wise miner; returns the minimal useful grams.
+
+        When ``stats.build_report`` is set, every corpus scan and every
+        resolved gram length emits a profiling event (candidates
+        generated, useful kept, pruned into the next frontier, PCY
+        classifications, elapsed time) — the raw material of
+        ``free build --profile``.
+        """
         n_docs = len(corpus)
         if n_docs == 0:
             return set()
+        report = stats.build_report
         max_count = self.threshold * n_docs  # sel(x) <= c  <=>  M(x) <= c*N
         keys: Set[str] = set()
         expand: Set[str] = {""}  # the zero-length gram, as in Figure 4
         filters: Dict[int, PCYHashFilter] = {}
         k = 1
         while expand and k <= self.max_gram_len:
+            pass_started = monotonic()
             lengths = list(range(
                 k, min(k + self.lengths_per_pass, self.max_gram_len + 1)
             ))
@@ -110,9 +120,13 @@ class MultigramIndexBuilder:
             # which (k+1)-candidates were validly counted.
             for length in lengths:
                 new_expand: Set[str] = set()
+                n_useful = 0
+                n_hash_classified = 0
                 for gram in sure.get(length, ()):
                     if gram[:-1] in expand:
                         keys.add(gram)  # proven useful without counting
+                        n_useful += 1
+                        n_hash_classified += 1
                 for gram, count in counts.items():
                     if len(gram) != length:
                         continue
@@ -120,9 +134,22 @@ class MultigramIndexBuilder:
                         continue  # prefix turned out useful; skip
                     if count <= max_count:
                         keys.add(gram)  # minimal useful gram
+                        n_useful += 1
                     else:
                         new_expand.add(gram)
+                if report is not None:
+                    report.record_level(
+                        level=length,
+                        candidates=n_useful + len(new_expand),
+                        useful=n_useful,
+                        pruned=len(new_expand),
+                        hash_classified=n_hash_classified,
+                    )
                 expand = new_expand
+            if report is not None:
+                report.record_pass(
+                    lengths, len(counts), monotonic() - pass_started
+                )
             filters = new_filters
             k = lengths[-1] + 1
         return keys
@@ -183,18 +210,40 @@ class MultigramIndexBuilder:
     # -- postings construction ----------------------------------------------
 
     def build(self, corpus: CorpusStore) -> GramIndex:
-        """Full build: mine keys, optionally shell them, emit postings."""
-        started = time.perf_counter()
+        """Full build: mine keys, optionally shell them, emit postings.
+
+        Every build attaches a :class:`BuildReport` to the index stats
+        (``index.stats.build_report``) with per-level Algorithm 3.1
+        profiles and per-phase timings; ``free build --profile`` renders
+        it and persists it next to the index image.
+        """
+        started = monotonic()
         kind = "presuf" if self.presuf else "multigram"
+        report = BuildReport(
+            kind=kind,
+            n_docs=len(corpus),
+            corpus_chars=corpus.total_chars,
+            threshold=self.threshold,
+            max_gram_len=self.max_gram_len,
+        )
         stats = IndexStats(
             kind=kind,
             n_docs=len(corpus),
             corpus_chars=corpus.total_chars,
+            build_report=report,
         )
-        keys = self.select_keys(corpus, stats)
+        with report.phase("mining") as mining:
+            keys = self.select_keys(corpus, stats)
+            mining["keys_selected"] = len(keys)
+            mining["corpus_scans"] = stats.corpus_scans
         if self.presuf:
-            keys = presuf_shell(keys)
-        postings = build_postings(corpus, keys)
+            with report.phase("presuf") as shell:
+                shell["keys_before"] = len(keys)
+                keys = presuf_shell(keys)
+                shell["keys_after"] = len(keys)
+        with report.phase("postings") as emit:
+            postings = build_postings(corpus, keys)
+            emit["n_keys"] = len(postings)
         stats.corpus_scans += 1  # the final postings scan
         index = GramIndex(
             postings,
@@ -205,7 +254,11 @@ class MultigramIndexBuilder:
             stats=stats,
         )
         stats.fill_sizes(postings)
-        stats.construction_seconds = time.perf_counter() - started
+        stats.construction_seconds = monotonic() - started
+        report.n_keys = stats.n_keys
+        report.n_postings = stats.n_postings
+        report.postings_bytes = stats.postings_bytes
+        report.total_seconds = stats.construction_seconds
         return index
 
 

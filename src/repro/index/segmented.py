@@ -286,12 +286,16 @@ class SegmentedFreeEngine:
 
         class _Engine(FreeEngine):
             def _candidates(self, pattern, metrics=None):
+                from repro.obs.trace import maybe_span
+
+                trace = metrics.trace if metrics is not None else None
                 logical = LogicalPlan.from_pattern(
-                    pattern, distribute=self.distribute
+                    pattern, distribute=self.distribute, trace=trace
                 )
-                return outer.seg_index.candidates(
-                    logical, outer.cover_policy, self.disk, metrics
-                )
+                with maybe_span(trace, "postings"):
+                    return outer.seg_index.candidates(
+                        logical, outer.cover_policy, self.disk, metrics
+                    )
 
             def _cache_epoch(self):
                 return outer.seg_index.epoch
@@ -318,9 +322,10 @@ class SegmentedFreeEngine:
         return self._engine.cache_stats()
 
     def search(self, pattern: str, limit: Optional[int] = None,
-               collect_matches: bool = True):
+               collect_matches: bool = True, trace: bool = False):
         return self._engine.search(
-            pattern, limit=limit, collect_matches=collect_matches
+            pattern, limit=limit, collect_matches=collect_matches,
+            trace=trace,
         )
 
     def first_k(self, pattern: str, k: int = 10):

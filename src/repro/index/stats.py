@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+from repro.obs.buildreport import BuildReport
 
 
 @dataclass
@@ -25,6 +27,10 @@ class IndexStats:
         hash_filtered: per-pass grams classified by the PCY hash filter
             without exact counting (all zeros when disabled).
         keys_by_length: histogram of key lengths.
+        build_report: per-level Algorithm 3.1 profiling
+            (:class:`~repro.obs.buildreport.BuildReport`), filled by
+            the multigram builders; None for indexes built elsewhere
+            or loaded from an image.
     """
 
     kind: str
@@ -39,6 +45,9 @@ class IndexStats:
     pass_candidates: List[int] = field(default_factory=list)
     hash_filtered: List[int] = field(default_factory=list)
     keys_by_length: Dict[int, int] = field(default_factory=dict)
+    build_report: Optional[BuildReport] = field(
+        default=None, repr=False, compare=False
+    )
 
     def fill_sizes(self, postings: Dict[str, object]) -> None:
         """Populate the size fields from a key -> PostingsList mapping."""

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # import-free at runtime: obs stays optional here
+    from repro.obs.trace import Trace
 
 
 class LRUCache:
@@ -165,6 +168,14 @@ class QueryMetrics:
     random_chars: int = 0
     random_accesses: int = 0
     postings_charged: int = 0
+
+    #: The active request trace, riding along so every layer the
+    #: metrics object reaches (executor, index, segments) can open
+    #: spans without signature changes.  ``None`` when tracing is off
+    #: (the common case) — call sites must treat it as optional.
+    trace: Optional["Trace"] = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- recording hooks (called by executor / index / disk model) --------
 

@@ -1,0 +1,69 @@
+"""Observability: tracing, metrics registry, and build profiling.
+
+The three legs every layer of the engine reports through (see
+``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — per-request nested spans
+  (``free search --trace`` prints the tree);
+* :mod:`repro.obs.registry` — process-wide counters/gauges/histograms
+  with Prometheus text and JSON exposition (``free metrics``);
+* :mod:`repro.obs.buildreport` — per-level Algorithm 3.1 mining
+  statistics (``free build --profile``).
+
+Everything here is dependency-free within the package (only
+:mod:`repro.errors` is imported), so engine, executor, plan, index and
+bench layers can all use it without cycles.  Timings come from the
+injectable monotonic clock in :mod:`repro.obs.clock` — never
+``time.time()`` (lint rule FREE006 enforces this across ``src/``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.buildreport import (
+    BuildReport,
+    LevelProfile,
+    PassProfile,
+    PhaseProfile,
+    default_report_path,
+)
+from repro.obs.clock import ManualClock, monotonic, set_clock, use_clock
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    REGISTRY,
+    Counter,
+    Family,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    get_registry,
+    parse_prometheus_text,
+)
+from repro.obs.trace import Span, Trace, maybe_span
+
+__all__ = [
+    "BuildReport",
+    "LevelProfile",
+    "PassProfile",
+    "PhaseProfile",
+    "default_report_path",
+    "ManualClock",
+    "monotonic",
+    "set_clock",
+    "use_clock",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "REGISTRY",
+    "Counter",
+    "Family",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "get_registry",
+    "parse_prometheus_text",
+    "Span",
+    "Trace",
+    "maybe_span",
+]

@@ -1,0 +1,236 @@
+"""Index-build profiling: what Algorithm 3.1 did, level by level.
+
+The paper reports only aggregate build time and index size (Table 3);
+tuning the usefulness threshold ``c`` needs the *per-level* picture —
+how many candidate grams each a-priori pass generated, how many were
+kept as minimal useful grams, how many were pruned into the next
+frontier, and where the time went (arXiv:2504.12251 shows exactly these
+gram-mining statistics drive selection-strategy tuning).
+
+:class:`BuildReport` collects that during
+:meth:`~repro.index.builder.MultigramIndexBuilder.build`:
+
+* one :class:`LevelProfile` per gram length the miner resolved;
+* one :class:`PassProfile` per corpus scan (a pass may cover several
+  lengths — the paper's multi-length optimization);
+* one :class:`PhaseProfile` per build phase (``mining``, ``presuf``,
+  ``postings``).
+
+``free build --profile`` renders it and persists the JSON next to the
+index image (``<image>.build.json``); ``free check`` later
+cross-validates the persisted report against the loaded image (key and
+postings totals, and Observation 3.8's postings bound).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.clock import monotonic
+
+#: Suffix appended to an index image path for the persisted report.
+BUILD_REPORT_SUFFIX = ".build.json"
+
+#: Format tag inside the JSON (bump on incompatible changes).
+SCHEMA = "free-build-report/1"
+
+
+def default_report_path(index_path: str) -> str:
+    """Where a build report is persisted for a given index image."""
+    return index_path + BUILD_REPORT_SUFFIX
+
+
+@dataclass
+class LevelProfile:
+    """Mining outcome for one gram length (one a-priori level).
+
+    Attributes:
+        level: the gram length k.
+        candidates: candidate grams generated at this level (counted
+            exactly or classified by the hash filter).
+        useful: grams kept as minimal useful grams (index keys).
+        pruned: grams above the threshold, expanded into the next
+            frontier.
+        hash_classified: candidates the PCY filter proved useful
+            without exact counting (subset of ``useful``).
+    """
+
+    level: int
+    candidates: int = 0
+    useful: int = 0
+    pruned: int = 0
+    hash_classified: int = 0
+
+
+@dataclass
+class PassProfile:
+    """One corpus scan of the miner (may resolve several levels)."""
+
+    lengths: List[int] = field(default_factory=list)
+    candidates_counted: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class PhaseProfile:
+    """One build phase: mining / presuf / postings."""
+
+    name: str
+    elapsed_seconds: float = 0.0
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class BuildReport:
+    """Everything one index build measured, JSON-persistable."""
+
+    kind: str = ""
+    n_docs: int = 0
+    corpus_chars: int = 0
+    threshold: Optional[float] = None
+    max_gram_len: Optional[int] = None
+    levels: List[LevelProfile] = field(default_factory=list)
+    passes: List[PassProfile] = field(default_factory=list)
+    phases: List[PhaseProfile] = field(default_factory=list)
+    n_keys: int = 0
+    n_postings: int = 0
+    postings_bytes: int = 0
+    total_seconds: float = 0.0
+
+    # -- recording hooks (called by the builders) --------------------------
+
+    def record_level(
+        self,
+        level: int,
+        candidates: int,
+        useful: int,
+        pruned: int,
+        hash_classified: int = 0,
+    ) -> None:
+        self.levels.append(LevelProfile(
+            level=level,
+            candidates=candidates,
+            useful=useful,
+            pruned=pruned,
+            hash_classified=hash_classified,
+        ))
+
+    def record_pass(
+        self,
+        lengths: List[int],
+        candidates_counted: int,
+        elapsed_seconds: float,
+    ) -> None:
+        self.passes.append(PassProfile(
+            lengths=list(lengths),
+            candidates_counted=candidates_counted,
+            elapsed_seconds=elapsed_seconds,
+        ))
+
+    def record_phase(
+        self, name: str, elapsed_seconds: float, **detail: Any
+    ) -> None:
+        self.phases.append(PhaseProfile(
+            name=name, elapsed_seconds=elapsed_seconds, detail=dict(detail)
+        ))
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[Dict[str, Any]]:
+        """Time a build phase; yields its detail dict to fill in.
+
+        The phase is recorded even if the body raises, so a failed
+        build still shows where the time went.
+        """
+        detail: Dict[str, Any] = {}
+        started = monotonic()
+        try:
+            yield detail
+        finally:
+            self.record_phase(name, monotonic() - started, **detail)
+
+    def find_phase(self, name: str) -> Optional[PhaseProfile]:
+        for profile in self.phases:
+            if profile.name == name:
+                return profile
+        return None
+
+    # -- persistence --------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["schema"] = SCHEMA
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BuildReport":
+        report = cls(
+            kind=str(payload.get("kind", "")),
+            n_docs=int(payload.get("n_docs", 0)),
+            corpus_chars=int(payload.get("corpus_chars", 0)),
+            threshold=payload.get("threshold"),
+            max_gram_len=payload.get("max_gram_len"),
+            n_keys=int(payload.get("n_keys", 0)),
+            n_postings=int(payload.get("n_postings", 0)),
+            postings_bytes=int(payload.get("postings_bytes", 0)),
+            total_seconds=float(payload.get("total_seconds", 0.0)),
+        )
+        for item in payload.get("levels", []):
+            report.levels.append(LevelProfile(**item))
+        for item in payload.get("passes", []):
+            report.passes.append(PassProfile(**item))
+        for item in payload.get("phases", []):
+            report.phases.append(PhaseProfile(**item))
+        return report
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as out:
+            json.dump(self.as_dict(), out, indent=2, sort_keys=True)
+            out.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "BuildReport":
+        with open(path, "r", encoding="utf-8") as infile:
+            payload = json.load(infile)
+        return cls.from_dict(payload)
+
+    # -- rendering (``free build --profile``) -------------------------------
+
+    def render(self) -> str:
+        lines = [
+            f"build profile ({self.kind}): {self.n_docs} docs, "
+            f"{self.corpus_chars:,} chars, c={self.threshold}, "
+            f"max_gram_len={self.max_gram_len}",
+            "  level | candidates | useful | pruned | hash-classified",
+        ]
+        for lp in self.levels:
+            lines.append(
+                f"  {lp.level:5d} | {lp.candidates:10d} | "
+                f"{lp.useful:6d} | {lp.pruned:6d} | {lp.hash_classified:15d}"
+            )
+        for pp in self.passes:
+            lengths = ",".join(str(length) for length in pp.lengths)
+            lines.append(
+                f"  pass k={lengths}: {pp.candidates_counted} grams "
+                f"counted in {pp.elapsed_seconds * 1000:.1f}ms"
+            )
+        for phase in self.phases:
+            detail = ""
+            if phase.detail:
+                parts = [
+                    f"{key}={value}"
+                    for key, value in sorted(phase.detail.items())
+                ]
+                detail = " (" + ", ".join(parts) + ")"
+            lines.append(
+                f"  phase {phase.name}: "
+                f"{phase.elapsed_seconds * 1000:.1f}ms{detail}"
+            )
+        lines.append(
+            f"  totals: {self.n_keys:,} keys, {self.n_postings:,} "
+            f"postings, {self.postings_bytes:,} postings bytes, "
+            f"{self.total_seconds:.3f}s"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""The observability clock: monotonic, process-wide, injectable.
+
+Every span and every phase timing in the engine reads time through
+:func:`monotonic` instead of calling :func:`time.time` (wall clocks
+jump under NTP slew — a span can end "before" it started) or scattering
+``time.perf_counter()`` call sites that tests cannot intercept.
+
+Tests swap the clock with :func:`use_clock` and a :class:`ManualClock`,
+making span durations and latency histograms fully deterministic::
+
+    clock = ManualClock()
+    with use_clock(clock):
+        with trace.span("work"):
+            clock.advance(0.25)
+    # the span's duration is exactly 0.25s
+
+The FREE006 lint rule (``free check --lint``) enforces the other half
+of the contract: no direct ``time.time()`` calls anywhere in ``src/``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+#: The active time source.  Defaults to the process monotonic clock.
+_clock: Callable[[], float] = time.perf_counter
+
+
+def monotonic() -> float:
+    """Seconds from the active monotonic time source."""
+    return _clock()
+
+
+def set_clock(clock: Callable[[], float]) -> Callable[[], float]:
+    """Replace the active time source; returns the previous one."""
+    global _clock
+    previous = _clock
+    _clock = clock
+    return previous
+
+
+@contextmanager
+def use_clock(clock: Callable[[], float]) -> Iterator[Callable[[], float]]:
+    """Scoped clock swap (tests): restore the previous source on exit."""
+    previous = set_clock(clock)
+    try:
+        yield clock
+    finally:
+        set_clock(previous)
+
+
+class ManualClock:
+    """A hand-cranked time source for deterministic timing tests."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward (never backward: the clock is monotonic)."""
+        if seconds < 0:
+            raise ValueError("ManualClock cannot move backward")
+        self._now += seconds
+
+    def __repr__(self) -> str:
+        return f"ManualClock(now={self._now})"

@@ -1,0 +1,549 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The per-query :class:`~repro.metrics.QueryMetrics` answers "why was
+*this* query slow"; the registry answers "what is the process doing
+*across* queries and over time".  The two are kept distinct on purpose:
+per-query numbers reset every request, registry families only ever
+accumulate (until an explicit :meth:`MetricsRegistry.reset`).
+
+Model (a dependency-free subset of the Prometheus client data model):
+
+* a **family** has a name, a help string, a type, and fixed label
+  names; each distinct label-value combination is one child metric;
+* **counter** — monotonically increasing float;
+* **gauge** — settable float;
+* **histogram** — fixed upper-bound buckets plus ``sum``/``count``
+  (cumulative ``le`` semantics on export, like Prometheus).
+
+Exposition: :meth:`MetricsRegistry.render_prometheus` emits the text
+format (``free metrics``); :meth:`MetricsRegistry.as_dict` the JSON
+form (``free metrics --json``); :func:`parse_prometheus_text` is the
+validating parser the CI smoke job and the tests use to prove the
+exposition stays well-formed.
+
+Accumulation vs snapshots: :meth:`MetricsRegistry.snapshot` returns a
+plain-dict copy, and :meth:`MetricsRegistry.delta` subtracts an older
+snapshot from the current state — how callers get "what did the last N
+queries contribute" without resetting anything.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import FreeError
+
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets (seconds): 100us .. 10s, roughly 1-2.5-5.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default size buckets (counts): 1 .. 1M, decades with 1-3 splits.
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1_000.0, 3_000.0,
+    10_000.0, 30_000.0, 100_000.0, 300_000.0, 1_000_000.0,
+)
+
+
+class MetricsError(FreeError):
+    """Registry misuse: bad names, type clashes, malformed exposition."""
+
+
+LabelValues = Tuple[str, ...]
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError("counters can only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (current sizes, rates)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum and count.
+
+    ``bucket_counts[i]`` counts observations ``<= uppers[i]``
+    *non*-cumulatively in memory; the exposition accumulates them into
+    Prometheus ``le`` semantics (plus the implicit ``+Inf`` bucket).
+    """
+
+    __slots__ = ("uppers", "bucket_counts", "inf_count", "sum", "count")
+
+    def __init__(self, uppers: Sequence[float]):
+        ordered = tuple(float(u) for u in uppers)
+        if not ordered:
+            raise MetricsError("histogram needs at least one bucket")
+        if list(ordered) != sorted(set(ordered)):
+            raise MetricsError("histogram buckets must strictly increase")
+        self.uppers = ordered
+        self.bucket_counts = [0] * len(ordered)
+        self.inf_count = 0
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, upper in enumerate(self.uppers):
+            if value <= upper:
+                self.bucket_counts[i] += 1
+                return
+        self.inf_count += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs ending with ``(inf, count)``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for upper, n in zip(self.uppers, self.bucket_counts):
+            running += n
+            out.append((upper, running))
+        out.append((math.inf, running + self.inf_count))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the
+        bucket containing the q-th observation; inf collapses to the
+        last finite bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        for upper, cumulative in self.cumulative():
+            if cumulative >= rank:
+                return upper if math.isfinite(upper) else self.uppers[-1]
+        return self.uppers[-1]
+
+
+class Family:
+    """One named metric family: fixed label names, many children."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Tuple[str, ...],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ):
+        if not _NAME.match(name):
+            raise MetricsError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL.match(label):
+                raise MetricsError(f"invalid label name {label!r}")
+        if kind == "histogram" and buckets is not None:
+            Histogram(buckets)  # validate at definition, not first use
+        self.name = name
+        self.help_text = help_text
+        self.kind = kind
+        self.labelnames = labelnames
+        self.buckets = buckets
+        self._children: Dict[LabelValues, Any] = {}
+
+    def labels(self, **labelvalues: str) -> Any:
+        """The child metric for this label-value combination."""
+        if tuple(sorted(labelvalues)) != tuple(sorted(self.labelnames)):
+            raise MetricsError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def unlabeled(self) -> Any:
+        """The single child of a label-less family."""
+        if self.labelnames:
+            raise MetricsError(f"{self.name} requires labels")
+        return self.labels()
+
+    def _make_child(self) -> Any:
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        if self.kind == "histogram":
+            if self.buckets is None:
+                raise MetricsError(f"{self.name}: histogram needs buckets")
+            return Histogram(self.buckets)
+        raise MetricsError(f"unknown metric kind {self.kind!r}")
+
+    def children(self) -> Iterator[Tuple[LabelValues, Any]]:
+        return iter(sorted(self._children.items()))
+
+    def reset(self) -> None:
+        self._children.clear()
+
+
+class MetricsRegistry:
+    """A named set of metric families with snapshot/reset/exposition."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, Family] = {}
+
+    # -- family constructors (get-or-create, definition-checked) ----------
+
+    def counter(
+        self, name: str, help_text: str,
+        labelnames: Sequence[str] = (),
+    ) -> Family:
+        return self._family(name, help_text, "counter", tuple(labelnames))
+
+    def gauge(
+        self, name: str, help_text: str,
+        labelnames: Sequence[str] = (),
+    ) -> Family:
+        return self._family(name, help_text, "gauge", tuple(labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Family:
+        return self._family(
+            name, help_text, "histogram", tuple(labelnames),
+            buckets=tuple(buckets),
+        )
+
+    def _family(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Tuple[str, ...],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> Family:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.labelnames != labelnames:
+                raise MetricsError(
+                    f"metric {name!r} re-registered with a different "
+                    f"type or label set"
+                )
+            return existing
+        family = Family(name, help_text, kind, labelnames, buckets)
+        self._families[name] = family
+        return family
+
+    def families(self) -> Iterator[Family]:
+        return iter(
+            self._families[name] for name in sorted(self._families)
+        )
+
+    def get(self, name: str) -> Optional[Family]:
+        return self._families.get(name)
+
+    # -- snapshot / reset ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-dict copy of every sample (JSON-ready, diffable)."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for family in self.families():
+            samples: Dict[str, Any] = {}
+            for labelvalues, child in family.children():
+                key = _label_key(family.labelnames, labelvalues)
+                if isinstance(child, Histogram):
+                    samples[key] = {
+                        "sum": child.sum,
+                        "count": child.count,
+                        "buckets": {
+                            _le_text(le): n
+                            for le, n in child.cumulative()
+                        },
+                    }
+                else:
+                    samples[key] = child.value
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help_text,
+                "samples": samples,
+            }
+        return out
+
+    def delta(
+        self, since: Dict[str, Dict[str, Any]]
+    ) -> Dict[str, Dict[str, Any]]:
+        """Current snapshot minus ``since`` (gauges stay absolute)."""
+        current = self.snapshot()
+        for name, family in current.items():
+            base = since.get(name)
+            if base is None or family["type"] == "gauge":
+                continue
+            for key, value in family["samples"].items():
+                old = base["samples"].get(key)
+                if old is None:
+                    continue
+                if isinstance(value, dict):
+                    value["sum"] -= old["sum"]
+                    value["count"] -= old["count"]
+                    value["buckets"] = {
+                        le: n - old["buckets"].get(le, 0)
+                        for le, n in value["buckets"].items()
+                    }
+                else:
+                    family["samples"][key] = value - old
+        return current
+
+    def reset(self) -> None:
+        """Zero every family (drops all children; definitions remain)."""
+        for family in self._families.values():
+            family.reset()
+
+    # -- exposition ---------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        lines: List[str] = []
+        for family in self.families():
+            help_text = _escape_help(family.help_text)
+            lines.append(f"# HELP {family.name} {help_text}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labelvalues, child in family.children():
+                pairs = list(zip(family.labelnames, labelvalues))
+                if isinstance(child, Histogram):
+                    for le, n in child.cumulative():
+                        bucket_pairs = pairs + [("le", _le_text(le))]
+                        lines.append(
+                            f"{family.name}_bucket"
+                            f"{_render_labels(bucket_pairs)} {n}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{_render_labels(pairs)} "
+                        f"{_number(child.sum)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_render_labels(pairs)} "
+                        f"{child.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_render_labels(pairs)} "
+                        f"{_number(child.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON exposition (``free metrics --json``)."""
+        return self.snapshot()
+
+
+# -- helpers ----------------------------------------------------------------
+
+def _label_key(names: Tuple[str, ...], values: LabelValues) -> str:
+    if not names:
+        return ""
+    return ",".join(f"{n}={v}" for n, v in zip(names, values))
+
+
+def _le_text(le: float) -> str:
+    if math.isinf(le):
+        return "+Inf"
+    text = repr(le)
+    return text
+
+
+def _number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _render_labels(pairs: Sequence[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+#: The process-wide default registry (what engines record into unless
+#: given their own; ``free metrics`` exposes it).
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return REGISTRY
+
+
+# -- exposition validation (CI gate) ----------------------------------------
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse (and thereby validate) text exposition output.
+
+    Returns ``{metric_name: {label_key: value}}`` over every sample
+    line.  Raises :class:`MetricsError` on any malformed line, a TYPE
+    redefinition, a histogram whose ``+Inf`` bucket disagrees with its
+    ``_count``, or non-monotone cumulative buckets — the checks the CI
+    smoke job runs against ``free metrics`` output.
+    """
+    samples: Dict[str, Dict[str, float]] = {}
+    types: Dict[str, str] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise MetricsError(f"line {line_no}: malformed TYPE line")
+            _, _, name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise MetricsError(
+                    f"line {line_no}: unknown metric type {kind!r}"
+                )
+            if name in types:
+                raise MetricsError(
+                    f"line {line_no}: TYPE redefined for {name!r}"
+                )
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP and comments
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise MetricsError(
+                f"line {line_no}: malformed sample line {line!r}"
+            )
+        value_text = match.group("value")
+        try:
+            value = float(value_text)
+        except ValueError as exc:
+            raise MetricsError(
+                f"line {line_no}: bad sample value {value_text!r}"
+            ) from exc
+        labels_text = match.group("labels") or ""
+        label_key = _parse_labels(labels_text, line_no)
+        samples.setdefault(match.group("name"), {})[label_key] = value
+    _validate_histograms(samples, types)
+    return samples
+
+
+def _parse_labels(labels_text: str, line_no: int) -> str:
+    if not labels_text:
+        return ""
+    body = labels_text[1:-1].strip()
+    if not body:
+        return ""
+    pairs: List[Tuple[str, str]] = []
+    rest = body
+    while rest:
+        match = _LABEL_PAIR.match(rest)
+        if match is None:
+            raise MetricsError(
+                f"line {line_no}: malformed label set {labels_text!r}"
+            )
+        pairs.append((match.group("name"), match.group("value")))
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            raise MetricsError(
+                f"line {line_no}: malformed label set {labels_text!r}"
+            )
+    return ",".join(f"{n}={v}" for n, v in pairs)
+
+
+def _validate_histograms(
+    samples: Dict[str, Dict[str, float]], types: Dict[str, str]
+) -> None:
+    for name, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = samples.get(f"{name}_bucket", {})
+        counts = samples.get(f"{name}_count", {})
+        series: Dict[str, List[Tuple[float, float]]] = {}
+        for label_key, value in buckets.items():
+            pairs = [
+                pair for pair in label_key.split(",")
+                if pair and not pair.startswith("le=")
+            ]
+            le_items = [
+                pair for pair in label_key.split(",")
+                if pair.startswith("le=")
+            ]
+            if not le_items:
+                raise MetricsError(
+                    f"{name}_bucket sample without an le label"
+                )
+            le_text = le_items[0][3:]
+            le = math.inf if le_text == "+Inf" else float(le_text)
+            series.setdefault(",".join(pairs), []).append((le, value))
+        for label_key, items in series.items():
+            items.sort(key=lambda pair: pair[0])
+            running = -math.inf
+            for le, value in items:
+                if value < running:
+                    raise MetricsError(
+                        f"{name}: non-monotone cumulative buckets"
+                    )
+                running = value
+            if not items or not math.isinf(items[-1][0]):
+                raise MetricsError(f"{name}: missing +Inf bucket")
+            total = counts.get(label_key)
+            if total is not None and total != items[-1][1]:
+                raise MetricsError(
+                    f"{name}: _count ({total}) disagrees with +Inf "
+                    f"bucket ({items[-1][1]})"
+                )

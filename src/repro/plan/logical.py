@@ -16,9 +16,10 @@ scan — the `zip`/`phone`/`html` benchmark queries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Union
+from typing import List, Optional, Union
 
 from repro.errors import PlanError
+from repro.obs.trace import Trace, maybe_span
 from repro.regex import ast as ast_
 from repro.regex.parser import parse
 from repro.regex.rewrite import (
@@ -44,22 +45,27 @@ class LogicalPlan:
         pattern: Union[str, ast_.Node],
         min_gram_len: int = 1,
         distribute: bool = False,
+        trace: Optional[Trace] = None,
     ) -> "LogicalPlan":
         """Compile a pattern (text or AST) into a logical plan.
 
         ``distribute=True`` enables the alternation-distribution
         optimization (see :func:`repro.regex.rewrite.requirement_tree`).
+        With a ``trace``, the two compile stages are recorded as
+        ``parse`` and ``rewrite`` spans.
         """
         if isinstance(pattern, str):
-            node = parse(pattern)
+            with maybe_span(trace, "parse"):
+                node = parse(pattern)
             text = pattern
         else:
             node = pattern
             text = pattern.to_pattern()
         try:
-            root = requirement_tree(
-                node, min_gram_len=min_gram_len, distribute=distribute
-            )
+            with maybe_span(trace, "rewrite"):
+                root = requirement_tree(
+                    node, min_gram_len=min_gram_len, distribute=distribute
+                )
         except ValueError as exc:
             raise PlanError(f"cannot plan {text!r}: {exc}") from exc
         return LogicalPlan(pattern=text, root=root)

@@ -1,0 +1,106 @@
+"""Build-report analyzer tests: BLD001..BLD005 fire on doctored
+reports and stay silent when the report matches its index."""
+
+import pytest
+
+from repro.analysis.build_checks import check_build_report
+from repro.analysis.runner import run_check
+from repro.corpus.document import DataUnit
+from repro.corpus.store import InMemoryCorpus
+from repro.index.builder import build_multigram_index
+from repro.index.serialize import save_index
+from repro.obs.buildreport import BuildReport, default_report_path
+
+
+def codes(findings):
+    return sorted(f.code for f in findings)
+
+
+@pytest.fixture(scope="module")
+def built():
+    corpus = InMemoryCorpus([
+        DataUnit(i, f"some page body number {i} with shared words")
+        for i in range(12)
+    ])
+    index = build_multigram_index(corpus, threshold=0.3, max_gram_len=5)
+    return index, index.stats.build_report
+
+
+class TestCleanReport:
+    def test_matching_report_is_silent(self, built):
+        index, report = built
+        assert check_build_report(report, index) == []
+
+    def test_accepts_a_json_path(self, built, tmp_path):
+        index, report = built
+        path = str(tmp_path / "r.build.json")
+        report.save(path)
+        assert check_build_report(path, index) == []
+
+
+class TestDoctoredReports:
+    def _clone(self, report):
+        return BuildReport.from_dict(report.as_dict())
+
+    def test_bld001_kind_and_key_mismatch(self, built):
+        index, report = built
+        bad = self._clone(report)
+        bad.kind = "presuf"
+        bad.n_keys += 3
+        assert codes(check_build_report(bad, index)) == [
+            "BLD001", "BLD001",
+        ]
+
+    def test_bld002_postings_mismatch(self, built):
+        index, report = built
+        bad = self._clone(report)
+        bad.n_postings += 1
+        bad.postings_bytes += 1
+        assert codes(check_build_report(bad, index)) == [
+            "BLD002", "BLD002",
+        ]
+
+    def test_bld003_obs38_violation(self, built):
+        index, report = built
+        bad = self._clone(report)
+        bad.corpus_chars = bad.n_postings - 1
+        findings = check_build_report(bad, index)
+        assert "BLD003" in codes(findings)
+        obs = [f for f in findings if f.code == "BLD003"][0]
+        assert obs.paper_ref == "Obs 3.8"
+
+    def test_bld004_corpus_size_is_warning(self, built):
+        index, report = built
+        bad = self._clone(report)
+        bad.corpus_chars += 100
+        findings = check_build_report(bad, index)
+        assert codes(findings) == ["BLD004"]
+        assert findings[0].severity.label() == "warning"
+
+    def test_bld005_level_arithmetic(self, built):
+        index, report = built
+        bad = self._clone(report)
+        bad.levels[0].candidates += 1
+        bad.levels[0].hash_classified = bad.levels[0].useful + 1
+        assert codes(check_build_report(bad, index)) == [
+            "BLD005", "BLD005",
+        ]
+
+
+class TestRunnerIntegration:
+    def test_auto_discovery_next_to_image(self, built, tmp_path):
+        index, report = built
+        image = str(tmp_path / "idx.img")
+        save_index(index, image)
+        report.save(default_report_path(image))
+        result = run_check(index=image)
+        assert "build report" in result.sections
+        assert result.ok
+
+    def test_no_sidecar_skips_section(self, built, tmp_path):
+        index, _report = built
+        image = str(tmp_path / "bare.img")
+        save_index(index, image)
+        result = run_check(index=image)
+        assert "build report" not in result.sections
+        assert result.ok

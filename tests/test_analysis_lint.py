@@ -144,6 +144,59 @@ class TestEpochBump:
         assert run(snippet) == []
 
 
+class TestWallClock:
+    def test_module_call_fires(self):
+        snippet = """
+        import time
+        started = time.time()
+        """
+        assert codes(run(snippet)) == ["FREE006"]
+
+    def test_module_alias_fires(self):
+        snippet = """
+        import time as t
+        started = t.time()
+        """
+        assert codes(run(snippet)) == ["FREE006"]
+
+    def test_from_import_fires(self):
+        snippet = """
+        from time import time
+        started = time()
+        """
+        assert codes(run(snippet)) == ["FREE006"]
+
+    def test_from_import_alias_fires(self):
+        snippet = """
+        from time import time as now
+        started = now()
+        """
+        assert codes(run(snippet)) == ["FREE006"]
+
+    def test_perf_counter_ok(self):
+        snippet = """
+        import time
+        started = time.perf_counter()
+        """
+        assert run(snippet) == []
+
+    def test_obs_clock_ok(self):
+        snippet = """
+        from repro.obs.clock import monotonic
+        started = monotonic()
+        """
+        assert run(snippet) == []
+
+    def test_unrelated_time_name_ok(self):
+        # A local function named time() with no time import in scope.
+        snippet = """
+        def time():
+            return 0.0
+        started = time()
+        """
+        assert run(snippet) == []
+
+
 class TestSuppression:
     def test_bare_noqa(self):
         assert run("assert x  # noqa\n") == []
@@ -172,6 +225,7 @@ class TestEngine:
     def test_rule_registry_complete(self):
         assert sorted(RULES) == [
             "FREE001", "FREE002", "FREE003", "FREE004", "FREE005",
+            "FREE006",
         ]
 
     def test_repo_lints_clean(self):

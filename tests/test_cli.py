@@ -38,6 +38,28 @@ class TestBuild:
         assert "corpus scans" in text
 
 
+class TestBuildProfile:
+    def test_build_persists_report_and_profile(self, images, capsys):
+        corpus_path, _ = images
+        out2 = corpus_path + ".prof.idx"
+        assert main(["build", corpus_path, "--out", out2,
+                     "--profile"]) == 0
+        text = capsys.readouterr().out
+        assert os.path.exists(out2 + ".build.json")
+        assert "build report ->" in text
+        assert "build profile (multigram)" in text
+        assert "level | candidates" in text
+        assert "phase mining" in text
+        assert "totals:" in text
+
+    def test_index_alias(self, images, capsys):
+        corpus_path, _ = images
+        out2 = corpus_path + ".alias.idx"
+        assert main(["index", corpus_path, "--out", out2]) == 0
+        assert os.path.exists(out2)
+        assert os.path.exists(out2 + ".build.json")
+
+
 class TestSearch:
     def test_search_finds_matches(self, images, capsys):
         corpus_path, index_path = images
@@ -69,6 +91,17 @@ class TestSearch:
         assert "caches:" in out
         assert "postings:" in out
 
+    def test_search_trace_prints_span_tree(self, images, capsys):
+        corpus_path, index_path = images
+        assert main(["search", corpus_path, index_path, "Clinton",
+                     "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "search" in out
+        assert "postings_fetch" in out
+        assert "verify" in out
+        assert "leaf spans cover" in out
+
 
 class TestExplain:
     def test_explain_prints_plans(self, images, capsys):
@@ -89,6 +122,62 @@ class TestExplain:
         assert "candidates: actual" in out
         assert "vs estimated" in out
         assert "query metrics:" in out
+
+
+    def test_explain_trace_prints_plan_spans(self, images, capsys):
+        corpus_path, index_path = images
+        assert main(["explain", corpus_path, index_path, "Clinton",
+                     "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "parse" in out
+        assert "physical_plan" in out
+
+    def test_explain_analyze_trace_runs_full_query(
+        self, images, capsys
+    ):
+        corpus_path, index_path = images
+        assert main(["explain", corpus_path, index_path, "Clinton",
+                     "--analyze", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "analyze:" in out
+        assert "trace:" in out
+        assert "verify" in out
+
+
+class TestMetrics:
+    def test_prometheus_text(self, images, capsys):
+        corpus_path, index_path = images
+        assert main(["metrics", corpus_path, index_path,
+                     "--pattern", "<title>"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE free_queries_total counter" in out
+        assert "# HELP" in out
+        assert "free_query_seconds_bucket" in out
+        assert 'le="+Inf"' in out
+
+    def test_check_validates_exposition(self, images, capsys):
+        corpus_path, index_path = images
+        assert main(["metrics", corpus_path, index_path,
+                     "--pattern", "<title>", "--check"]) == 0
+        err = capsys.readouterr().err
+        assert "metrics: OK" in err
+
+    def test_json_snapshot(self, images, capsys):
+        import json
+
+        corpus_path, index_path = images
+        assert main(["metrics", corpus_path, index_path,
+                     "--pattern", "<title>", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["free_queries_total"]["type"] == "counter"
+        samples = payload["free_queries_total"]["samples"]
+        assert sum(samples.values()) >= 1
+
+    def test_bad_repeats_is_usage_error(self, images, capsys):
+        corpus_path, index_path = images
+        assert main(["metrics", corpus_path, index_path,
+                     "--repeats", "0"]) == 2
 
 
 class TestEstimate:
@@ -120,6 +209,23 @@ class TestBench:
         assert "repeat" in out
         assert "plan_cache_hits" in out
         assert "full-cache" in out
+
+    def test_bench_core_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        out_path = str(tmp_path / "BENCH_free_core.json")
+        assert main(["bench", "--pages", "60", "--experiment", "core",
+                     "--out", out_path]) == 0
+        text = capsys.readouterr().out
+        assert "core:" in text and "p95=" in text
+        with open(out_path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+        assert record["schema"] == "free-bench-core/1"
+        assert record["name"] == "free_core"
+        assert set(record["latency_seconds"]) == {"p50", "p95", "mean"}
+        assert 0.0 <= record["cache_hit_rate"] <= 1.0
+        assert record["candidate_ratio"] >= 0.0
+        assert record["index_build_seconds"] > 0.0
 
 
 class TestNoArgs:
@@ -182,3 +288,28 @@ class TestCheck:
                      "--pattern", "motorola", "--verbose"]) == 0
         out = capsys.readouterr().out
         assert "justifications for" in out
+
+    def test_build_report_auto_discovered(self, images, capsys):
+        _, index_path = images
+        assert os.path.exists(index_path + ".build.json")
+        assert main(["check", "--index", index_path]) == 0
+        out = capsys.readouterr().out
+        assert "build report" in out
+        assert "check: OK" in out
+
+    def test_doctored_build_report_fails(self, images, tmp_path,
+                                         capsys):
+        import json
+
+        _, index_path = images
+        with open(index_path + ".build.json", encoding="utf-8") as f:
+            payload = json.load(f)
+        payload["n_keys"] += 5
+        bad_path = str(tmp_path / "doctored.build.json")
+        with open(bad_path, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        assert main(["check", "--index", index_path,
+                     "--build-report", bad_path]) == 1
+        out = capsys.readouterr().out
+        assert "BLD001" in out
+        assert "check: FAILED" in out

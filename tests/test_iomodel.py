@@ -2,6 +2,11 @@
 
 import pytest
 
+from repro.corpus.document import DataUnit
+from repro.corpus.store import InMemoryCorpus
+from repro.engine.free import FreeEngine
+from repro.engine.scan import ScanEngine
+from repro.index.builder import build_multigram_index
 from repro.iomodel.diskmodel import DiskModel
 
 
@@ -57,3 +62,88 @@ class TestDiskModel:
         disk.charge_sequential(corpus_chars)
         scan_cost = disk.total_cost
         assert random_cost == pytest.approx(scan_cost)
+
+
+#: Fixture corpus for end-to-end accounting: the gram 'q' occurs in
+#: exactly docs 1 and 3 (selectivity 0.5), so with threshold c = 0.5 it
+#: is a minimal useful gram and the only lookup a 'qq' query needs.
+TEXTS = [
+    "alpha beta",
+    "qq marker one",
+    "gamma delta",
+    "another qq here",
+]
+
+
+def _fixture_corpus():
+    return InMemoryCorpus(
+        [DataUnit(i, text) for i, text in enumerate(TEXTS)]
+    )
+
+
+def _fixture_engine():
+    corpus = _fixture_corpus()
+    index = build_multigram_index(
+        corpus, threshold=0.5, max_gram_len=4
+    )
+    return FreeEngine(corpus, index, disk=DiskModel())
+
+
+class TestDiskAccountingThroughQueries:
+    """Counters after real queries, against hand-computed values."""
+
+    def test_scan_reads_whole_corpus_sequentially(self):
+        engine = ScanEngine(_fixture_corpus(), disk=DiskModel())
+        engine.search("qq", collect_matches=False)
+        assert engine.disk.sequential_chars == sum(
+            len(text) for text in TEXTS
+        )
+        assert engine.disk.random_accesses == 0
+        assert engine.disk.random_chars == 0
+        assert engine.disk.postings_read == 0
+
+    def test_indexed_query_hand_computed(self):
+        engine = _fixture_engine()
+        assert "q" in set(engine.index.keys())
+        report = engine.search("qq", collect_matches=False)
+        disk = engine.disk
+        # LOOKUP 'q' -> postings [1, 3]; both units fetched randomly.
+        assert report.n_candidates == 2
+        assert disk.postings_read == 2
+        assert disk.random_accesses == 2
+        assert disk.random_chars == len(TEXTS[1]) + len(TEXTS[3])
+        assert disk.sequential_chars == 0
+        assert disk.total_cost == pytest.approx(
+            disk.random_chars * disk.random_multiplier
+            + disk.postings_read * disk.posting_cost_chars
+        )
+        assert report.io_cost == pytest.approx(disk.total_cost)
+
+    def test_postings_fetch_spans_agree_with_disk(self):
+        engine = _fixture_engine()
+        report = engine.search("qq", collect_matches=False, trace=True)
+        fetches = report.trace.find("postings_fetch")
+        assert fetches, "indexed query must record postings_fetch spans"
+        assert sum(
+            span.attrs["n_ids"] for span in fetches
+        ) == engine.disk.postings_read
+        # The per-query mirror carries the same charge.
+        assert report.metrics.postings_charged == (
+            engine.disk.postings_read
+        )
+
+    def test_span_counts_accumulate_across_queries(self):
+        engine = _fixture_engine()
+        charged = 0
+        for _ in range(3):
+            before = engine.disk.postings_read
+            report = engine.search(
+                "qq", collect_matches=False, trace=True
+            )
+            fetched = sum(
+                span.attrs["n_ids"]
+                for span in report.trace.find("postings_fetch")
+            )
+            assert fetched == engine.disk.postings_read - before
+            charged += fetched
+        assert engine.disk.postings_read == charged

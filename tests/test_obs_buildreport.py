@@ -1,0 +1,112 @@
+"""BuildReport tests: builder profiling, persistence, rendering."""
+
+import json
+
+import pytest
+
+from repro.corpus.document import DataUnit
+from repro.corpus.store import InMemoryCorpus
+from repro.index.builder import MultigramIndexBuilder
+from repro.obs.buildreport import (
+    BUILD_REPORT_SUFFIX,
+    SCHEMA,
+    BuildReport,
+    default_report_path,
+)
+
+
+def _corpus(n=20):
+    return InMemoryCorpus([
+        DataUnit(i, ("web page " * (i % 3 + 1)) + f"tail{i}")
+        for i in range(n)
+    ])
+
+
+def _built_report(presuf=False):
+    builder = MultigramIndexBuilder(
+        threshold=0.25, max_gram_len=6, presuf=presuf
+    )
+    index = builder.build(_corpus())
+    return index, index.stats.build_report
+
+
+class TestBuilderProfiling:
+    def test_report_attached_to_stats(self):
+        index, report = _built_report()
+        assert report is not None
+        assert report.kind == "multigram"
+        assert report.n_docs == 20
+        assert report.threshold == pytest.approx(0.25)
+
+    def test_totals_match_index_stats(self):
+        index, report = _built_report()
+        assert report.n_keys == index.stats.n_keys
+        assert report.n_postings == index.stats.n_postings
+        assert report.postings_bytes == index.stats.postings_bytes
+        assert report.total_seconds == pytest.approx(
+            index.stats.construction_seconds
+        )
+
+    def test_level_arithmetic(self):
+        _index, report = _built_report()
+        assert report.levels, "miner must record at least one level"
+        for lp in report.levels:
+            assert lp.candidates == lp.useful + lp.pruned
+            assert lp.hash_classified <= lp.useful
+
+    def test_one_pass_per_corpus_scan(self):
+        index, report = _built_report()
+        # The postings pass is not a mining pass.
+        assert len(report.passes) == index.stats.corpus_scans - 1
+
+    def test_phases_cover_the_pipeline(self):
+        _index, report = _built_report(presuf=True)
+        names = [phase.name for phase in report.phases]
+        assert names == ["mining", "presuf", "postings"]
+        presuf = report.find_phase("presuf")
+        assert presuf.detail["keys_after"] <= presuf.detail["keys_before"]
+        assert report.find_phase("nope") is None
+
+    def test_phase_recorded_even_on_error(self):
+        report = BuildReport()
+        with pytest.raises(RuntimeError):
+            with report.phase("mining"):
+                raise RuntimeError("boom")
+        assert [phase.name for phase in report.phases] == ["mining"]
+
+
+class TestPersistence:
+    def test_round_trip_dict(self):
+        _index, report = _built_report()
+        payload = report.as_dict()
+        assert payload["schema"] == SCHEMA
+        clone = BuildReport.from_dict(payload)
+        assert clone.as_dict() == payload
+
+    def test_save_load(self, tmp_path):
+        _index, report = _built_report()
+        path = str(tmp_path / "idx.img") + BUILD_REPORT_SUFFIX
+        report.save(path)
+        loaded = BuildReport.load(path)
+        assert loaded.n_keys == report.n_keys
+        assert len(loaded.levels) == len(report.levels)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["schema"] == SCHEMA
+
+    def test_default_report_path(self):
+        assert default_report_path("a/b.idx") == (
+            "a/b.idx" + BUILD_REPORT_SUFFIX
+        )
+
+
+class TestRendering:
+    def test_render_mentions_every_level_and_phase(self):
+        _index, report = _built_report(presuf=True)
+        text = report.render()
+        assert "build profile (presuf)" in text
+        for lp in report.levels:
+            assert f"\n  {lp.level:5d} |" in text
+        assert "phase mining" in text
+        assert "phase presuf" in text
+        assert "phase postings" in text
+        assert "totals:" in text

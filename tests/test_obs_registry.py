@@ -1,0 +1,213 @@
+"""Metrics registry tests: families, snapshots, exposition, parsing."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsError,
+    MetricsRegistry,
+    get_registry,
+    parse_prometheus_text,
+)
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", "help")
+        family.unlabeled().inc()
+        family.unlabeled().inc(2.5)
+        assert family.unlabeled().value == pytest.approx(3.5)
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        child = registry.counter("c_total", "help").unlabeled()
+        with pytest.raises(MetricsError):
+            child.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "help").unlabeled()
+        gauge.set(10)
+        gauge.dec(4)
+        gauge.inc(1)
+        assert gauge.value == pytest.approx(7.0)
+
+    def test_labels_isolate_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", "help", ["engine"])
+        family.labels(engine="free").inc(2)
+        family.labels(engine="scan").inc(5)
+        assert family.labels(engine="free").value == pytest.approx(2)
+        assert family.labels(engine="scan").value == pytest.approx(5)
+
+    def test_wrong_labels_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", "help", ["engine"])
+        with pytest.raises(MetricsError):
+            family.labels(nope="x")
+        with pytest.raises(MetricsError):
+            family.unlabeled()
+
+    def test_redefinition_with_different_shape_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help", ["engine"])
+        with pytest.raises(MetricsError):
+            registry.gauge("c_total", "help", ["engine"])
+        with pytest.raises(MetricsError):
+            registry.counter("c_total", "help", ["other"])
+
+
+class TestHistogram:
+    def test_buckets_and_count(self):
+        registry = MetricsRegistry()
+        histo = registry.histogram(
+            "h", "help", buckets=(0.1, 1.0, 10.0)
+        ).unlabeled()
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histo.observe(value)
+        assert histo.count == 4
+        assert histo.sum == pytest.approx(55.55)
+        cumulative = dict(histo.cumulative())
+        assert cumulative[0.1] == 1
+        assert cumulative[1.0] == 2
+        assert cumulative[10.0] == 3
+        assert cumulative[math.inf] == 4
+
+    def test_quantile_bucket_resolution(self):
+        registry = MetricsRegistry()
+        histo = registry.histogram(
+            "h", "help", buckets=(1.0, 2.0, 4.0)
+        ).unlabeled()
+        for value in (0.5, 0.5, 1.5, 3.0):
+            histo.observe(value)
+        assert histo.quantile(0.5) == pytest.approx(1.0)
+        assert histo.quantile(1.0) == pytest.approx(4.0)
+
+    def test_unsorted_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            registry.histogram("h", "help", buckets=(2.0, 1.0))
+
+    def test_default_latency_buckets_cover_realistic_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 1.0
+
+
+class TestSnapshotDeltaReset:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help").unlabeled().inc(3)
+        registry.histogram(
+            "h", "help", buckets=(1.0,)
+        ).unlabeled().observe(0.5)
+        return registry
+
+    def test_snapshot_is_a_plain_copy(self):
+        registry = self._registry()
+        snap = registry.snapshot()
+        registry.counter("c_total", "help").unlabeled().inc(10)
+        assert snap["c_total"]["samples"][""] == pytest.approx(3.0)
+
+    def test_delta_subtracts_counters_and_histograms(self):
+        registry = self._registry()
+        snap = registry.snapshot()
+        registry.counter("c_total", "help").unlabeled().inc(5)
+        registry.histogram(
+            "h", "help", buckets=(1.0,)
+        ).unlabeled().observe(0.25)
+        window = registry.delta(snap)
+        assert window["c_total"]["samples"][""] == pytest.approx(5.0)
+        histo = window["h"]["samples"][""]
+        assert histo["count"] == 1
+        assert histo["sum"] == pytest.approx(0.25)
+
+    def test_gauges_stay_absolute_in_delta(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "help").unlabeled().set(10)
+        snap = registry.snapshot()
+        registry.gauge("g", "help").unlabeled().set(4)
+        window = registry.delta(snap)
+        assert window["g"]["samples"][""] == pytest.approx(4.0)
+
+    def test_reset_zeroes_but_keeps_definitions(self):
+        registry = self._registry()
+        registry.reset()
+        assert registry.snapshot()["c_total"]["samples"] == {}
+        # Re-registering with the same shape still works after reset.
+        registry.counter("c_total", "help").unlabeled().inc()
+
+
+class TestExposition:
+    def _populated(self):
+        registry = MetricsRegistry()
+        queries = registry.counter(
+            "free_queries_total", "Queries.", ["engine"]
+        )
+        queries.labels(engine="free").inc(4)
+        queries.labels(engine="scan").inc(1)
+        registry.histogram(
+            "free_query_seconds", "Latency.", ["engine"],
+            buckets=(0.01, 0.1),
+        ).labels(engine="free").observe(0.05)
+        return registry
+
+    def test_round_trip_through_strict_parser(self):
+        text = self._populated().render_prometheus()
+        samples = parse_prometheus_text(text)
+        assert samples["free_queries_total"]["engine=free"] == 4.0
+        buckets = samples["free_query_seconds_bucket"]
+        assert buckets["engine=free,le=+Inf"] == 1.0
+
+    def test_histogram_sum_count_lines_present(self):
+        text = self._populated().render_prometheus()
+        assert "free_query_seconds_sum{engine=\"free\"}" in text
+        assert "free_query_seconds_count{engine=\"free\"} 1" in text
+
+    def test_label_escaping_survives_parsing(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "c_total", "help", ["pattern"]
+        ).labels(pattern='a"b\\c').inc()
+        samples = parse_prometheus_text(registry.render_prometheus())
+        assert sum(samples["c_total"].values()) == 1.0
+
+    def test_parser_rejects_malformed_sample(self):
+        with pytest.raises(MetricsError):
+            parse_prometheus_text("not a metric line at all {\n")
+
+    def test_parser_rejects_nonmonotone_histogram(self):
+        bad = "\n".join([
+            "# TYPE h histogram",
+            'h_bucket{le="1.0"} 5',
+            'h_bucket{le="2.0"} 3',
+            'h_bucket{le="+Inf"} 5',
+            "h_count 5",
+        ])
+        with pytest.raises(MetricsError):
+            parse_prometheus_text(bad)
+
+    def test_parser_rejects_missing_inf_bucket(self):
+        bad = "\n".join([
+            "# TYPE h histogram",
+            'h_bucket{le="1.0"} 5',
+            "h_count 5",
+        ])
+        with pytest.raises(MetricsError):
+            parse_prometheus_text(bad)
+
+    def test_parser_rejects_count_mismatch(self):
+        bad = "\n".join([
+            "# TYPE h histogram",
+            'h_bucket{le="+Inf"} 5',
+            "h_count 4",
+        ])
+        with pytest.raises(MetricsError):
+            parse_prometheus_text(bad)
+
+
+class TestGlobalRegistry:
+    def test_get_registry_is_stable(self):
+        assert get_registry() is get_registry()

@@ -1,0 +1,135 @@
+"""Span tracing tests: structure, timings, rendering, no-op path."""
+
+import pytest
+
+from repro.obs.clock import ManualClock, monotonic, set_clock, use_clock
+from repro.obs.trace import Trace, _NULL_SPAN, maybe_span
+
+
+class TestManualClock:
+    def test_advance(self):
+        clock = ManualClock()
+        start = clock()
+        clock.advance(1.5)
+        assert clock() == pytest.approx(start + 1.5)
+
+    def test_negative_advance_rejected(self):
+        clock = ManualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_use_clock_scopes_the_swap(self):
+        clock = ManualClock(start=5.0)
+        with use_clock(clock):
+            assert monotonic() == pytest.approx(5.0)
+            clock.advance(2.0)
+            assert monotonic() == pytest.approx(7.0)
+        # Outside the scope the real clock is back: two reads advance
+        # on their own while the manual clock stays frozen at 7.0.
+        first, second = monotonic(), monotonic()
+        assert second > first
+
+    def test_set_clock_restores(self):
+        clock = ManualClock()
+        previous = set_clock(clock)
+        try:
+            clock.advance(1.0)
+            assert monotonic() == clock()
+        finally:
+            set_clock(previous)
+
+
+class TestTraceStructure:
+    def test_nesting_follows_call_stack(self):
+        trace = Trace()
+        with trace.span("search"):
+            with trace.span("plan"):
+                with trace.span("parse"):
+                    pass
+            with trace.span("verify"):
+                pass
+        root = trace.root
+        assert root.name == "search"
+        assert [c.name for c in root.children] == ["plan", "verify"]
+        assert [c.name for c in root.children[0].children] == ["parse"]
+
+    def test_attrs_recorded_and_mutable(self):
+        trace = Trace()
+        with trace.span("postings_fetch", gram="abc") as span:
+            span.attrs["n_ids"] = 7
+        span = trace.find("postings_fetch")[0]
+        assert span.attrs == {"gram": "abc", "n_ids": 7}
+
+    def test_find_preorder(self):
+        trace = Trace()
+        with trace.span("a"):
+            with trace.span("x", seq=1):
+                pass
+            with trace.span("x", seq=2):
+                pass
+        assert [s.attrs["seq"] for s in trace.find("x")] == [1, 2]
+
+    def test_span_closes_on_exception(self):
+        trace = Trace()
+        with pytest.raises(RuntimeError):
+            with trace.span("search"):
+                with trace.span("verify"):
+                    raise RuntimeError("boom")
+        assert trace._stack == []
+        assert trace.root.duration_seconds >= 0.0
+
+
+class TestTraceTimings:
+    def _timed_trace(self):
+        clock = ManualClock()
+        trace = Trace(clock=clock)
+        with trace.span("search"):
+            with trace.span("plan"):
+                clock.advance(0.010)
+            with trace.span("verify"):
+                clock.advance(0.030)
+            clock.advance(0.005)  # glue code outside leaf spans
+        return trace
+
+    def test_durations_exact_with_manual_clock(self):
+        trace = self._timed_trace()
+        assert trace.total_seconds() == pytest.approx(0.045)
+        assert trace.leaf_seconds() == pytest.approx(0.040)
+        plan = trace.find("plan")[0]
+        assert plan.duration_seconds == pytest.approx(0.010)
+
+    def test_leaf_spans_sum_within_total(self):
+        trace = self._timed_trace()
+        assert trace.leaf_seconds() <= trace.total_seconds()
+        root = trace.root
+        assert root.self_seconds() == pytest.approx(0.005)
+
+    def test_as_dict_round_trip_shape(self):
+        payload = self._timed_trace().as_dict()
+        assert payload["total_seconds"] == pytest.approx(0.045)
+        assert payload["spans"][0]["name"] == "search"
+        child_names = [
+            c["name"] for c in payload["spans"][0]["children"]
+        ]
+        assert child_names == ["plan", "verify"]
+
+    def test_render_shows_tree_and_footer(self):
+        text = self._timed_trace().render()
+        lines = text.splitlines()
+        assert lines[0] == "trace:"
+        assert "search" in lines[1]
+        assert lines[2].startswith("    plan")
+        assert "leaf spans cover" in lines[-1]
+
+
+class TestMaybeSpan:
+    def test_none_trace_returns_shared_noop(self):
+        assert maybe_span(None, "anything") is _NULL_SPAN
+        with maybe_span(None, "anything") as span:
+            assert span is None
+
+    def test_live_trace_records(self):
+        trace = Trace()
+        with maybe_span(trace, "plan") as span:
+            assert span is not None
+        assert [s.name for s in trace.roots] == ["plan"]
