@@ -39,6 +39,7 @@ from repro.engine import (
     Match,
     ScanEngine,
     SearchReport,
+    ShardedFreeEngine,
     frequency_ranked,
 )
 from repro.errors import (
@@ -59,12 +60,20 @@ from repro.index import (
     PostingsList,
     SegmentedFreeEngine,
     SegmentedGramIndex,
+    ShardedIndex,
     SuffixArrayIndex,
     build_complete_index,
     build_multigram_index,
     presuf_shell,
+    shard_ranges,
 )
-from repro.index.serialize import load_index, save_index
+from repro.index.serialize import (
+    load_any_index,
+    load_index,
+    load_sharded_index,
+    save_index,
+    save_sharded_index,
+)
 from repro.iomodel import DiskModel
 from repro.metrics import LRUCache, QueryMetrics
 from repro.plan import CoverPolicy, LogicalPlan, PhysicalPlan
@@ -91,9 +100,15 @@ __all__ = [
     "presuf_shell",
     "save_index",
     "load_index",
+    "save_sharded_index",
+    "load_sharded_index",
+    "load_any_index",
     "PCYHashFilter",
     "SegmentedGramIndex",
     "SegmentedFreeEngine",
+    "ShardedIndex",
+    "ShardedFreeEngine",
+    "shard_ranges",
     "SuffixArrayIndex",
     # plan
     "LogicalPlan",

@@ -29,6 +29,7 @@ from repro.analysis.index_checks import (
     check_gram_index,
     check_key_set,
     check_segmented_index,
+    check_sharded_index,
 )
 from repro.analysis.lint import lint_paths, lint_source
 from repro.analysis.plan_checks import (
@@ -48,6 +49,7 @@ __all__ = [
     "check_gram_index",
     "check_key_set",
     "check_segmented_index",
+    "check_sharded_index",
     "check_physical_plan",
     "check_plan_pair",
     "entails",

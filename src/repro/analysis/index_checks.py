@@ -22,6 +22,9 @@ SEG002       routing table == union of segment ids
 SEG003       tombstones are ids the segment actually holds
 SEG004       segment id count == its index's n_docs
 SEG005       epoch covers every recorded mutation
+SHD001       shard ranges are disjoint, contiguous, and tile the corpus
+SHD002       per-shard postings <= shard corpus chars (Obs 3.8 locally)
+SHD003       summed shard stats == whole-corpus stats
 ===========  ==========================================================
 
 All checks are read-only and run without executing any query.
@@ -39,6 +42,7 @@ from repro.index.presuf import (
     suffix_violations,
 )
 from repro.index.segmented import SegmentedGramIndex
+from repro.index.sharded import ShardedIndex
 
 #: Cap on per-invariant witnesses so a badly broken index stays readable.
 MAX_WITNESSES = 5
@@ -300,4 +304,112 @@ def check_segmented_index(
             f"candidate caches may serve stale results",
             subject="segmented index",
         ))
+    return findings
+
+
+def check_sharded_index(
+    sharded: ShardedIndex,
+    corpus_chars: Optional[int] = None,
+) -> List[Finding]:
+    """Partition invariants (SHD001..SHD003) plus per-shard index checks.
+
+    The sharded engine's union merge relies on the partition being a
+    disjoint, contiguous tiling of ``[0, n_docs)`` in shard order
+    (SHD001) — that is what makes shard-ordinal concatenation the
+    sorted global union.  Obs 3.8 must also hold *per shard* (SHD002),
+    since each shard is a self-contained prefix-free index over its own
+    slice of the corpus, and the per-shard stats must sum to the
+    whole-corpus figures (SHD003) so capacity planning on shard stats
+    is trustworthy.
+    """
+    findings: List[Finding] = []
+
+    # SHD001: the ranges tile [0, n_docs) in shard order — no gap, no
+    # overlap, no reordering.  (The constructor validates this too; the
+    # analyzer re-proves it so tampered or hand-built objects are caught.)
+    expected_next = 0
+    for position, shard in enumerate(sharded.shards):
+        subject = f"shard[{position}]"
+        ids = shard.global_ids
+        expected = list(range(expected_next, expected_next + len(ids)))
+        if ids != expected:
+            witnesses = [
+                gid for gid, want in zip(ids, expected) if gid != want
+            ][:MAX_WITNESSES]
+            findings.append(make_finding(
+                "SHD001",
+                f"shard ids are not the contiguous range "
+                f"[{expected_next}, {expected_next + len(ids)}) — the "
+                f"union merge by shard ordinal is only sorted for a "
+                f"contiguous tiling (first deviating ids: {witnesses})",
+                subject=subject,
+            ))
+        expected_next += len(ids)
+
+        # SHD002: Obs 3.8 holds shard-locally against the shard's own
+        # recorded corpus slice size.
+        stats = shard.index.stats
+        if stats.corpus_chars and shard.index.kind in (
+            "multigram", "presuf"
+        ):
+            total = sum(len(plist) for _k, plist in shard.index.items())
+            if total > stats.corpus_chars:
+                findings.append(make_finding(
+                    "SHD002",
+                    f"shard postings {total} exceed the shard's corpus "
+                    f"slice of {stats.corpus_chars} chars; Obs 3.8 "
+                    f"bounds every prefix-free shard independently",
+                    paper_ref="Obs 3.8",
+                    subject=subject,
+                ))
+
+        if len(shard.global_ids) != shard.index.n_docs:
+            findings.append(make_finding(
+                "SHD001",
+                f"shard holds {len(shard.global_ids)} ids but its index "
+                f"was built over {shard.index.n_docs} docs",
+                subject=subject,
+            ))
+
+        findings.extend(check_gram_index(
+            shard.index,
+            corpus_chars=None,
+            subject=f"{subject} ({shard.index.kind})",
+        ))
+
+    # SHD003: per-shard stats must sum to the whole-corpus figures.
+    summed_docs = sum(s.index.stats.n_docs for s in sharded.shards)
+    if summed_docs != sharded.n_docs:
+        findings.append(make_finding(
+            "SHD003",
+            f"shard stats record {summed_docs} docs in total but the "
+            f"partition covers {sharded.n_docs}",
+            subject="sharded index",
+        ))
+    summed_postings = sum(
+        s.index.stats.n_postings for s in sharded.shards
+    )
+    actual_postings = sum(
+        len(plist)
+        for s in sharded.shards
+        for _key, plist in s.index.items()
+    )
+    if summed_postings != actual_postings:
+        findings.append(make_finding(
+            "SHD003",
+            f"shard stats record {summed_postings} postings in total "
+            f"but the shards actually hold {actual_postings}",
+            subject="sharded index",
+        ))
+    if corpus_chars is not None:
+        summed_chars = sum(
+            s.index.stats.corpus_chars for s in sharded.shards
+        )
+        if summed_chars != corpus_chars:
+            findings.append(make_finding(
+                "SHD003",
+                f"shard stats record {summed_chars} corpus chars in "
+                f"total but the corpus holds {corpus_chars}",
+                subject="sharded index",
+            ))
     return findings

@@ -17,6 +17,7 @@ from repro.analysis.findings import AnalysisReport
 from repro.analysis.index_checks import (
     check_gram_index,
     check_segmented_index,
+    check_sharded_index,
 )
 from repro.analysis.lint import lint_paths
 from repro.analysis.plan_checks import check_plan_pair
@@ -24,6 +25,7 @@ from repro.bench.queries import BENCHMARK_QUERIES
 from repro.errors import AnalysisError
 from repro.index.multigram import GramIndex
 from repro.index.segmented import SegmentedGramIndex
+from repro.index.sharded import ShardedIndex
 from repro.obs.buildreport import BuildReport, default_report_path
 from repro.plan.logical import LogicalPlan
 from repro.plan.physical import CoverPolicy, PhysicalPlan
@@ -35,7 +37,9 @@ def default_lint_root() -> str:
 
 
 def run_check(
-    index: Optional[Union[GramIndex, SegmentedGramIndex, str]] = None,
+    index: Optional[
+        Union[GramIndex, SegmentedGramIndex, ShardedIndex, str]
+    ] = None,
     patterns: Optional[Sequence[str]] = None,
     lint: bool = False,
     lint_root: Optional[str] = None,
@@ -46,8 +50,9 @@ def run_check(
     """Run the requested analyzer families and return one merged report.
 
     Args:
-        index: a built index, a segmented index, or a path to a
-            serialized index image; None skips index and plan analysis.
+        index: a built index, a segmented or sharded index, or a path
+            to a serialized index image (single-index ``FREEIDX1`` or
+            sharded ``FREESHRD``); None skips index and plan analysis.
         patterns: regexes whose plan pairs to verify against ``index``;
             defaults to the ten benchmark queries of Figure 8 when an
             index is present.  An explicit empty sequence skips plan
@@ -77,6 +82,8 @@ def run_check(
         report.begin_section("index invariants")
         if isinstance(index, SegmentedGramIndex):
             report.extend(check_segmented_index(index, corpus_chars))
+        elif isinstance(index, ShardedIndex):
+            report.extend(check_sharded_index(index, corpus_chars))
         else:
             report.extend(check_gram_index(index, corpus_chars))
         if build_report is not None and isinstance(index, GramIndex):
@@ -92,18 +99,18 @@ def run_check(
 
 
 def _resolve_index(
-    index: Union[GramIndex, SegmentedGramIndex, str],
-) -> Union[GramIndex, SegmentedGramIndex]:
-    if isinstance(index, (GramIndex, SegmentedGramIndex)):
+    index: Union[GramIndex, SegmentedGramIndex, ShardedIndex, str],
+) -> Union[GramIndex, SegmentedGramIndex, ShardedIndex]:
+    if isinstance(index, (GramIndex, SegmentedGramIndex, ShardedIndex)):
         return index
-    from repro.index.serialize import load_index
+    from repro.index.serialize import load_any_index
 
-    return load_index(index)
+    return load_any_index(index)
 
 
 def _check_plans(
     report: AnalysisReport,
-    index: Union[GramIndex, SegmentedGramIndex],
+    index: Union[GramIndex, SegmentedGramIndex, ShardedIndex],
     patterns: Optional[Sequence[str]],
     policy: Union[CoverPolicy, str],
 ) -> None:
@@ -113,11 +120,17 @@ def _check_plans(
         return
     report.begin_section("plan soundness")
     policy = CoverPolicy(policy)
-    targets: List[GramIndex] = (
-        [segment.index for segment in index.segments]
-        if isinstance(index, SegmentedGramIndex)
-        else [index]
-    )
+    if isinstance(index, SegmentedGramIndex):
+        targets: List[GramIndex] = [
+            segment.index for segment in index.segments
+        ]
+        part_name = "segment"
+    elif isinstance(index, ShardedIndex):
+        targets = [shard.index for shard in index.shards]
+        part_name = "shard"
+    else:
+        targets = [index]
+        part_name = ""
     for pattern in patterns:
         logical = LogicalPlan.from_pattern(pattern)
         for position, target in enumerate(targets):
@@ -127,7 +140,7 @@ def _check_plans(
             )
             report.extend(findings)
             subject = pattern if len(targets) == 1 else (
-                f"{pattern} @ segment[{position}]"
+                f"{pattern} @ {part_name}[{position}]"
             )
             report.justifications[subject] = [
                 step.render() for step in justifications

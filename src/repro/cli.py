@@ -32,9 +32,15 @@ from repro.corpus.store import DiskCorpus
 from repro.corpus.synthesis import build_corpus
 from repro.engine.free import FreeEngine
 from repro.engine.results import frequency_ranked
+from repro.engine.sharded import ShardedFreeEngine
 from repro.errors import FreeError
 from repro.index.builder import build_multigram_index
-from repro.index.serialize import load_index, save_index
+from repro.index.serialize import (
+    load_any_index,
+    save_index,
+    save_sharded_index,
+)
+from repro.index.sharded import ShardedIndex
 from repro.obs.buildreport import default_report_path
 from repro.plan.physical import CoverPolicy
 
@@ -81,6 +87,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the per-level Algorithm 3.1 build profile "
              "(the report is persisted next to the image either way)",
     )
+    p_build.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition the corpus into N shards and write a sharded "
+             "index image (N=1 writes a plain single-index image)",
+    )
+    p_build.add_argument(
+        "--build-workers", type=int, default=1, metavar="K",
+        help="worker processes for index construction",
+    )
     p_build.set_defaults(func=_cmd_build)
 
     p_search = sub.add_parser("search", help="run a regex query")
@@ -100,6 +115,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_search.add_argument(
         "--trace", action="store_true",
         help="record the request as a span tree and print it",
+    )
+    p_search.add_argument(
+        "--workers", type=int, default=1, metavar="K",
+        help="worker processes for a sharded index (per-shard fan-out; "
+             "ignored for single-index images)",
     )
     p_search.set_defaults(func=_cmd_search)
 
@@ -180,7 +200,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--experiment",
         choices=[
             "table3", "fig9", "fig10", "fig11", "fig12",
-            "threshold", "policy", "repeat", "core", "all",
+            "threshold", "policy", "repeat", "core", "sharded", "all",
         ],
         default="all",
     )
@@ -189,8 +209,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rounds for the repeated-query experiment",
     )
     p_bench.add_argument(
-        "--out", default="BENCH_free_core.json", metavar="PATH",
-        help="where --experiment core writes its JSON record",
+        "--out", default=None, metavar="PATH",
+        help="where --experiment core/sharded writes its JSON record "
+             "(default: BENCH_free_core.json / BENCH_free_sharded.json)",
+    )
+    p_bench.add_argument(
+        "--shards", type=int, default=4, metavar="N",
+        help="shard count for --experiment sharded",
+    )
+    p_bench.add_argument(
+        "--workers", type=int, default=4, metavar="K",
+        help="worker processes for --experiment sharded",
     )
     p_bench.set_defaults(func=_cmd_bench)
 
@@ -235,13 +264,50 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
-    with DiskCorpus(args.corpus) as corpus:
-        index = build_multigram_index(
-            corpus,
-            threshold=args.threshold,
-            max_gram_len=args.max_gram_len,
-            presuf=args.presuf,
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        with DiskCorpus(args.corpus) as corpus:
+            sharded = ShardedIndex.build(
+                corpus,
+                args.shards,
+                threshold=args.threshold,
+                max_gram_len=args.max_gram_len,
+                presuf=args.presuf,
+                build_workers=args.build_workers,
+            )
+        save_sharded_index(sharded, args.out)
+        print(
+            f"built sharded index: {sharded.n_shards} shards, "
+            f"{sharded.n_docs} docs, {sharded.total_keys():,} keys, "
+            f"{sharded.total_postings():,} postings -> {args.out}"
         )
+        for row in sharded.shard_stats():
+            start, stop = row["doc_range"]  # type: ignore[misc]
+            print(
+                f"  shard {row['shard']}: docs [{start}, {stop}), "
+                f"{row['keys']:,} keys, {row['postings']:,} postings"
+            )
+        return 0
+    with DiskCorpus(args.corpus) as corpus:
+        if args.build_workers > 1:
+            from repro.index.parallel import build_multigram_index_parallel
+
+            index = build_multigram_index_parallel(
+                corpus,
+                threshold=args.threshold,
+                max_gram_len=args.max_gram_len,
+                presuf=args.presuf,
+                workers=args.build_workers,
+            )
+        else:
+            index = build_multigram_index(
+                corpus,
+                threshold=args.threshold,
+                max_gram_len=args.max_gram_len,
+                presuf=args.presuf,
+            )
     save_index(index, args.out)
     stats = index.stats
     print(
@@ -260,12 +326,27 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_for(
+    corpus: DiskCorpus, index_path: str, workers: int = 1, **kwargs
+) -> FreeEngine:
+    """Open either index image kind and wrap it in the right engine."""
+    index = load_any_index(index_path)
+    if isinstance(index, ShardedIndex):
+        return ShardedFreeEngine(corpus, index, workers=workers, **kwargs)
+    return FreeEngine(corpus, index, **kwargs)
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     with DiskCorpus(args.corpus) as corpus:
-        engine = FreeEngine(corpus, load_index(args.index))
+        engine = _engine_for(corpus, args.index, workers=args.workers)
         report = engine.search(
             args.pattern, limit=args.limit, trace=args.trace
         )
+        if isinstance(engine, ShardedFreeEngine):
+            engine.close()
         print(report.summary())
         if args.metrics and report.metrics is not None:
             print(report.metrics.pretty())
@@ -284,7 +365,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     with DiskCorpus(args.corpus) as corpus:
-        engine = FreeEngine(corpus, load_index(args.index))
+        engine = _engine_for(corpus, args.index)
         print(engine.explain(
             args.pattern, analyze=args.analyze, trace=args.trace
         ))
@@ -303,9 +384,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     )
     registry = get_registry()
     with DiskCorpus(args.corpus) as corpus:
-        engine = FreeEngine(
-            corpus, load_index(args.index), registry=registry,
-        )
+        engine = _engine_for(corpus, args.index, registry=registry)
         for _round in range(args.repeats):
             for pattern in patterns:
                 engine.search(pattern, collect_matches=False)
@@ -381,8 +460,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.pages
         else default_workload()
     )
+    if args.experiment == "sharded":
+        if args.shards < 1 or args.workers < 1:
+            print(
+                "error: --shards and --workers must be >= 1",
+                file=sys.stderr,
+            )
+            return 2
+        out = args.out or "BENCH_free_sharded.json"
+        record = runner_mod.write_bench_sharded(
+            out, workload, n_shards=args.shards, workers=args.workers,
+        )
+        speedup = cast(Dict[str, float], record["speedup"])
+        io_speedup = cast(Dict[str, float], record["io_speedup"])
+        base = cast(Dict[str, float], record["baseline_latency_seconds"])
+        shard = cast(Dict[str, float], record["sharded_latency_seconds"])
+        print(
+            f"sharded: shards={args.shards} workers={args.workers} "
+            f"io speedup p50 x{io_speedup['p50']:.2f} "
+            f"(critical path, deterministic); "
+            f"wall p50 {base['p50'] * 1000:.2f}ms -> "
+            f"{shard['p50'] * 1000:.2f}ms "
+            f"(x{speedup['p50']:.2f} on {record['cpu_count']} cpus) "
+            f"-> {out}"
+        )
+        return 0
     if args.experiment == "core":
-        record = runner_mod.write_bench_core(args.out, workload)
+        out = args.out or "BENCH_free_core.json"
+        record = runner_mod.write_bench_core(out, workload)
         latency = cast(Dict[str, float], record["latency_seconds"])
         ratio = cast(float, record["candidate_ratio"])
         hit_rate = cast(float, record["cache_hit_rate"])
@@ -392,7 +497,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"p95={latency['p95'] * 1000:.2f}ms "
             f"candidate_ratio={ratio:.4f} "
             f"cache_hit_rate={hit_rate:.3f} "
-            f"build={build_s:.2f}s -> {args.out}"
+            f"build={build_s:.2f}s -> {out}"
         )
         return 0
     experiments = {

@@ -180,6 +180,13 @@ class DiskCorpus(CorpusStore):
                 out.write(_ENTRY.pack(*entry))
             out.write(payload.getvalue())
 
+    @property
+    def path(self) -> str:
+        """The image path (forked workers reopen it: a forked file
+        descriptor shares its seek offset with the parent, so each
+        process needs its own handle for race-free random access)."""
+        return self._path
+
     def __len__(self) -> int:
         return len(self._entries)
 

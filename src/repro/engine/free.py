@@ -52,7 +52,15 @@ All engine timings read the injectable monotonic clock of
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.corpus.document import DataUnit
 from repro.corpus.store import CorpusStore
@@ -75,6 +83,22 @@ from repro.regex.matcher import Matcher
 
 #: Candidate-cache sentinel for "the plan said scan everything".
 _SCAN_ALL = object()
+
+
+class _BatchGroup:
+    """Shared candidate set of one plan group inside ``search_batch``.
+
+    The first query of the group computes the candidates (postings
+    fetches and all); every later member reuses them and skips its
+    postings phase entirely.  ``candidates is None`` means the group's
+    plan said "scan everything".
+    """
+
+    __slots__ = ("resolved", "candidates")
+
+    def __init__(self) -> None:
+        self.resolved = False
+        self.candidates: Optional[List[int]] = None
 
 
 class FreeEngine:
@@ -363,6 +387,65 @@ class FreeEngine:
                 a few ``None`` checks, < 2% on the repeated-query
                 benchmark).
         """
+        return self._execute_query(
+            pattern, limit, collect_matches, trace, group=None
+        )
+
+    def search_batch(
+        self,
+        patterns: Sequence[str],
+        limit: Optional[int] = None,
+        collect_matches: bool = True,
+        trace: bool = False,
+    ) -> List[SearchReport]:
+        """Run a batch of queries, amortizing work across the batch.
+
+        Queries are grouped by their *compiled physical plan*: patterns
+        whose plans perform the same index lookups (repeat traffic, or
+        distinct regexes that prune to the same gram cover) share one
+        candidate-set computation — the first member of each group pays
+        the plan compilation and postings fetches, every later member
+        reuses the materialized candidate ids and goes straight to
+        confirmation.  Reports come back in input order and each is
+        identical to what :meth:`search` would have produced; the
+        per-query :class:`~repro.metrics.QueryMetrics` records the
+        amortization on ``batch_candidates_reused``.
+        """
+        groups: dict = {}
+        reports: List[SearchReport] = []
+        for pattern in patterns:
+            key = self._batch_group_key(pattern)
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = _BatchGroup()
+            reports.append(self._execute_query(
+                pattern, limit, collect_matches, trace, group=group
+            ))
+        return reports
+
+    def _batch_group_key(self, pattern: str) -> Tuple:
+        """Candidate-set equivalence key for :meth:`search_batch`.
+
+        Two patterns may share a candidate set exactly when their
+        physical plans are structurally equal (the candidate set is a
+        pure function of the plan and the immutable index contents).
+        Without a physical plan (no index attached; subclasses that
+        plan per shard/segment) only the pattern itself is a safe key.
+        """
+        _logical, physical = self.plan(pattern)
+        if physical is not None:
+            return ("plan", self.cover_policy, physical.root)
+        return ("pattern", pattern, self.cover_policy, self.distribute)
+
+    def _execute_query(
+        self,
+        pattern: str,
+        limit: Optional[int],
+        collect_matches: bool,
+        trace: bool,
+        group: Optional[_BatchGroup],
+    ) -> SearchReport:
+        """The shared body of :meth:`search` and :meth:`search_batch`."""
         metrics = QueryMetrics()
         request_trace = Trace() if trace else None
         metrics.trace = request_trace
@@ -376,7 +459,16 @@ class FreeEngine:
             with maybe_span(request_trace, "search", pattern=pattern):
                 plan_started = monotonic()
                 matcher = self._matcher(pattern, metrics)
-                candidates = self._cached_candidates(pattern, metrics)
+                if group is not None and group.resolved:
+                    metrics.batch_candidates_reused = True
+                    candidates = (
+                        None if group.candidates is None
+                        else list(group.candidates)
+                    )
+                else:
+                    candidates = self._cached_candidates(pattern, metrics)
+                    if group is not None:
+                        metrics.batch_candidates_reused = False
                 if (
                     candidates is not None
                     and self.min_candidate_ratio is not None
@@ -387,6 +479,13 @@ class FreeEngine:
                     ):
                         candidates = None  # optimizer chose the scan
                         metrics.optimizer_fallback = True
+                if group is not None and not group.resolved:
+                    # Store post-fallback so the whole group shares the
+                    # optimizer's decision, not just the raw id list.
+                    group.candidates = (
+                        None if candidates is None else list(candidates)
+                    )
+                    group.resolved = True
                 report.plan_seconds = monotonic() - plan_started
                 metrics.phase_seconds["plan"] = report.plan_seconds
 

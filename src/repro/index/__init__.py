@@ -35,6 +35,7 @@ from repro.index.segmented import (
     SegmentedFreeEngine,
     SegmentedGramIndex,
 )
+from repro.index.sharded import ShardedIndex, shard_ranges
 from repro.index.stats import IndexStats
 from repro.index.suffixarray import SuffixArrayIndex
 
@@ -50,6 +51,8 @@ __all__ = [
     "Segment",
     "SegmentedGramIndex",
     "SegmentedFreeEngine",
+    "ShardedIndex",
+    "shard_ranges",
     "SuffixArrayIndex",
     "ParallelMultigramBuilder",
     "build_multigram_index_parallel",

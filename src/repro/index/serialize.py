@@ -1,6 +1,6 @@
-"""On-disk index images: save and load a :class:`GramIndex`.
+"""On-disk index images: save and load gram indexes, flat or sharded.
 
-Layout (little-endian)::
+Single-index layout (little-endian)::
 
     magic 'FREEIDX1' |
     meta_len u32 | meta json (kind, n_docs, threshold, max_gram_len) |
@@ -11,25 +11,113 @@ Layout (little-endian)::
 The postings bytes are stored verbatim — the in-memory and on-disk
 representations are the same compressed form, so save/load is a straight
 copy and the loaded index is bit-identical to the saved one.
+
+A sharded index image embeds one complete single-index image per shard::
+
+    magic 'FREESHRD' |
+    meta_len u32 | meta json (n_shards, n_docs, doc_ranges) |
+    per shard: a full 'FREEIDX1' stream as above
+
+:func:`load_any_index` dispatches on the leading magic so the CLI can
+open either kind from one ``--index`` flag.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import BinaryIO, Dict
+from typing import TYPE_CHECKING, BinaryIO, Dict, Union
 
 from repro.errors import SerializationError
 from repro.index.multigram import GramIndex
 from repro.index.postings import PostingsList, decode_gaps
 
+if TYPE_CHECKING:
+    from repro.index.sharded import ShardedIndex
+
 _MAGIC = b"FREEIDX1"
+_SHARD_MAGIC = b"FREESHRD"
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
 
 
 def save_index(index: GramIndex, path: str) -> None:
-    """Write ``index`` to ``path`` in the image format above."""
+    """Write ``index`` to ``path`` in the single-index image format."""
+    with open(path, "wb") as out:
+        _write_index_stream(out, index)
+
+
+def load_index(path: str) -> GramIndex:
+    """Read a single-index image written by :func:`save_index`."""
+    with open(path, "rb") as infile:
+        magic = infile.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise SerializationError(f"{path!r}: bad magic {magic!r}")
+        return _read_index_stream(infile, path)
+
+
+def save_sharded_index(sharded: "ShardedIndex", path: str) -> None:
+    """Write a :class:`~repro.index.sharded.ShardedIndex` image."""
+    meta = {
+        "n_shards": sharded.n_shards,
+        "n_docs": sharded.n_docs,
+        "doc_ranges": [list(r) for r in sharded.doc_ranges()],
+    }
+    meta_bytes = json.dumps(meta).encode("utf-8")
+    with open(path, "wb") as out:
+        out.write(_SHARD_MAGIC)
+        out.write(_U32.pack(len(meta_bytes)))
+        out.write(meta_bytes)
+        for shard in sharded.shards:
+            _write_index_stream(out, shard.index)
+
+
+def load_sharded_index(path: str) -> "ShardedIndex":
+    """Read a sharded image written by :func:`save_sharded_index`."""
+    from repro.index.segmented import Segment
+    from repro.index.sharded import ShardedIndex
+
+    with open(path, "rb") as infile:
+        magic = infile.read(len(_SHARD_MAGIC))
+        if magic != _SHARD_MAGIC:
+            raise SerializationError(f"{path!r}: bad magic {magic!r}")
+        meta = json.loads(_read_block(infile, path).decode("utf-8"))
+        shards = []
+        for start, stop in meta["doc_ranges"]:
+            shard_magic = infile.read(len(_MAGIC))
+            if shard_magic != _MAGIC:
+                raise SerializationError(
+                    f"{path!r}: bad embedded shard magic {shard_magic!r}"
+                )
+            index = _read_index_stream(infile, path)
+            if index.n_docs != stop - start:
+                raise SerializationError(
+                    f"{path!r}: shard image holds {index.n_docs} docs but "
+                    f"the directory says [{start}, {stop})"
+                )
+            shards.append(Segment(list(range(start, stop)), index))
+    sharded = ShardedIndex(shards)
+    if sharded.n_docs != meta["n_docs"]:
+        raise SerializationError(
+            f"{path!r}: shards cover {sharded.n_docs} docs, "
+            f"directory says {meta['n_docs']}"
+        )
+    return sharded
+
+
+def load_any_index(path: str) -> Union[GramIndex, "ShardedIndex"]:
+    """Open either image kind, dispatching on the leading magic."""
+    with open(path, "rb") as infile:
+        magic = infile.read(len(_MAGIC))
+    if magic == _MAGIC:
+        return load_index(path)
+    if magic == _SHARD_MAGIC:
+        return load_sharded_index(path)
+    raise SerializationError(f"{path!r}: bad magic {magic!r}")
+
+
+def _write_index_stream(out: BinaryIO, index: GramIndex) -> None:
+    """One complete single-index image (magic included) into ``out``."""
     meta = {
         "kind": index.kind,
         "n_docs": index.n_docs,
@@ -42,39 +130,34 @@ def save_index(index: GramIndex, path: str) -> None:
         "corpus_chars": index.stats.corpus_chars,
     }
     meta_bytes = json.dumps(meta).encode("utf-8")
-    with open(path, "wb") as out:
-        out.write(_MAGIC)
-        out.write(_U32.pack(len(meta_bytes)))
-        out.write(meta_bytes)
-        out.write(_U32.pack(len(index)))
-        for key in sorted(index.keys()):
-            plist = index.lookup(key)
-            key_bytes = key.encode("utf-8")
-            if len(key_bytes) > 0xFFFF:
-                raise SerializationError(f"key too long: {len(key_bytes)}B")
-            out.write(_U16.pack(len(key_bytes)))
-            out.write(key_bytes)
-            out.write(_U32.pack(len(plist)))
-            out.write(_U32.pack(plist.nbytes))
-            out.write(plist.raw)
+    out.write(_MAGIC)
+    out.write(_U32.pack(len(meta_bytes)))
+    out.write(meta_bytes)
+    out.write(_U32.pack(len(index)))
+    for key in sorted(index.keys()):
+        plist = index.lookup(key)
+        key_bytes = key.encode("utf-8")
+        if len(key_bytes) > 0xFFFF:
+            raise SerializationError(f"key too long: {len(key_bytes)}B")
+        out.write(_U16.pack(len(key_bytes)))
+        out.write(key_bytes)
+        out.write(_U32.pack(len(plist)))
+        out.write(_U32.pack(plist.nbytes))
+        out.write(plist.raw)
 
 
-def load_index(path: str) -> GramIndex:
-    """Read an index image written by :func:`save_index`."""
-    with open(path, "rb") as infile:
-        magic = infile.read(len(_MAGIC))
-        if magic != _MAGIC:
-            raise SerializationError(f"{path!r}: bad magic {magic!r}")
-        meta = json.loads(_read_block(infile, path).decode("utf-8"))
-        (n_keys,) = _U32.unpack(_read_exact(infile, _U32.size, path))
-        postings: Dict[str, PostingsList] = {}
-        for _ in range(n_keys):
-            (key_len,) = _U16.unpack(_read_exact(infile, _U16.size, path))
-            key = _read_exact(infile, key_len, path).decode("utf-8")
-            (count,) = _U32.unpack(_read_exact(infile, _U32.size, path))
-            (data_len,) = _U32.unpack(_read_exact(infile, _U32.size, path))
-            data = _read_exact(infile, data_len, path)
-            postings[key] = _validated_postings(data, count, key, path)
+def _read_index_stream(infile: BinaryIO, path: str) -> GramIndex:
+    """One single-index image body (magic already consumed)."""
+    meta = json.loads(_read_block(infile, path).decode("utf-8"))
+    (n_keys,) = _U32.unpack(_read_exact(infile, _U32.size, path))
+    postings: Dict[str, PostingsList] = {}
+    for _ in range(n_keys):
+        (key_len,) = _U16.unpack(_read_exact(infile, _U16.size, path))
+        key = _read_exact(infile, key_len, path).decode("utf-8")
+        (count,) = _U32.unpack(_read_exact(infile, _U32.size, path))
+        (data_len,) = _U32.unpack(_read_exact(infile, _U32.size, path))
+        data = _read_exact(infile, data_len, path)
+        postings[key] = _validated_postings(data, count, key, path)
     index = GramIndex(
         postings,
         kind=meta["kind"],

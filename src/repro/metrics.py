@@ -148,6 +148,12 @@ class QueryMetrics:
     candidate_cache_hit: Optional[bool] = None
     matcher_cache_hit: Optional[bool] = None
 
+    #: Batch execution (``FreeEngine.search_batch``): ``True`` when this
+    #: query reused a candidate set computed earlier in the same batch
+    #: (its postings phase never ran), ``False`` when it computed the
+    #: set its plan group shares, ``None`` outside batch execution.
+    batch_candidates_reused: Optional[bool] = None
+
     lookups: List[LookupRecord] = field(default_factory=list)
     postings_entries_decoded: int = 0
     postings_cache_hits: int = 0
@@ -195,6 +201,20 @@ class QueryMetrics:
         self.union_input += input_size
         self.union_output += output_size
 
+    def absorb(self, other: "QueryMetrics") -> None:
+        """Fold another metrics object's postings-side counters into
+        this one (sharded execution: per-shard metrics are recorded in
+        isolation, then absorbed in shard order so the merged record is
+        deterministic regardless of worker completion order)."""
+        self.lookups.extend(other.lookups)
+        self.postings_entries_decoded += other.postings_entries_decoded
+        self.postings_cache_hits += other.postings_cache_hits
+        self.postings_cache_misses += other.postings_cache_misses
+        self.intersect_input += other.intersect_input
+        self.intersect_output += other.intersect_output
+        self.union_input += other.union_input
+        self.union_output += other.union_output
+
     # -- reporting ---------------------------------------------------------
 
     def lookup_sizes(self) -> Dict[str, Tuple[int, bool]]:
@@ -212,6 +232,7 @@ class QueryMetrics:
             "plan_cache_hit": self.plan_cache_hit,
             "candidate_cache_hit": self.candidate_cache_hit,
             "matcher_cache_hit": self.matcher_cache_hit,
+            "batch_candidates_reused": self.batch_candidates_reused,
             "n_lookups": len(self.lookups),
             "postings_entries_decoded": self.postings_entries_decoded,
             "postings_cache_hits": self.postings_cache_hits,
@@ -255,6 +276,15 @@ class QueryMetrics:
             f"{self.sequential_chars} seq chars, "
             f"{self.postings_charged} postings charged",
         ]
+        if self.batch_candidates_reused is not None:
+            lines.append(
+                "  batch: candidate set "
+                + (
+                    "reused from plan group"
+                    if self.batch_candidates_reused
+                    else "computed for plan group"
+                )
+            )
         if self.optimizer_fallback:
             lines.append(
                 "  optimizer: candidate set over min_candidate_ratio; "

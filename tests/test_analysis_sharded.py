@@ -1,0 +1,141 @@
+"""Sharded-index analyzer tests: SHD001..SHD003 fire on seeded
+violations and stay quiet on indexes the builder actually produces."""
+
+import pytest
+
+from repro.analysis import check_sharded_index, run_check
+from repro.corpus.store import InMemoryCorpus
+from repro.index.serialize import save_sharded_index
+from repro.index.sharded import ShardedIndex
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def errors(findings):
+    return [f for f in findings if f.severity.label() == "error"]
+
+
+@pytest.fixture()
+def small_corpus():
+    texts = [
+        "the quick brown fox jumps",
+        "pack my box with five dozen jugs",
+        "sphinx of black quartz judge my vow",
+        "how vexingly quick daft zebras jump",
+        "the five boxing wizards jump quickly",
+        "jackdaws love my big sphinx of quartz",
+        "mr jock tv quiz phd bags few lynx",
+    ]
+    return InMemoryCorpus.from_texts(texts)
+
+
+def build_sharded(corpus, n_shards=3):
+    return ShardedIndex.build(corpus, n_shards, threshold=0.4, max_gram_len=4)
+
+
+class TestCleanShardedIndex:
+    def test_builder_output_is_clean(self, small_corpus):
+        sharded = build_sharded(small_corpus)
+        assert errors(check_sharded_index(sharded)) == []
+
+    def test_clean_with_corpus_chars(self, small_corpus):
+        sharded = build_sharded(small_corpus)
+        chars = sum(len(u.text) for u in small_corpus)
+        assert errors(check_sharded_index(sharded, chars)) == []
+
+    def test_more_shards_than_docs_is_clean(self, small_corpus):
+        # Trailing shards are empty: legal, and the analyzer agrees.
+        sharded = build_sharded(small_corpus, n_shards=11)
+        assert errors(check_sharded_index(sharded)) == []
+
+
+class TestShd001Partition:
+    def test_overlapping_ids_detected(self, small_corpus):
+        sharded = build_sharded(small_corpus)
+        # Shard 1 claims a doc shard 0 already owns.
+        sharded.shards[1].global_ids[0] = 0
+        findings = check_sharded_index(sharded)
+        assert "SHD001" in codes(findings)
+
+    def test_gap_in_tiling_detected(self, small_corpus):
+        sharded = build_sharded(small_corpus)
+        last = sharded.shards[-1]
+        last.global_ids[:] = [gid + 1 for gid in last.global_ids]
+        findings = check_sharded_index(sharded)
+        assert "SHD001" in codes(findings)
+
+    def test_reordered_ids_detected(self, small_corpus):
+        sharded = build_sharded(small_corpus)
+        ids = sharded.shards[0].global_ids
+        ids[0], ids[1] = ids[1], ids[0]
+        findings = check_sharded_index(sharded)
+        assert "SHD001" in codes(findings)
+
+    def test_id_count_vs_index_docs_detected(self, small_corpus):
+        sharded = build_sharded(small_corpus)
+        sharded.shards[0].global_ids.pop()
+        findings = check_sharded_index(sharded)
+        shd001 = [f for f in findings if f.code == "SHD001"]
+        assert any("built over" in f.message for f in shd001)
+
+
+class TestShd002PerShardBound:
+    def test_postings_over_shard_chars_detected(self, small_corpus):
+        sharded = build_sharded(small_corpus)
+        # Pretend the shard's slice was a single character: its real
+        # postings now exceed the Obs 3.8 per-shard bound.
+        sharded.shards[0].index.stats.corpus_chars = 1
+        findings = check_sharded_index(sharded)
+        shd002 = [f for f in findings if f.code == "SHD002"]
+        assert shd002 and shd002[0].paper_ref == "Obs 3.8"
+
+    def test_unrecorded_chars_skips_bound(self, small_corpus):
+        # corpus_chars == 0 means "not recorded", not "empty slice".
+        sharded = build_sharded(small_corpus)
+        sharded.shards[0].index.stats.corpus_chars = 0
+        assert "SHD002" not in codes(check_sharded_index(sharded))
+
+
+class TestShd003SummedStats:
+    def test_doc_total_mismatch_detected(self, small_corpus):
+        sharded = build_sharded(small_corpus)
+        sharded.shards[1].index.stats.n_docs += 2
+        findings = check_sharded_index(sharded)
+        assert "SHD003" in codes(findings)
+
+    def test_postings_total_mismatch_detected(self, small_corpus):
+        sharded = build_sharded(small_corpus)
+        sharded.shards[1].index.stats.n_postings += 5
+        findings = check_sharded_index(sharded)
+        assert "SHD003" in codes(findings)
+
+    def test_corpus_chars_mismatch_detected(self, small_corpus):
+        sharded = build_sharded(small_corpus)
+        chars = sum(len(u.text) for u in small_corpus)
+        findings = check_sharded_index(sharded, corpus_chars=chars + 100)
+        assert "SHD003" in codes(findings)
+
+
+class TestRunCheckSharded:
+    def test_run_check_accepts_sharded_index(self, small_corpus):
+        sharded = build_sharded(small_corpus)
+        report = run_check(index=sharded, patterns=["quick", "j(ump|udge)"])
+        assert report.ok
+        # Plan soundness ran per shard, labelled as such.
+        assert any("@ shard[" in s for s in report.justifications)
+
+    def test_run_check_loads_sharded_image(self, small_corpus, tmp_path):
+        sharded = build_sharded(small_corpus)
+        path = str(tmp_path / "corpus.fsi")
+        save_sharded_index(sharded, path)
+        report = run_check(index=path, patterns=["quick"])
+        assert report.ok
+
+    def test_run_check_reports_seeded_violation(self, small_corpus):
+        sharded = build_sharded(small_corpus)
+        sharded.shards[1].global_ids[0] = 0
+        report = run_check(index=sharded, patterns=[])
+        assert not report.ok
+        assert any(f.code == "SHD001" for f in report.findings)
