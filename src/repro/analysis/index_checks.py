@@ -17,6 +17,13 @@ IDX006       postings header count matches decoded payload
 IDX007       key with empty postings (useful grams occur somewhere)
 IDX008       stats bookkeeping matches the directory
 IDX009       directory trie agrees with the postings key set
+IDX010       FREEIDX2 skip tables are self-consistent (block counts
+             and byte lengths sum to the directory entry; every block
+             decodes to its declared count)
+IDX011       FREEIDX2 block first ids strictly increase and blocks do
+             not overlap once decoded
+IDX012       FREEIDX2 directory-declared postings <= corpus chars
+             (Obs 3.8 proven from the directory alone, no decode)
 SEG001       global doc ids unique across segments
 SEG002       routing table == union of segment ids
 SEG003       tombstones are ids the segment actually holds
@@ -36,12 +43,14 @@ from typing import Iterable, List, Optional
 
 from repro.analysis.findings import Finding, Severity, make_finding
 from repro.index.multigram import GramIndex
+from repro.index.postings import BlockedPostingsList
 from repro.index.presuf import (
     presuf_shell,
     prefix_violations,
     suffix_violations,
 )
 from repro.index.segmented import SegmentedGramIndex
+from repro.index.serialize import MappedGramIndex
 from repro.index.sharded import ShardedIndex
 
 #: Cap on per-invariant witnesses so a badly broken index stays readable.
@@ -104,6 +113,7 @@ def check_gram_index(
     name = subject if subject is not None else f"{index.kind} index"
     findings = check_key_set(index.keys(), index.kind, subject=name)
     findings.extend(_check_postings(index, name))
+    findings.extend(_check_blocked_postings(index, name))
     findings.extend(_check_stats(index, name))
     findings.extend(_check_directory(index, name))
 
@@ -113,14 +123,28 @@ def check_gram_index(
     if chars and index.kind in ("multigram", "presuf"):
         total = sum(len(plist) for _key, plist in index.items())
         if total > chars:
-            findings.append(make_finding(
-                "IDX002",
-                f"total postings {total} exceeds corpus size {chars} "
-                f"chars; a prefix-free key set admits at most one "
-                f"posting-occurrence per text position",
-                paper_ref="Obs 3.8",
-                subject=name,
-            ))
+            if isinstance(index, MappedGramIndex):
+                # v2 images: the bound is provable from the directory
+                # entry counts alone — it holds (or fails) even on an
+                # image whose payloads no longer decode.
+                findings.append(make_finding(
+                    "IDX012",
+                    f"v2 directory declares {total} postings but the "
+                    f"corpus holds {chars} chars; a prefix-free key "
+                    f"set admits at most one posting-occurrence per "
+                    f"text position",
+                    paper_ref="Obs 3.8",
+                    subject=name,
+                ))
+            else:
+                findings.append(make_finding(
+                    "IDX002",
+                    f"total postings {total} exceeds corpus size {chars} "
+                    f"chars; a prefix-free key set admits at most one "
+                    f"posting-occurrence per text position",
+                    paper_ref="Obs 3.8",
+                    subject=name,
+                ))
     return findings
 
 
@@ -185,6 +209,108 @@ def _check_postings(index: GramIndex, subject: str) -> List[Finding]:
                 location=repr(key),
             ))
             reported += 1
+    return findings
+
+
+def _check_blocked_postings(
+    index: GramIndex, subject: str
+) -> List[Finding]:
+    """FREEIDX2 invariants: the skip tables the streaming intersection
+    kernel trusts for block skipping (IDX010/IDX011).
+
+    The v2 loader is O(1) and defers per-entry validation to this
+    analyzer, so these checks are the offline proof that block
+    skipping cannot drop candidates: counts/byte-lengths must tile the
+    entry (IDX010), every block must decode to its declared count
+    (IDX010), and block first ids must strictly increase with no
+    decoded overlap across block boundaries (IDX011) — otherwise
+    ``next_geq`` could jump past a block that held a match.
+    """
+    findings: List[Finding] = []
+    reported = 0
+    for key, plist in index.items():
+        if reported >= MAX_WITNESSES:
+            break
+        if not isinstance(plist, BlockedPostingsList):
+            continue
+        if not plist.has_skip_table:
+            # Flat form: the stored payload *is* the flat encoding, so
+            # the two byte accounts must agree exactly.
+            if plist.nbytes != plist.blocked_nbytes:
+                findings.append(make_finding(
+                    "IDX010",
+                    f"flat blocked postings for key {key!r}: stored "
+                    f"payload is {plist.blocked_nbytes}B but the "
+                    f"directory claims {plist.nbytes}B",
+                    paper_ref="§5.2",
+                    subject=subject,
+                    location=repr(key),
+                ))
+                reported += 1
+            continue
+        table = plist.block_table
+        counts_sum = sum(n_ids for _first, n_ids, _nb in table)
+        if counts_sum != len(plist):
+            findings.append(make_finding(
+                "IDX010",
+                f"skip table for key {key!r} sums to {counts_sum} ids "
+                f"but the directory entry says {len(plist)}",
+                paper_ref="§5.2",
+                subject=subject,
+                location=repr(key),
+            ))
+            reported += 1
+            continue
+        if any(n_ids == 0 for _first, n_ids, _nb in table):
+            findings.append(make_finding(
+                "IDX010",
+                f"skip table for key {key!r} declares an empty block",
+                paper_ref="§5.2",
+                subject=subject,
+                location=repr(key),
+            ))
+            reported += 1
+            continue
+        firsts = [first for first, _n, _nb in table]
+        if any(b <= a for a, b in zip(firsts, firsts[1:])):
+            findings.append(make_finding(
+                "IDX011",
+                f"block first ids for key {key!r} are not strictly "
+                f"increasing; next_geq could skip a block holding a "
+                f"candidate",
+                paper_ref="§5.2",
+                subject=subject,
+                location=repr(key),
+            ))
+            reported += 1
+            continue
+        previous_last = None
+        for i in range(plist.n_blocks):
+            try:
+                ids = plist.block_ids(i)
+            except ValueError as exc:
+                findings.append(make_finding(
+                    "IDX010",
+                    f"block {i} of key {key!r} fails to decode: {exc}",
+                    paper_ref="§5.2",
+                    subject=subject,
+                    location=repr(key),
+                ))
+                reported += 1
+                break
+            if previous_last is not None and ids and ids[0] <= previous_last:
+                findings.append(make_finding(
+                    "IDX011",
+                    f"blocks {i - 1} and {i} of key {key!r} overlap "
+                    f"once decoded ({previous_last} >= {ids[0]})",
+                    paper_ref="§5.2",
+                    subject=subject,
+                    location=repr(key),
+                ))
+                reported += 1
+                break
+            if ids:
+                previous_last = ids[-1]
     return findings
 
 

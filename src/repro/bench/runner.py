@@ -629,6 +629,235 @@ def write_bench_sharded(
 
 
 # ---------------------------------------------------------------------------
+# E12: v1 vs v2 index images (CI artifact BENCH_free_postings.json)
+# ---------------------------------------------------------------------------
+
+#: Format tag of the BENCH_free_postings.json artifact.
+BENCH_POSTINGS_SCHEMA = "free-bench-postings/1"
+
+
+def _kernel_microbench(rounds: int = 200) -> Dict[str, float]:
+    """Mean microseconds per call of the set-kernel fast paths.
+
+    Exercises the 1-list and 2-list fast paths of
+    :func:`~repro.index.postings.union_many` /
+    :func:`~repro.index.postings.intersect_many` next to the general
+    k-list paths, on deterministic synthetic id lists, so a fast-path
+    regression shows up as a shifted ratio in the artifact.
+    """
+    from repro.index.postings import intersect_many, union_many
+
+    one = list(range(0, 20000, 2))
+    two = list(range(0, 30000, 3))
+    # Overlapping strides: the 8-way intersection is non-empty
+    # (multiples of lcm(2..9)), so no case degenerates to an early
+    # exit on an empty result.
+    many = [list(range(0, 30000, step)) for step in range(2, 10)]
+    cases = {
+        "union_1": lambda: union_many([one]),
+        "union_2": lambda: union_many([one, two]),
+        "union_8": lambda: union_many(many),
+        "intersect_1": lambda: intersect_many([one]),
+        "intersect_2": lambda: intersect_many([one, two]),
+        "intersect_8": lambda: intersect_many(many),
+    }
+    out = {}
+    for name, call in cases.items():
+        call()  # warm-up, unmeasured
+        started = time.perf_counter()
+        for _ in range(rounds):
+            call()
+        elapsed = time.perf_counter() - started
+        out[name] = round(elapsed / rounds * 1e6, 3)
+    return out
+
+
+def run_postings(
+    workload: Optional[Workload] = None,
+    queries: Optional[Dict[str, str]] = None,
+    repeats: int = 3,
+    load_rounds: int = 5,
+) -> Dict[str, object]:
+    """FREEIDX1 vs FREEIDX2: cold start, decoded bytes, latency.
+
+    Serializes the workload's multigram index in both image formats,
+    then measures what the zero-copy v2 layout buys:
+
+    * **cold start** — best-of-``load_rounds`` ``load_index`` time per
+      format, plus the honest amortized figure (load *and* answer the
+      first query) so the lazy load isn't credited with deferred work;
+    * **decoded postings per query** — bytes/entries varint-decoded on
+      the first (cold-cache) round, where the block-skip tables let the
+      streaming AND kernel leave non-overlapping blocks encoded;
+    * **query latency** — p50/p95/mean over ``repeats`` rounds per
+      format.
+
+    Every query's candidate and match counts must agree between the
+    formats (the cheap in-benchmark slice of the differential
+    soundness contract; the byte-identical candidate check lives in
+    ``tests/test_differential_v1_v2.py``).  A micro-benchmark of the
+    union/intersect kernel fast paths rides along so their 1-list and
+    2-list specializations stay observable.
+    """
+    import tempfile
+
+    from repro.index.serialize import load_index, save_index
+
+    workload = workload or default_workload()
+    queries = queries or BENCHMARK_QUERIES
+    if repeats < 1 or load_rounds < 1:
+        raise ValueError("repeats and load_rounds must be >= 1")
+    corpus = workload.corpus
+    index = workload.multigram
+
+    with tempfile.TemporaryDirectory(prefix="free-postings-") as tmp:
+        paths = {
+            "v1": os.path.join(tmp, "image.idx1"),
+            "v2": os.path.join(tmp, "image.idx2"),
+        }
+        save_index(index, paths["v1"], version=1)
+        save_index(index, paths["v2"], version=2)
+        image_bytes = {
+            name: os.path.getsize(path) for name, path in paths.items()
+        }
+
+        load_seconds = {}
+        first_query_seconds = {}
+        first_pattern = next(iter(queries.values()))
+        for name, path in paths.items():
+            times = []
+            for _round in range(load_rounds):
+                started = time.perf_counter()
+                load_index(path)
+                times.append(time.perf_counter() - started)
+            load_seconds[name] = min(times)
+            started = time.perf_counter()
+            engine = FreeEngine(corpus, load_index(path), disk=DiskModel())
+            engine.search(first_pattern, collect_matches=False)
+            first_query_seconds[name] = time.perf_counter() - started
+
+        engines = {
+            name: FreeEngine(
+                corpus,
+                load_index(path),
+                disk=DiskModel(),
+                candidate_cache_size=0,
+            )
+            for name, path in paths.items()
+        }
+        latencies: Dict[str, List[float]] = {"v1": [], "v2": []}
+        decoded = {
+            name: {"bytes": 0, "entries": 0, "blocks": 0, "skipped": 0}
+            for name in engines
+        }
+        total_matches = 0
+        for round_index in range(repeats):
+            for qname, pattern in queries.items():
+                reports = {}
+                for name, engine in engines.items():
+                    report = engine.search(pattern, collect_matches=False)
+                    reports[name] = report
+                    latencies[name].append(report.total_seconds)
+                    metrics = report.metrics
+                    if round_index == 0 and metrics is not None:
+                        counters = decoded[name]
+                        counters["bytes"] += metrics.postings_bytes_decoded
+                        counters["entries"] += (
+                            metrics.postings_entries_decoded
+                        )
+                        counters["blocks"] += (
+                            metrics.postings_blocks_decoded
+                        )
+                        counters["skipped"] += (
+                            metrics.postings_blocks_skipped
+                        )
+                r1, r2 = reports["v1"], reports["v2"]
+                if (
+                    r1.n_candidates != r2.n_candidates
+                    or r1.n_matches != r2.n_matches
+                ):
+                    raise AssertionError(
+                        f"{qname}: v2 image disagrees with v1 "
+                        f"({r1.n_candidates}/{r1.n_matches} vs "
+                        f"{r2.n_candidates}/{r2.n_matches})"
+                    )
+                if round_index == 0:
+                    total_matches += r1.n_matches
+
+    n_queries = len(queries)
+    for values in latencies.values():
+        values.sort()
+
+    def summary(values: List[float]) -> Dict[str, float]:
+        return {
+            "p50": _percentile(values, 0.50),
+            "p95": _percentile(values, 0.95),
+            "mean": sum(values) / len(values),
+        }
+
+    return {
+        "schema": BENCH_POSTINGS_SCHEMA,
+        "name": "free_postings",
+        "workload": {
+            "pages": len(corpus),
+            "corpus_chars": corpus.total_chars,
+            "seed": workload.seed,
+            "threshold": workload.threshold,
+            "queries": n_queries,
+            "repeats": repeats,
+            "load_rounds": load_rounds,
+        },
+        "image_bytes": image_bytes,
+        "cold_start": {
+            "v1_load_seconds": load_seconds["v1"],
+            "v2_load_seconds": load_seconds["v2"],
+            "load_speedup": (
+                load_seconds["v1"] / load_seconds["v2"]
+                if load_seconds["v2"] else float("inf")
+            ),
+            "v1_first_query_seconds": first_query_seconds["v1"],
+            "v2_first_query_seconds": first_query_seconds["v2"],
+        },
+        "decoded_per_query": {
+            "v1_bytes_mean": decoded["v1"]["bytes"] / n_queries,
+            "v2_bytes_mean": decoded["v2"]["bytes"] / n_queries,
+            "bytes_ratio": (
+                decoded["v2"]["bytes"] / decoded["v1"]["bytes"]
+                if decoded["v1"]["bytes"] else 0.0
+            ),
+            "v1_entries_mean": decoded["v1"]["entries"] / n_queries,
+            "v2_entries_mean": decoded["v2"]["entries"] / n_queries,
+            "v2_blocks_decoded": decoded["v2"]["blocks"],
+            "v2_blocks_skipped": decoded["v2"]["skipped"],
+        },
+        "latency_seconds": {
+            "v1": summary(latencies["v1"]),
+            "v2": summary(latencies["v2"]),
+        },
+        "kernel_microbench_us": _kernel_microbench(),
+        "matches": total_matches,
+    }
+
+
+def write_bench_postings(
+    path: str,
+    workload: Optional[Workload] = None,
+    queries: Optional[Dict[str, str]] = None,
+    repeats: int = 3,
+    load_rounds: int = 5,
+) -> Dict[str, object]:
+    """Run :func:`run_postings` and persist the record as JSON."""
+    record = run_postings(
+        workload, queries=queries, repeats=repeats,
+        load_rounds=load_rounds,
+    )
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(record, out, indent=2, sort_keys=True)
+        out.write("\n")
+    return record
+
+
+# ---------------------------------------------------------------------------
 # Scaling: improvement vs corpus size (extrapolation support)
 # ---------------------------------------------------------------------------
 

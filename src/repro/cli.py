@@ -1,5 +1,5 @@
-"""Command-line front end: ``free synth | build | search | explain |
-check | bench | metrics``.
+"""Command-line front end: ``free synth | build | convert | search |
+explain | check | bench | metrics``.
 
 Typical session::
 
@@ -9,6 +9,7 @@ Typical session::
     free explain corpus.img corpus.idx '(Bill|William).*Clinton'
     free check --index corpus.idx --lint
     free bench --pages 800 --experiment fig9
+    free convert legacy.idx corpus.idx --format v2   # FREEIDX1 -> 2
 
 Observability (see docs/observability.md)::
 
@@ -36,6 +37,8 @@ from repro.engine.sharded import ShardedFreeEngine
 from repro.errors import FreeError
 from repro.index.builder import build_multigram_index
 from repro.index.serialize import (
+    DEFAULT_VERSION,
+    convert_index,
     load_any_index,
     save_index,
     save_sharded_index,
@@ -96,7 +99,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--build-workers", type=int, default=1, metavar="K",
         help="worker processes for index construction",
     )
+    p_build.add_argument(
+        "--format", choices=["v1", "v2"], default=None,
+        help="index image format: v1 (eager flat) or v2 (zero-copy "
+             "mmap, the default)",
+    )
     p_build.set_defaults(func=_cmd_build)
+
+    p_convert = sub.add_parser(
+        "convert",
+        help="rewrite an index image (flat or sharded) to another "
+             "format version",
+    )
+    p_convert.add_argument("src", help="source index image path")
+    p_convert.add_argument("dst", help="destination index image path")
+    p_convert.add_argument(
+        "--format", choices=["v1", "v2"], default="v2",
+        help="target image format (default: v2, zero-copy mmap)",
+    )
+    p_convert.set_defaults(func=_cmd_convert)
 
     p_search = sub.add_parser("search", help="run a regex query")
     p_search.add_argument("corpus")
@@ -200,7 +221,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--experiment",
         choices=[
             "table3", "fig9", "fig10", "fig11", "fig12",
-            "threshold", "policy", "repeat", "core", "sharded", "all",
+            "threshold", "policy", "repeat", "core", "sharded",
+            "postings", "all",
         ],
         default="all",
     )
@@ -210,8 +232,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--out", default=None, metavar="PATH",
-        help="where --experiment core/sharded writes its JSON record "
-             "(default: BENCH_free_core.json / BENCH_free_sharded.json)",
+        help="where --experiment core/sharded/postings writes its JSON "
+             "record (default: BENCH_free_<experiment>.json)",
     )
     p_bench.add_argument(
         "--shards", type=int, default=4, metavar="N",
@@ -263,10 +285,16 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0
 
 
+_FORMAT_VERSIONS = {"v1": 1, "v2": 2}
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print("error: --shards must be >= 1", file=sys.stderr)
         return 2
+    version = (
+        _FORMAT_VERSIONS[args.format] if args.format else DEFAULT_VERSION
+    )
     if args.shards > 1:
         with DiskCorpus(args.corpus) as corpus:
             sharded = ShardedIndex.build(
@@ -277,7 +305,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
                 presuf=args.presuf,
                 build_workers=args.build_workers,
             )
-        save_sharded_index(sharded, args.out)
+        save_sharded_index(sharded, args.out, version=version)
         print(
             f"built sharded index: {sharded.n_shards} shards, "
             f"{sharded.n_docs} docs, {sharded.total_keys():,} keys, "
@@ -308,7 +336,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
                 max_gram_len=args.max_gram_len,
                 presuf=args.presuf,
             )
-    save_index(index, args.out)
+    save_index(index, args.out, version=version)
     stats = index.stats
     print(
         f"built {index.kind} index: {stats.n_keys:,} keys, "
@@ -323,6 +351,26 @@ def _cmd_build(args: argparse.Namespace) -> int:
         print(f"build report -> {report_path}")
         if args.profile:
             print(build_report.render())
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    import os
+
+    index = convert_index(
+        args.src, args.dst, version=_FORMAT_VERSIONS[args.format]
+    )
+    if isinstance(index, ShardedIndex):
+        shape = (
+            f"{index.n_shards} shards, {index.total_keys():,} keys"
+        )
+    else:
+        shape = f"{len(index):,} keys"
+    print(
+        f"converted {args.src} ({os.path.getsize(args.src):,} bytes) "
+        f"-> {args.format} {args.dst} "
+        f"({os.path.getsize(args.dst):,} bytes): {shape}"
+    )
     return 0
 
 
@@ -483,6 +531,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{shard['p50'] * 1000:.2f}ms "
             f"(x{speedup['p50']:.2f} on {record['cpu_count']} cpus) "
             f"-> {out}"
+        )
+        return 0
+    if args.experiment == "postings":
+        out = args.out or "BENCH_free_postings.json"
+        record = runner_mod.write_bench_postings(out, workload)
+        cold = cast(Dict[str, float], record["cold_start"])
+        decoded = cast(Dict[str, float], record["decoded_per_query"])
+        lat = cast(Dict[str, Dict[str, float]], record["latency_seconds"])
+        print(
+            f"postings: cold load {cold['v1_load_seconds'] * 1000:.2f}ms "
+            f"-> {cold['v2_load_seconds'] * 1000:.3f}ms "
+            f"(x{cold['load_speedup']:.0f}); "
+            f"decoded/query {decoded['v1_bytes_mean']:.0f}B -> "
+            f"{decoded['v2_bytes_mean']:.0f}B; "
+            f"p50 {lat['v1']['p50'] * 1000:.2f}ms -> "
+            f"{lat['v2']['p50'] * 1000:.2f}ms -> {out}"
         )
         return 0
     if args.experiment == "core":

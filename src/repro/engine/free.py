@@ -537,8 +537,9 @@ class FreeEngine:
         Cache keys include the index epoch, so entries computed against
         older index contents are unreachable after any mutation.
         """
+        bound = self._candidate_bound()
         if self._candidate_cache.capacity == 0:
-            return self._candidates(pattern, metrics)
+            return self._candidates(pattern, metrics, first_k=bound)
         key = (
             pattern, self.cover_policy, self.distribute, self._cache_epoch()
         )
@@ -547,27 +548,48 @@ class FreeEngine:
             metrics.candidate_cache_hit = True
             return None if cached is _SCAN_ALL else list(cached)
         metrics.candidate_cache_hit = False
-        result = self._candidates(pattern, metrics)
+        result = self._candidates(pattern, metrics, first_k=bound)
         self._candidate_cache.put(
             key, _SCAN_ALL if result is None else tuple(result)
         )
         return result
 
+    def _candidate_bound(self) -> Optional[int]:
+        """Candidate-count cap implied by ``min_candidate_ratio``.
+
+        Any candidate set that reaches this size is discarded by the
+        optimizer guard in favour of a sequential scan, so the
+        executor may stop collecting at the bound (early exit in the
+        intersection kernel): a result shorter than the bound is
+        provably complete, a result that hits it is provably over the
+        ratio.  ``None`` (no guard) means results must be exhaustive.
+        """
+        if self.min_candidate_ratio is None:
+            return None
+        return int(self.min_candidate_ratio * len(self.corpus)) + 1
+
     def _candidates(
-        self, pattern: str, metrics: Optional[QueryMetrics] = None
+        self,
+        pattern: str,
+        metrics: Optional[QueryMetrics] = None,
+        first_k: Optional[int] = None,
     ) -> Optional[List[int]]:
         """Plan and execute the index side of the query.
 
         Returns a sorted candidate id list, or None for "scan
-        everything".  Subclasses (e.g. the segmented engine) override
-        this hook.
+        everything".  ``first_k`` is the :meth:`_candidate_bound`
+        early-exit cap (only sound because hitting it triggers the
+        scan fallback).  Subclasses (e.g. the segmented engine)
+        override this hook.
         """
         _logical, physical = self.plan(pattern, metrics)
         if physical is None or physical.is_full_scan:
             return None
         trace = metrics.trace if metrics is not None else None
         with maybe_span(trace, "postings"):
-            return execute_plan(physical, self._index, self.disk, metrics)
+            return execute_plan(
+                physical, self._index, self.disk, metrics, first_k=first_k
+            )
 
     def _matcher(
         self, pattern: str, metrics: Optional[QueryMetrics] = None

@@ -248,7 +248,10 @@ class ShardedFreeEngine(FreeEngine):
     # -- sequential path: per-shard candidates, central confirmation --------
 
     def _candidates(
-        self, pattern: str, metrics: Optional[QueryMetrics] = None
+        self,
+        pattern: str,
+        metrics: Optional[QueryMetrics] = None,
+        first_k: Optional[int] = None,
     ) -> Optional[List[int]]:
         """Every shard's plan in shard order; deterministic union merge.
 
@@ -256,6 +259,12 @@ class ShardedFreeEngine(FreeEngine):
         span per shard (the span tree is single-threaded by design);
         otherwise a thread pool — if configured — overlaps the postings
         work, and results are still collected by shard ordinal.
+
+        ``first_k`` (the ``min_candidate_ratio`` early-exit cap) is
+        applied per shard: contiguous shard ranges mean a truncated
+        shard alone contributes ``first_k`` ids, so the merged total
+        still crosses the caller's fallback threshold exactly when the
+        untruncated total would.
         """
         logical, _physical = self.plan(pattern, metrics)
         trace = metrics.trace if metrics is not None else None
@@ -269,7 +278,7 @@ class ShardedFreeEngine(FreeEngine):
                 for ordinal in range(n_shards):
                     with maybe_span(trace, "shard", shard=ordinal) as span:
                         ids, shard_metrics = self.sharded.shard_candidates(
-                            ordinal, logical, policy
+                            ordinal, logical, policy, first_k=first_k
                         )
                         if span is not None:
                             span.attrs["candidates"] = (
@@ -285,14 +294,16 @@ class ShardedFreeEngine(FreeEngine):
                 futures = [
                     pool.submit(
                         self.sharded.shard_candidates, ordinal, logical,
-                        policy,
+                        policy, first_k=first_k,
                     )
                     for ordinal in range(n_shards)
                 ]
                 results = [future.result() for future in futures]
             else:
                 results = [
-                    self.sharded.shard_candidates(ordinal, logical, policy)
+                    self.sharded.shard_candidates(
+                        ordinal, logical, policy, first_k=first_k
+                    )
                     for ordinal in range(n_shards)
                 ]
 

@@ -28,8 +28,15 @@ from repro.index.parallel import (
     build_multigram_index_parallel,
 )
 from repro.index.pcy import PCYHashFilter
-from repro.index.postings import PostingsList
+from repro.index.postings import BlockedPostingsList, PostingsList
 from repro.index.presuf import presuf_shell
+from repro.index.serialize import (
+    MappedGramIndex,
+    convert_index,
+    load_any_index,
+    load_index,
+    save_index,
+)
 from repro.index.segmented import (
     Segment,
     SegmentedFreeEngine,
@@ -41,8 +48,14 @@ from repro.index.suffixarray import SuffixArrayIndex
 
 __all__ = [
     "GramIndex",
+    "MappedGramIndex",
     "PostingsList",
+    "BlockedPostingsList",
     "IndexStats",
+    "save_index",
+    "load_index",
+    "load_any_index",
+    "convert_index",
     "MultigramIndexBuilder",
     "build_multigram_index",
     "build_complete_index",

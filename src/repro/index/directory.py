@@ -17,7 +17,7 @@ one key, so the walk is O(gram length x max key length) overall.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 
 class _TrieNode:
@@ -34,6 +34,22 @@ class KeyTrie:
     def __init__(self):
         self._root = _TrieNode()
         self._size = 0
+
+    @classmethod
+    def from_keys(cls, keys: Iterable[str]) -> "KeyTrie":
+        """Bulk-build a trie from an iterable of keys.
+
+        The deferred-construction entry point: a loaded index
+        (:class:`~repro.index.multigram.GramIndex`) builds its trie on
+        first planner access rather than at load time, so cold-start —
+        the FREEIDX2 memory-map path in particular — never pays for a
+        directory structure the caller may not query.
+        """
+        trie = cls()
+        insert = trie.insert
+        for key in keys:
+            insert(key)
+        return trie
 
     def insert(self, key: str) -> None:
         if not key:

@@ -19,7 +19,13 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.errors import IndexBuildError
 from repro.index.directory import KeyTrie
-from repro.index.postings import PostingsList
+from repro.index.postings import (
+    BlockCursor,
+    BlockedPostingsList,
+    ListCursor,
+    PostingsCursor,
+    PostingsList,
+)
 from repro.index.stats import IndexStats
 from repro.metrics import LRUCache, QueryMetrics
 
@@ -52,14 +58,18 @@ class GramIndex:
         if n_docs < 0:
             raise IndexBuildError("n_docs must be >= 0")
         self._postings = dict(postings)
+        if "" in self._postings:
+            raise IndexBuildError("cannot index the empty gram")
         self._ids_cache = LRUCache(ids_cache_size)
         self.kind = kind
         self.n_docs = n_docs
         self.threshold = threshold
         self.max_gram_len = max_gram_len
-        self._trie = KeyTrie()
-        for key in self._postings:
-            self._trie.insert(key)
+        # The directory trie is built lazily on first planner access:
+        # membership tests go through the postings dict, so an index
+        # that is only loaded (cold-start benchmark, `free convert`)
+        # never pays the trie construction.
+        self._trie: Optional[KeyTrie] = None
         self.stats = stats if stats is not None else self._derive_stats()
 
     def _derive_stats(self) -> IndexStats:
@@ -104,13 +114,39 @@ class GramIndex:
         """
         ids = self._ids_cache.get(gram)
         if ids is None:
-            ids = self._postings[gram].ids()
+            plist = self.lookup(gram)
+            ids = plist.ids()
             self._ids_cache.put(gram, ids)
             if metrics is not None:
-                metrics.record_lookup(gram, len(ids), from_cache=False)
+                metrics.record_lookup(
+                    gram, len(ids), from_cache=False, n_bytes=plist.nbytes
+                )
         elif metrics is not None:
             metrics.record_lookup(gram, len(ids), from_cache=True)
         return ids
+
+    def lookup_cursor(
+        self, gram: str, metrics: Optional[QueryMetrics] = None
+    ) -> PostingsCursor:
+        """A seekable cursor over a key's postings (streaming AND path).
+
+        Blocked (FREEIDX2) lists get a skip-aware
+        :class:`~repro.index.postings.BlockCursor` that decodes only
+        the blocks the intersection actually lands in; flat lists —
+        and blocked lists whose full decode already sits in the
+        decoded-ids cache — fall back to a
+        :class:`~repro.index.postings.ListCursor` over
+        :meth:`lookup_ids`.  Raises KeyError if ``gram`` is not a key.
+        """
+        plist = self.lookup(gram)
+        if isinstance(plist, BlockedPostingsList):
+            if gram not in self._ids_cache:
+                if metrics is not None:
+                    metrics.record_lookup(
+                        gram, len(plist), from_cache=False, lazy=True
+                    )
+                return BlockCursor(plist, metrics)
+        return ListCursor(self.lookup_ids(gram, metrics))
 
     @property
     def ids_cache(self) -> LRUCache:
@@ -119,22 +155,27 @@ class GramIndex:
 
     def covering_substrings(self, gram: str) -> List[str]:
         """Keys occurring as substrings of ``gram`` (Section 4.3)."""
-        return self._trie.substrings_of(gram)
+        return self.trie.substrings_of(gram)
 
     def selectivity(self, gram: str) -> Optional[float]:
         """sel(gram) per Definition 3.1, or None if not a key."""
-        plist = self._postings.get(gram)
-        if plist is None or self.n_docs == 0:
+        try:
+            plist = self.lookup(gram)
+        except KeyError:
+            return None
+        if self.n_docs == 0:
             return None
         return len(plist) / self.n_docs
 
     @property
     def trie(self) -> KeyTrie:
+        if self._trie is None:
+            self._trie = KeyTrie.from_keys(self.keys())
         return self._trie
 
     def is_prefix_free(self) -> bool:
         """Theorem 3.9(3) validation hook."""
-        return self._trie.is_prefix_free()
+        return self.trie.is_prefix_free()
 
     def __repr__(self) -> str:
         return (

@@ -285,7 +285,10 @@ class SegmentedFreeEngine:
         outer = self
 
         class _Engine(FreeEngine):
-            def _candidates(self, pattern, metrics=None):
+            def _candidates(self, pattern, metrics=None, first_k=None):
+                # ``first_k`` (the min_candidate_ratio cap) is accepted
+                # but not threaded into the segment merge: segmented
+                # candidates stay exhaustive, which is always sound.
                 from repro.obs.trace import maybe_span
 
                 trace = metrics.trace if metrics is not None else None

@@ -200,6 +200,7 @@ class ShardedIndex:
         logical: "LogicalPlan",
         policy: "CoverPolicy",
         metrics: Optional[QueryMetrics] = None,
+        first_k: Optional[int] = None,
     ) -> Tuple[Optional[List[int]], QueryMetrics]:
         """One shard's global candidate ids for ``logical``.
 
@@ -210,6 +211,12 @@ class ShardedIndex:
         disk charges and fold per-shard counters deterministically —
         the shard computation itself touches no shared state, which is
         what makes it safe to fan out to a worker.
+
+        ``first_k`` is the per-shard early-exit cap (see
+        :func:`~repro.engine.executor.execute_plan`): with contiguous
+        shard ranges, capping every shard at ``first_k`` still leaves
+        any over-the-cap total detectable by the caller, because a
+        truncated shard alone contributes ``first_k`` ids.
         """
         from repro.engine.executor import execute_plan
         from repro.plan.physical import PhysicalPlan
@@ -219,7 +226,9 @@ class ShardedIndex:
         physical = PhysicalPlan.compile(logical, shard.index, policy)
         if physical.is_full_scan:
             return None, shard_metrics
-        local = execute_plan(physical, shard.index, None, shard_metrics)
+        local = execute_plan(
+            physical, shard.index, None, shard_metrics, first_k=first_k
+        )
         if local is None:
             return None, shard_metrics
         base = shard.global_ids[0] if shard.global_ids else 0

@@ -112,6 +112,10 @@ class LookupRecord:
     key: str
     n_ids: int
     from_cache: bool  # decoded-ids cache hit (no varint decode ran)
+    #: Blocked (FREEIDX2) lookup: the list was *opened* but not decoded
+    #: — blocks decode on demand and are charged separately via
+    #: :meth:`QueryMetrics.record_block_decode`.
+    lazy: bool = False
 
 
 @dataclass
@@ -156,8 +160,15 @@ class QueryMetrics:
 
     lookups: List[LookupRecord] = field(default_factory=list)
     postings_entries_decoded: int = 0
+    postings_bytes_decoded: int = 0
     postings_cache_hits: int = 0
     postings_cache_misses: int = 0
+
+    #: Blocked (FREEIDX2) postings: blocks actually varint-decoded vs
+    #: blocks the skip table let the intersection kernel jump over
+    #: without touching their bytes.
+    postings_blocks_decoded: int = 0
+    postings_blocks_skipped: int = 0
 
     intersect_input: int = 0
     intersect_output: int = 0
@@ -185,13 +196,37 @@ class QueryMetrics:
 
     # -- recording hooks (called by executor / index / disk model) --------
 
-    def record_lookup(self, key: str, n_ids: int, from_cache: bool) -> None:
-        self.lookups.append(LookupRecord(key, n_ids, from_cache))
+    def record_lookup(
+        self,
+        key: str,
+        n_ids: int,
+        from_cache: bool,
+        n_bytes: int = 0,
+        lazy: bool = False,
+    ) -> None:
+        """Record one postings-list read.
+
+        Eager reads (``lazy=False``) charge the whole list's entries —
+        and ``n_bytes`` of compressed payload — on a decoded-cache
+        miss.  Lazy reads only log the lookup; their decode cost
+        arrives block by block via :meth:`record_block_decode` as the
+        kernel actually touches bytes.
+        """
+        self.lookups.append(LookupRecord(key, n_ids, from_cache, lazy))
+        if lazy:
+            return
         if from_cache:
             self.postings_cache_hits += 1
         else:
             self.postings_cache_misses += 1
             self.postings_entries_decoded += n_ids
+            self.postings_bytes_decoded += n_bytes
+
+    def record_block_decode(self, n_ids: int, n_bytes: int) -> None:
+        """One postings block was varint-decoded (FREEIDX2 lazy path)."""
+        self.postings_blocks_decoded += 1
+        self.postings_entries_decoded += n_ids
+        self.postings_bytes_decoded += n_bytes
 
     def record_intersection(self, input_size: int, output_size: int) -> None:
         self.intersect_input += input_size
@@ -208,8 +243,11 @@ class QueryMetrics:
         deterministic regardless of worker completion order)."""
         self.lookups.extend(other.lookups)
         self.postings_entries_decoded += other.postings_entries_decoded
+        self.postings_bytes_decoded += other.postings_bytes_decoded
         self.postings_cache_hits += other.postings_cache_hits
         self.postings_cache_misses += other.postings_cache_misses
+        self.postings_blocks_decoded += other.postings_blocks_decoded
+        self.postings_blocks_skipped += other.postings_blocks_skipped
         self.intersect_input += other.intersect_input
         self.intersect_output += other.intersect_output
         self.union_input += other.union_input
@@ -235,8 +273,11 @@ class QueryMetrics:
             "batch_candidates_reused": self.batch_candidates_reused,
             "n_lookups": len(self.lookups),
             "postings_entries_decoded": self.postings_entries_decoded,
+            "postings_bytes_decoded": self.postings_bytes_decoded,
             "postings_cache_hits": self.postings_cache_hits,
             "postings_cache_misses": self.postings_cache_misses,
+            "postings_blocks_decoded": self.postings_blocks_decoded,
+            "postings_blocks_skipped": self.postings_blocks_skipped,
             "intersect_input": self.intersect_input,
             "intersect_output": self.intersect_output,
             "union_input": self.union_input,
@@ -266,7 +307,8 @@ class QueryMetrics:
             f"matcher={flag(self.matcher_cache_hit)}",
             f"  postings: {len(self.lookups)} lookups, "
             f"{self.postings_entries_decoded} entries decoded "
-            f"({self.postings_cache_hits} decoded-cache hits)",
+            f"({self.postings_bytes_decoded} bytes, "
+            f"{self.postings_cache_hits} decoded-cache hits)",
             f"  intersections: {self.intersect_input} -> "
             f"{self.intersect_output}; unions: {self.union_input} -> "
             f"{self.union_output}",
@@ -276,6 +318,11 @@ class QueryMetrics:
             f"{self.sequential_chars} seq chars, "
             f"{self.postings_charged} postings charged",
         ]
+        if self.postings_blocks_decoded or self.postings_blocks_skipped:
+            lines.append(
+                f"  blocks: {self.postings_blocks_decoded} decoded, "
+                f"{self.postings_blocks_skipped} skipped"
+            )
         if self.batch_candidates_reused is not None:
             lines.append(
                 "  batch: candidate set "

@@ -12,9 +12,13 @@ from repro.corpus.document import DataUnit
 from repro.corpus.store import InMemoryCorpus
 from repro.index.builder import MultigramIndexBuilder
 from repro.index.multigram import GramIndex
-from repro.index.postings import PostingsList, encode_gaps
+from repro.index.postings import (
+    BlockedPostingsList,
+    PostingsList,
+    encode_gaps,
+)
 from repro.index.segmented import SegmentedGramIndex
-from repro.index.serialize import load_index, save_index
+from repro.index.serialize import MappedGramIndex, load_index, save_index
 
 
 def make_index(key_ids, kind="multigram", n_docs=10, **kwargs):
@@ -152,6 +156,75 @@ class TestGramIndex:
             multigram_index.stats.corpus_chars
         )
         assert errors(check_gram_index(loaded)) == []
+
+
+def blocked_index(plist):
+    return GramIndex({"ab": plist}, kind="multigram", n_docs=1000)
+
+
+class TestBlockedPostings:
+    """IDX010..IDX012: the FREEIDX2 skip-table invariants."""
+
+    def test_well_formed_blocked_list_clean(self):
+        plist = BlockedPostingsList.from_ids(range(40), block_size=8)
+        assert errors(check_gram_index(blocked_index(plist))) == []
+
+    def test_skip_table_count_drift(self):
+        good = BlockedPostingsList.from_ids(range(20), block_size=8)
+        bad = BlockedPostingsList(
+            good._buf, good._first_ids, good._block_counts,
+            good._block_bounds, 19, good.nbytes,
+        )
+        findings = check_gram_index(blocked_index(bad))
+        assert "IDX010" in codes(findings)
+
+    def test_empty_block_detected(self):
+        bad = BlockedPostingsList(b"", [0], [0], [0, 0], 0, 0)
+        findings = check_gram_index(blocked_index(bad))
+        assert "IDX010" in codes(findings)
+
+    def test_flat_form_byte_accounting_drift(self):
+        data = encode_gaps([1, 2, 3])
+        bad = BlockedPostingsList(data, None, None, None, 3,
+                                  len(data) + 7)
+        findings = check_gram_index(blocked_index(bad))
+        assert "IDX010" in codes(findings)
+
+    def test_corrupt_block_payload(self):
+        # A lone continuation byte: the block can never decode.
+        bad = BlockedPostingsList(b"\x80", [0], [2], [0, 1], 2, 1)
+        findings = check_gram_index(blocked_index(bad))
+        assert "IDX010" in codes(findings)
+
+    def test_block_first_ids_must_increase(self):
+        bad = BlockedPostingsList(b"", [5, 5], [1, 1], [0, 0, 0], 2, 2)
+        findings = check_gram_index(blocked_index(bad))
+        assert "IDX011" in codes(findings)
+
+    def test_decoded_block_overlap(self):
+        # Block 0 runs up to id 10 but block 1's header claims 5: the
+        # headers increase, yet the decoded ranges overlap.
+        b0 = encode_gaps([2, 10], previous=0)
+        b1 = encode_gaps([7], previous=5)
+        bad = BlockedPostingsList(
+            b0 + b1, [0, 5], [3, 2],
+            [0, len(b0), len(b0) + len(b1)], 5, 9,
+        )
+        findings = check_gram_index(blocked_index(bad))
+        assert "IDX011" in codes(findings)
+
+    def test_v2_image_postings_bound_is_idx012(
+        self, tmp_path, multigram_index
+    ):
+        path = str(tmp_path / "img.idx")
+        save_index(multigram_index, path, version=2)
+        loaded = load_index(path)
+        assert isinstance(loaded, MappedGramIndex)
+        findings = check_gram_index(loaded, corpus_chars=2)
+        assert "IDX012" in codes(findings)
+        assert "IDX002" not in codes(findings)
+        idx012 = next(f for f in findings if f.code == "IDX012")
+        assert idx012.paper_ref == "Obs 3.8"
 
 
 BUILDER = MultigramIndexBuilder(threshold=0.3, max_gram_len=5)

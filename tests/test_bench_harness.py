@@ -5,13 +5,16 @@ import pytest
 from repro.bench.queries import BENCHMARK_QUERIES, NULL_PLAN_QUERIES
 from repro.bench.report import format_bar_chart, format_table
 from repro.bench.runner import (
+    BENCH_POSTINGS_SCHEMA,
     run_cover_policy_ablation,
     run_fig9,
     run_fig10,
     run_fig11,
     run_fig12,
+    run_postings,
     run_table3,
     run_threshold_ablation,
+    write_bench_postings,
 )
 from repro.bench.workloads import Workload, default_workload
 
@@ -87,6 +90,35 @@ class TestRunners:
     def test_cover_policy_ablation(self, mini_workload):
         rows = run_cover_policy_ablation(mini_workload)
         assert {r["policy"] for r in rows} == {"all", "best", "cheapest2"}
+
+    def test_run_postings_record(self, mini_workload, tmp_path):
+        path = str(tmp_path / "BENCH_free_postings.json")
+        record = write_bench_postings(
+            path, mini_workload, repeats=1, load_rounds=2
+        )
+        assert record["schema"] == BENCH_POSTINGS_SCHEMA
+        cold = record["cold_start"]
+        assert cold["v1_load_seconds"] > 0
+        assert cold["v2_load_seconds"] > 0
+        # The mmap load parses nothing; the eager v1 load decodes every
+        # posting.  The CI gate asserts >= 2x on this same field.
+        assert cold["load_speedup"] > 1.0
+        decoded = record["decoded_per_query"]
+        assert decoded["v1_bytes_mean"] > 0
+        assert decoded["v2_bytes_mean"] <= decoded["v1_bytes_mean"]
+        micro = record["kernel_microbench_us"]
+        assert set(micro) == {
+            "union_1", "union_2", "union_8",
+            "intersect_1", "intersect_2", "intersect_8",
+        }
+        assert all(value > 0 for value in micro.values())
+        import json
+
+        assert json.load(open(path))["schema"] == BENCH_POSTINGS_SCHEMA
+
+    def test_run_postings_rejects_bad_args(self, mini_workload):
+        with pytest.raises(ValueError):
+            run_postings(mini_workload, repeats=0)
 
 
 class TestReportFormatting:

@@ -59,6 +59,37 @@ class TestBuildProfile:
         assert os.path.exists(out2)
         assert os.path.exists(out2 + ".build.json")
 
+    def test_build_format_flag(self, images, capsys):
+        corpus_path, _ = images
+        v1 = corpus_path + ".v1.idx"
+        assert main(["build", corpus_path, "--out", v1,
+                     "--format", "v1"]) == 0
+        with open(v1, "rb") as infile:
+            assert infile.read(8) == b"FREEIDX1"
+
+
+class TestConvert:
+    def test_convert_round_trip(self, images, capsys):
+        corpus_path, index_path = images
+        v1 = str(index_path) + ".v1"
+        back = str(index_path) + ".back"
+        assert main(["convert", index_path, v1, "--format", "v1"]) == 0
+        assert main(["convert", v1, back, "--format", "v2"]) == 0
+        assert "converted" in capsys.readouterr().out
+        with open(v1, "rb") as infile:
+            assert infile.read(8) == b"FREEIDX1"
+        with open(back, "rb") as infile:
+            assert infile.read(8) == b"FREEIDX2"
+        # The converted image still answers queries.
+        assert main(["search", corpus_path, back, "clinton"]) == 0
+
+    def test_convert_bad_image_is_clean_error(self, tmp_path, capsys):
+        bogus = str(tmp_path / "bogus.idx")
+        with open(bogus, "wb") as out:
+            out.write(b"NOTANIDX")
+        assert main(["convert", bogus, bogus + ".out"]) == 1
+        assert "error:" in capsys.readouterr().err
+
 
 class TestSearch:
     def test_search_finds_matches(self, images, capsys):

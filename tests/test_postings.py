@@ -4,15 +4,24 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.index.postings import (
+    BLOCK_SIZE,
+    BlockCursor,
+    BlockedPostingsList,
+    ListCursor,
     PostingsList,
+    cursor_for,
     decode_gaps,
     difference_sorted,
+    encode_blocks,
     encode_gaps,
     encode_varint,
+    intersect_cursors,
     intersect_many,
     intersect_sorted,
     union_many,
+    varint_len,
 )
+from repro.metrics import QueryMetrics
 
 
 class TestVarint:
@@ -33,6 +42,51 @@ class TestVarint:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             encode_varint(-1, bytearray())
+
+
+#: Edge-case id sequences every codec (flat v1 stream, blocked v2
+#: payload) must round-trip identically: empty, single id, ids past
+#: 2^35 (beyond any 5-byte varint), and a maximal single gap.
+EDGE_ID_SETS = [
+    [],
+    [0],
+    [7],
+    [1 << 35],
+    [(1 << 40) + 3],
+    [0, (1 << 35) + 1],
+    [(1 << 40) - 2, (1 << 40) - 1],
+    list(range(0, 700, 7)) + [1 << 36, (1 << 36) + 1],
+]
+
+
+class TestVarintEdgeCases:
+    @pytest.mark.parametrize("ids", EDGE_ID_SETS)
+    def test_flat_codec_roundtrip(self, ids):
+        assert decode_gaps(encode_gaps(ids)) == ids
+
+    @pytest.mark.parametrize("ids", EDGE_ID_SETS)
+    @pytest.mark.parametrize("block_size", [1, 3, BLOCK_SIZE])
+    def test_blocked_codec_roundtrip(self, ids, block_size):
+        plist = BlockedPostingsList.from_ids(ids, block_size=block_size)
+        assert plist.ids() == ids
+        assert len(plist) == len(ids)
+
+    @pytest.mark.parametrize("ids", EDGE_ID_SETS)
+    def test_blocked_equals_flat_twin(self, ids):
+        # nbytes / raw / equality all report the flat v1 encoding.
+        flat = PostingsList.from_ids(ids)
+        blocked = BlockedPostingsList.from_ids(ids, block_size=3)
+        assert blocked == flat
+        assert blocked.nbytes == flat.nbytes
+        assert blocked.raw == flat.raw
+
+    @pytest.mark.parametrize(
+        "value", [0, 1, 127, 128, (1 << 35) - 1, 1 << 35, 1 << 63]
+    )
+    def test_varint_len_matches_encoding(self, value):
+        out = bytearray()
+        encode_varint(value, out)
+        assert varint_len(value) == len(out)
 
 
 class TestGapCodec:
@@ -163,3 +217,182 @@ class TestMerges:
         for lst in lists[1:]:
             expected &= set(lst)
         assert intersect_many(lists) == sorted(expected)
+
+    def test_intersect_many_single_list_returned_as_is(self):
+        # The documented 1-list fast path: no copy (callers that need
+        # ownership copy themselves — the executor does).
+        only = [1, 2, 3]
+        assert intersect_many([only]) is only
+
+    def test_union_many_single_list_is_a_fresh_copy(self):
+        only = [1, 2, 3]
+        result = union_many([only])
+        assert result == only
+        assert result is not only
+
+    def test_union_many_limit_is_sorted_prefix(self):
+        lists = [[1, 5, 9], [2, 5, 10], [3]]
+        full = union_many(lists)
+        for limit in range(len(full) + 2):
+            assert union_many(lists, limit=limit) == full[:limit]
+
+
+class TestEncodeBlocks:
+    def test_block_shapes(self):
+        ids = list(range(0, 100, 2))  # 50 ids
+        blocks, payload = encode_blocks(ids, block_size=16)
+        assert [n for _f, n, _b in blocks] == [16, 16, 16, 2]
+        assert [f for f, _n, _b in blocks] == [0, 32, 64, 96]
+        assert sum(b for _f, _n, b in blocks) == len(payload)
+
+    def test_blocks_decode_independently(self):
+        ids = list(range(10, 1000, 3))
+        blocks, payload = encode_blocks(ids, block_size=7)
+        offset = 0
+        decoded = []
+        for first, _n, byte_len in blocks:
+            body = payload[offset : offset + byte_len]
+            decoded.append(first)
+            decoded.extend(decode_gaps(body, previous=first))
+            offset += byte_len
+        assert decoded == ids
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ValueError):
+            encode_blocks([3, 3], block_size=4)
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            encode_blocks([1], block_size=0)
+
+
+class TestBlockedPostingsList:
+    def test_from_flat_wraps_v1_stream(self):
+        ids = [4, 9, 100]
+        data = encode_gaps(ids)
+        plist = BlockedPostingsList.from_flat(data, len(ids))
+        assert not plist.has_skip_table
+        assert plist.n_blocks == 1
+        assert plist.block_table == []
+        assert plist.ids() == ids
+        assert plist.blocked_nbytes == len(data)
+        assert plist.raw == data
+
+    def test_flat_count_mismatch_raises(self):
+        data = encode_gaps([1, 2, 3])
+        plist = BlockedPostingsList.from_flat(data, 99)
+        with pytest.raises(ValueError):
+            plist.block_ids(0)
+
+    def test_block_count_mismatch_raises(self):
+        good = BlockedPostingsList.from_ids(range(20), block_size=8)
+        bad = BlockedPostingsList(
+            good._buf,
+            good._first_ids,
+            [8, 8, 99],  # lies about the last block
+            good._block_bounds,
+            20,
+            good.nbytes,
+        )
+        with pytest.raises(ValueError):
+            bad.block_ids(2)
+
+    def test_block_decode_charges_metrics_once(self):
+        plist = BlockedPostingsList.from_ids(range(30), block_size=10)
+        metrics = QueryMetrics()
+        first = plist.block_ids(1, metrics)
+        again = plist.block_ids(1, metrics)  # memo hit: no new charge
+        assert first is again
+        assert metrics.postings_blocks_decoded == 1
+        assert metrics.postings_entries_decoded == 10
+        assert metrics.postings_bytes_decoded > 0
+
+
+class TestCursors:
+    def test_list_cursor_next_geq(self):
+        cursor = ListCursor([2, 4, 8])
+        assert cursor.next_geq(0) == 2
+        assert cursor.next_geq(4) == 4
+        assert cursor.next_geq(5) == 8
+        assert cursor.next_geq(9) is None
+
+    def test_block_cursor_header_answers_without_decode(self):
+        plist = BlockedPostingsList.from_ids(range(0, 400, 2),
+                                             block_size=16)
+        metrics = QueryMetrics()
+        cursor = BlockCursor(plist, metrics)
+        # 32 is block 1's first id: the skip-table header alone
+        # answers, leaving every block encoded.
+        assert cursor.next_geq(32) == 32
+        assert metrics.postings_blocks_decoded == 0
+        assert metrics.postings_blocks_skipped == 1
+
+    def test_block_cursor_skips_blocks(self):
+        plist = BlockedPostingsList.from_ids(range(100), block_size=4)
+        metrics = QueryMetrics()
+        cursor = BlockCursor(plist, metrics)
+        assert cursor.next_geq(81) == 81
+        # Landed in one block (81 is not a block header), having
+        # skipped straight over the earlier ones.
+        assert metrics.postings_blocks_decoded == 1
+        assert metrics.postings_blocks_skipped > 0
+
+    def test_block_cursor_to_list_resumes_mid_block(self):
+        ids = list(range(0, 90, 3))
+        plist = BlockedPostingsList.from_ids(ids, block_size=7)
+        cursor = BlockCursor(plist)
+        assert cursor.next_geq(40) == 42
+        assert cursor.to_list() == [i for i in ids if i >= 42]
+        assert cursor.to_list() == []
+
+    def test_cursor_for_picks_by_layout(self):
+        blocked = BlockedPostingsList.from_ids([1, 2], block_size=2)
+        flat = PostingsList.from_ids([1, 2])
+        assert isinstance(cursor_for(blocked), BlockCursor)
+        assert isinstance(cursor_for(flat), ListCursor)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        lists=st.lists(
+            st.lists(st.integers(0, 120), unique=True).map(sorted),
+            min_size=1,
+            max_size=4,
+        ),
+        block_size=st.integers(1, 9),
+    )
+    def test_intersect_cursors_equals_set_semantics(
+        self, lists, block_size
+    ):
+        expected = set(lists[0])
+        for lst in lists[1:]:
+            expected &= set(lst)
+        cursors = [
+            BlockCursor(
+                BlockedPostingsList.from_ids(lst, block_size=block_size)
+            )
+            for lst in lists
+        ]
+        assert intersect_cursors(cursors) == sorted(expected)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        lists=st.lists(
+            st.lists(st.integers(0, 60), unique=True).map(sorted),
+            min_size=2,
+            max_size=4,
+        ),
+        limit=st.integers(0, 8),
+    )
+    def test_intersect_cursors_limit_is_prefix(self, lists, limit):
+        expected = set(lists[0])
+        for lst in lists[1:]:
+            expected &= set(lst)
+        cursors = [ListCursor(lst) for lst in lists]
+        result = intersect_cursors(cursors, limit=limit)
+        assert result == sorted(expected)[:limit]
+
+    def test_intersect_cursors_mixed_layouts(self):
+        a = BlockedPostingsList.from_ids(range(0, 300, 2), block_size=8)
+        b = list(range(0, 300, 3))
+        result = intersect_cursors([BlockCursor(a), ListCursor(b)])
+        assert result == list(range(0, 300, 6))

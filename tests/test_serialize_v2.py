@@ -1,0 +1,264 @@
+"""FREEIDX2 images: mmap load, the lazy directory, `free convert`."""
+
+import os
+
+import pytest
+
+from repro.corpus.synthesis import build_corpus
+from repro.errors import SerializationError
+from repro.index.builder import build_multigram_index
+from repro.index.directory import KeyTrie
+from repro.index.multigram import GramIndex
+from repro.index.postings import BlockedPostingsList, PostingsList
+from repro.index.serialize import (
+    MappedGramIndex,
+    _write_index_stream,
+    convert_index,
+    load_any_index,
+    load_index,
+    save_index,
+    save_sharded_index,
+)
+from repro.index.sharded import ShardedIndex
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(n_pages=40, seed=11)
+
+
+@pytest.fixture(scope="module")
+def built(corpus):
+    return build_multigram_index(corpus, threshold=0.2, max_gram_len=6)
+
+
+@pytest.fixture(scope="module")
+def mapped(built, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("v2") / "image.idx")
+    save_index(built, path, version=2)
+    return load_index(path)
+
+
+def small_index():
+    postings = {
+        "abc": PostingsList.from_ids([0, 2]),
+        "ab!": PostingsList.from_ids(range(500)),  # multi-block list
+        "xy": PostingsList.from_ids([1]),
+        "q": PostingsList.from_ids([]),
+    }
+    return GramIndex(postings, kind="multigram", n_docs=500,
+                     threshold=0.5, max_gram_len=5)
+
+
+class TestMappedDirectory:
+    def test_load_returns_mapped_index(self, built, mapped):
+        assert isinstance(mapped, MappedGramIndex)
+        assert len(mapped) == len(built)
+        assert mapped.kind == built.kind
+        assert mapped.n_docs == built.n_docs
+        assert mapped.threshold == built.threshold
+        assert mapped.max_gram_len == built.max_gram_len
+
+    def test_every_lookup_matches_builder(self, built, mapped):
+        for key in built.keys():
+            assert mapped.lookup(key).ids() == built.lookup(key).ids()
+
+    def test_contains_and_missing_key(self, built, mapped):
+        some_key = next(iter(built.keys()))
+        assert some_key in mapped
+        assert "\x00never-a-key\x00" not in mapped
+        with pytest.raises(KeyError):
+            mapped.lookup("\x00never-a-key\x00")
+
+    def test_lookup_is_memoised(self, mapped):
+        key = next(iter(mapped.keys()))
+        assert mapped.lookup(key) is mapped.lookup(key)
+
+    def test_keys_iterate_in_byte_order(self, built, mapped):
+        keys = list(mapped.keys())
+        assert keys == sorted(built.keys(), key=lambda k: k.encode())
+        assert len(keys) == len(set(keys))
+
+    def test_items_walk_whole_directory(self, built, mapped):
+        items = dict(mapped.items())
+        assert set(items) == set(built.keys())
+        for key, plist in items.items():
+            assert len(plist) == len(built.lookup(key))
+
+    def test_covering_substrings_matches_trie(self, built, mapped):
+        trie = KeyTrie.from_keys(built.keys())
+        keys = sorted(built.keys())
+        probes = [
+            keys[0] + keys[-1],
+            keys[len(keys) // 2] * 2,
+            "the free engine indexes multigrams",
+            "zzzz",
+            "",
+        ]
+        for gram in probes:
+            assert mapped.covering_substrings(gram) == \
+                trie.substrings_of(gram)
+
+    def test_selectivity(self, built, mapped):
+        key = next(iter(built.keys()))
+        assert mapped.selectivity(key) == built.selectivity(key)
+        assert mapped.selectivity("\x00nope") is None
+
+    def test_stats_materialize_lazily(self, built, mapped):
+        stats = mapped.stats
+        assert stats.n_keys == built.stats.n_keys
+        assert stats.n_postings == built.stats.n_postings
+        assert stats.postings_bytes == built.stats.postings_bytes
+        assert stats.corpus_chars == built.stats.corpus_chars
+
+    def test_prefix_free_check_runs(self, built, mapped):
+        assert mapped.is_prefix_free() == built.is_prefix_free()
+
+
+class TestV2Images:
+    def test_long_lists_round_trip_blocked(self, tmp_path):
+        index = small_index()
+        path = str(tmp_path / "blocks.idx")
+        save_index(index, path, version=2)
+        loaded = load_index(path)
+        plist = loaded.lookup("ab!")
+        assert isinstance(plist, BlockedPostingsList)
+        assert plist.has_skip_table
+        assert plist.n_blocks > 1
+        assert plist.ids() == list(range(500))
+        # Short lists take the flat form: no skip table at all.
+        assert not loaded.lookup("abc").has_skip_table
+        assert loaded.lookup("q").ids() == []
+
+    def test_magic_dispatch(self, tmp_path):
+        index = small_index()
+        v1 = str(tmp_path / "a.idx")
+        v2 = str(tmp_path / "b.idx")
+        save_index(index, v1, version=1)
+        save_index(index, v2, version=2)
+        assert not isinstance(load_index(v1), MappedGramIndex)
+        assert isinstance(load_index(v2), MappedGramIndex)
+        assert isinstance(load_any_index(v2), MappedGramIndex)
+
+    def test_bad_version_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_index(small_index(), str(tmp_path / "x.idx"), version=3)
+
+    def test_empty_index_round_trip(self, tmp_path):
+        path = str(tmp_path / "empty.idx")
+        save_index(GramIndex({}, "multigram", 0), path, version=2)
+        loaded = load_index(path)
+        assert len(loaded) == 0
+        assert list(loaded.keys()) == []
+        assert loaded.covering_substrings("anything") == []
+
+    def test_any_truncation_fails_clean(self, tmp_path):
+        path = str(tmp_path / "t.idx")
+        save_index(small_index(), path, version=2)
+        data = open(path, "rb").read()
+        cut_path = str(tmp_path / "cut.idx")
+        # Every prefix must be rejected at load time — the O(1) header
+        # checks prove completeness without parsing any entry.
+        for cut in range(0, len(data), max(1, len(data) // 64)):
+            with open(cut_path, "wb") as out:
+                out.write(data[:cut])
+            with pytest.raises(SerializationError):
+                load_index(cut_path)
+
+    def test_trailing_garbage_fails_clean(self, tmp_path):
+        path = str(tmp_path / "g.idx")
+        save_index(small_index(), path, version=2)
+        with open(path, "ab") as out:
+            out.write(b"\x00\x00junk")
+        with pytest.raises(SerializationError):
+            load_index(path)
+
+
+class TestConvert:
+    def test_round_trip_is_byte_identical(self, built, tmp_path):
+        v1 = str(tmp_path / "v1.idx")
+        v2 = str(tmp_path / "v2.idx")
+        back = str(tmp_path / "back.idx")
+        save_index(built, v1, version=1)
+        convert_index(v1, v2, version=2)
+        convert_index(v2, back, version=1)
+        assert open(v1, "rb").read() == open(back, "rb").read()
+
+    def test_converted_lookups_identical(self, built, tmp_path):
+        v1 = str(tmp_path / "v1.idx")
+        v2 = str(tmp_path / "v2.idx")
+        save_index(built, v1, version=1)
+        convert_index(v1, v2, version=2)
+        eager, lazy = load_index(v1), load_index(v2)
+        for key in eager.keys():
+            assert lazy.lookup(key).ids() == eager.lookup(key).ids()
+
+    def test_convert_sharded_image(self, corpus, tmp_path):
+        sharded = ShardedIndex.build(corpus, 3, threshold=0.2)
+        v2 = str(tmp_path / "s2.idx")
+        v1 = str(tmp_path / "s1.idx")
+        save_sharded_index(sharded, v2, version=2)
+        convert_index(v2, v1, version=1)
+        a, b = load_any_index(v2), load_any_index(v1)
+        assert isinstance(a, ShardedIndex)
+        assert isinstance(b, ShardedIndex)
+        for ordinal in range(a.n_shards):
+            left = a.shards[ordinal].index
+            right = b.shards[ordinal].index
+            assert isinstance(left, MappedGramIndex)
+            assert not isinstance(right, MappedGramIndex)
+            for key in right.keys():
+                assert left.lookup(key).ids() == right.lookup(key).ids()
+
+
+class TestShardedImages:
+    def test_mixed_version_shards_load(self, corpus, tmp_path):
+        # A partially-migrated image: one shard stream per version.
+        sharded = ShardedIndex.build(corpus, 2, threshold=0.2)
+        path = str(tmp_path / "mixed.idx")
+        save_sharded_index(sharded, path, version=1)
+        # Rewrite shard streams by hand: shard 0 as v1, shard 1 as v2.
+        import json
+        import struct
+
+        meta = {
+            "n_shards": sharded.n_shards,
+            "n_docs": sharded.n_docs,
+            "doc_ranges": [list(r) for r in sharded.doc_ranges()],
+        }
+        meta_bytes = json.dumps(meta).encode("utf-8")
+        with open(path, "wb") as out:
+            out.write(b"FREESHRD")
+            out.write(struct.pack("<I", len(meta_bytes)))
+            out.write(meta_bytes)
+            _write_index_stream(out, sharded.shards[0].index, 1)
+            _write_index_stream(out, sharded.shards[1].index, 2)
+        loaded = load_any_index(path)
+        assert isinstance(loaded, ShardedIndex)
+        assert not isinstance(loaded.shards[0].index, MappedGramIndex)
+        assert isinstance(loaded.shards[1].index, MappedGramIndex)
+        for ordinal in (0, 1):
+            original = sharded.shards[ordinal].index
+            reread = loaded.shards[ordinal].index
+            for key in original.keys():
+                assert reread.lookup(key).ids() == \
+                    original.lookup(key).ids()
+
+    def test_v2_sharded_truncation_fails_clean(self, corpus, tmp_path):
+        sharded = ShardedIndex.build(corpus, 2, threshold=0.2)
+        path = str(tmp_path / "s.idx")
+        save_sharded_index(sharded, path, version=2)
+        data = open(path, "rb").read()
+        cut = str(tmp_path / "cut.idx")
+        with open(cut, "wb") as out:
+            out.write(data[: len(data) - 7])
+        with pytest.raises(SerializationError):
+            load_any_index(cut)
+
+    def test_image_sizes_recorded(self, built, tmp_path):
+        v1 = str(tmp_path / "v1.idx")
+        v2 = str(tmp_path / "v2.idx")
+        save_index(built, v1, version=1)
+        save_index(built, v2, version=2)
+        assert os.path.getsize(v1) > 0
+        assert os.path.getsize(v2) > 0
