@@ -515,15 +515,18 @@ def run_sharded(
         corpus, n_shards, threshold=workload.threshold
     )
     shard_build_seconds = time.perf_counter() - build_started
-    baseline = FreeEngine(corpus, workload.multigram, disk=DiskModel())
-    sharded = ShardedFreeEngine(
+    baseline_lat: List[float] = []
+    sharded_lat: List[float] = []
+    io_ratios: List[float] = []
+    total_matches = 0
+    # Context managers, not bare construction: the sharded engine owns
+    # a process pool and a fork-registry token that must be released on
+    # every exit path (see ShardedFreeEngine.close).
+    with FreeEngine(
+        corpus, workload.multigram, disk=DiskModel()
+    ) as baseline, ShardedFreeEngine(
         corpus, sharded_index, workers=workers, disk=DiskModel()
-    )
-    try:
-        baseline_lat: List[float] = []
-        sharded_lat: List[float] = []
-        io_ratios: List[float] = []
-        total_matches = 0
+    ) as sharded:
         for pattern in queries.values():  # warm-up, unmeasured
             baseline.search(pattern, collect_matches=False)
             sharded.search(pattern, collect_matches=False)
@@ -557,8 +560,6 @@ def run_sharded(
                         r_base.io_cost / critical_path
                         if critical_path else float("inf")
                     )
-    finally:
-        sharded.close()
     baseline_lat.sort()
     sharded_lat.sort()
     n_queries = len(baseline_lat)
@@ -586,6 +587,8 @@ def run_sharded(
             "n_shards": n_shards,
             "workers": workers,
         },
+        # May be None: os.cpu_count() is allowed to fail (containers,
+        # exotic platforms).  Consumers must render that case.
         "cpu_count": os.cpu_count(),
         "baseline_latency_seconds": base_summary,
         "sharded_latency_seconds": shard_summary,
@@ -621,6 +624,90 @@ def write_bench_sharded(
     record = run_sharded(
         workload, queries=queries, repeats=repeats,
         n_shards=n_shards, workers=workers,
+    )
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(record, out, indent=2, sort_keys=True)
+        out.write("\n")
+    return record
+
+
+# ---------------------------------------------------------------------------
+# E13: serve-path load test (CI artifact BENCH_free_serve.json)
+# ---------------------------------------------------------------------------
+
+def run_serve(
+    workload: Optional[Workload] = None,
+    workers: int = 2,
+    queue_depth: int = 16,
+    timeout_seconds: float = 10.0,
+    seed: int = 1234,
+    closed_concurrency: int = 8,
+    closed_requests: int = 120,
+    open_rate: float = 40.0,
+    open_requests: int = 80,
+) -> Dict[str, object]:
+    """Closed- and open-loop load against a live ``free serve``.
+
+    Starts a :class:`~repro.serve.service.QueryService` over the
+    workload corpus + multigram index, drives both load phases of
+    :mod:`repro.serve.loadgen` with a seeded Figure 8 pattern mix, and
+    returns the combined client/server record.  The CI gate is
+    ``n_5xx == 0`` and ``sustained_qps > 0``; shed (429) and timeout
+    (504) counts are reported, not failed on — they are the bounded
+    admission queue working as designed.
+    """
+    from repro.serve.loadgen import run_serve_benchmark
+    from repro.serve.service import ServeConfig
+
+    workload = workload or default_workload()
+    config = ServeConfig(
+        workers=workers,
+        queue_depth=queue_depth,
+        timeout_seconds=timeout_seconds,
+    )
+    record = run_serve_benchmark(
+        lambda: workload.corpus,
+        workload.multigram,
+        serve_config=config,
+        seed=seed,
+        closed_concurrency=closed_concurrency,
+        closed_requests=closed_requests,
+        open_rate=open_rate,
+        open_requests=open_requests,
+    )
+    record["name"] = "free_serve"
+    record["workload"] = {
+        "pages": len(workload.corpus),
+        "corpus_chars": workload.corpus.total_chars,
+        "seed": workload.seed,
+        "threshold": workload.threshold,
+    }
+    return record
+
+
+def write_bench_serve(
+    path: str,
+    workload: Optional[Workload] = None,
+    workers: int = 2,
+    queue_depth: int = 16,
+    timeout_seconds: float = 10.0,
+    seed: int = 1234,
+    closed_concurrency: int = 8,
+    closed_requests: int = 120,
+    open_rate: float = 40.0,
+    open_requests: int = 80,
+) -> Dict[str, object]:
+    """Run :func:`run_serve` and persist the record as JSON."""
+    record = run_serve(
+        workload,
+        workers=workers,
+        queue_depth=queue_depth,
+        timeout_seconds=timeout_seconds,
+        seed=seed,
+        closed_concurrency=closed_concurrency,
+        closed_requests=closed_requests,
+        open_rate=open_rate,
+        open_requests=open_requests,
     )
     with open(path, "w", encoding="utf-8") as out:
         json.dump(record, out, indent=2, sort_keys=True)

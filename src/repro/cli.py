@@ -1,5 +1,5 @@
 """Command-line front end: ``free synth | build | convert | search |
-explain | check | bench | metrics``.
+explain | check | bench | metrics | serve``.
 
 Typical session::
 
@@ -17,6 +17,11 @@ Observability (see docs/observability.md)::
     free search corpus.img corpus.idx 'pat' --trace    # span tree
     free metrics corpus.img corpus.idx                 # Prometheus text
     free bench --experiment core                       # BENCH_free_core.json
+
+Serving (see docs/serving.md)::
+
+    free serve corpus.img corpus.idx --port 8080 --workers 4
+    free bench --experiment serve                      # BENCH_free_serve.json
 """
 
 from __future__ import annotations
@@ -31,15 +36,13 @@ from repro.bench.queries import BENCHMARK_QUERIES
 from repro.bench.workloads import default_workload
 from repro.corpus.store import DiskCorpus
 from repro.corpus.synthesis import build_corpus
-from repro.engine.free import FreeEngine
+from repro.engine.factory import open_engine
 from repro.engine.results import frequency_ranked
-from repro.engine.sharded import ShardedFreeEngine
 from repro.errors import FreeError
 from repro.index.builder import build_multigram_index
 from repro.index.serialize import (
     DEFAULT_VERSION,
     convert_index,
-    load_any_index,
     save_index,
     save_sharded_index,
 )
@@ -222,7 +225,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[
             "table3", "fig9", "fig10", "fig11", "fig12",
             "threshold", "policy", "repeat", "core", "sharded",
-            "postings", "all",
+            "postings", "serve", "all",
         ],
         default="all",
     )
@@ -271,6 +274,43 @@ def _build_parser() -> argparse.ArgumentParser:
              "(nonzero exit on malformed output; the CI gate)",
     )
     p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve queries over HTTP (see docs/serving.md)",
+    )
+    p_serve.add_argument("corpus", help="corpus image path")
+    p_serve.add_argument("index", help="index image path")
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: loopback)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8080,
+        help="port to bind (0 picks an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker engines (one query executes per worker at a time)",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="bounded admission queue; beyond it requests get 429",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-query deadline, queueing included (0 disables)",
+    )
+    p_serve.add_argument(
+        "--query-log", default=None, metavar="PATH",
+        help="append one JSON line per query served",
+    )
+    p_serve.add_argument(
+        "--shard-workers", type=int, default=1, metavar="K",
+        help="per-shard fan-out processes inside each worker engine "
+             "(sharded images only)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     return parser
 
@@ -374,27 +414,19 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
-def _engine_for(
-    corpus: DiskCorpus, index_path: str, workers: int = 1, **kwargs
-) -> FreeEngine:
-    """Open either index image kind and wrap it in the right engine."""
-    index = load_any_index(index_path)
-    if isinstance(index, ShardedIndex):
-        return ShardedFreeEngine(corpus, index, workers=workers, **kwargs)
-    return FreeEngine(corpus, index, **kwargs)
-
-
 def _cmd_search(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
-    with DiskCorpus(args.corpus) as corpus:
-        engine = _engine_for(corpus, args.index, workers=args.workers)
+    # Engines are context-managed on every CLI path: a sharded image
+    # opens a worker pool and registers a fork token that must be
+    # released even when printing fails (see ShardedFreeEngine.close).
+    with DiskCorpus(args.corpus) as corpus, open_engine(
+        corpus, args.index, workers=args.workers
+    ) as engine:
         report = engine.search(
             args.pattern, limit=args.limit, trace=args.trace
         )
-        if isinstance(engine, ShardedFreeEngine):
-            engine.close()
         print(report.summary())
         if args.metrics and report.metrics is not None:
             print(report.metrics.pretty())
@@ -412,8 +444,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    with DiskCorpus(args.corpus) as corpus:
-        engine = _engine_for(corpus, args.index)
+    with DiskCorpus(args.corpus) as corpus, open_engine(
+        corpus, args.index
+    ) as engine:
         print(engine.explain(
             args.pattern, analyze=args.analyze, trace=args.trace
         ))
@@ -431,8 +464,9 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         else list(BENCHMARK_QUERIES.values())
     )
     registry = get_registry()
-    with DiskCorpus(args.corpus) as corpus:
-        engine = _engine_for(corpus, args.index, registry=registry)
+    with DiskCorpus(args.corpus) as corpus, open_engine(
+        corpus, args.index, registry=registry
+    ) as engine:
         for _round in range(args.repeats):
             for pattern in patterns:
                 engine.search(pattern, collect_matches=False)
@@ -449,6 +483,51 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             f"metrics: OK ({len(text.splitlines())} exposition lines)",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.registry import get_registry
+    from repro.serve import (
+        QueryService,
+        ServeConfig,
+        serve_forever,
+        slots_from_paths,
+    )
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        timeout_seconds=args.timeout if args.timeout > 0 else None,
+        query_log_path=args.query_log,
+        shard_workers=args.shard_workers,
+    )
+    registry = get_registry()
+    slots = slots_from_paths(args.corpus, args.index, config, registry)
+    service = QueryService(config, slots, registry=registry)
+
+    def on_start(svc: QueryService) -> None:
+        timeout_text = (
+            f"{config.timeout_seconds:g}s"
+            if config.timeout_seconds is not None
+            else "none"
+        )
+        print(
+            f"free serve: http://{config.host}:{svc.port} "
+            f"({config.workers} workers, queue {config.queue_depth}, "
+            f"timeout {timeout_text}) — Ctrl-C drains and exits",
+            flush=True,
+        )
+
+    serve_forever(service, on_start=on_start)
+    stats = service.stats
+    print(
+        f"free serve: drained and stopped — {stats.queries} queries "
+        f"({stats.served} served, {stats.shed} shed, "
+        f"{stats.timeouts} timed out)"
+    )
     return 0
 
 
@@ -499,6 +578,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return code
 
 
+def _cpus_text(cpu_count: object) -> str:
+    """Render a possibly-None os.cpu_count() for bench summaries."""
+    return f"{cpu_count} cpus" if cpu_count is not None else "unknown cpus"
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.repeats < 1:
         print("error: --repeats must be >= 1", file=sys.stderr)
@@ -529,8 +613,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"(critical path, deterministic); "
             f"wall p50 {base['p50'] * 1000:.2f}ms -> "
             f"{shard['p50'] * 1000:.2f}ms "
-            f"(x{speedup['p50']:.2f} on {record['cpu_count']} cpus) "
+            f"(x{speedup['p50']:.2f} on "
+            f"{_cpus_text(record['cpu_count'])}) "
             f"-> {out}"
+        )
+        return 0
+    if args.experiment == "serve":
+        out = args.out or "BENCH_free_serve.json"
+        record = runner_mod.write_bench_serve(out, workload)
+        phases = cast(Dict[str, Dict[str, object]], record["phases"])
+        closed = phases["closed"]
+        closed_lat = cast(
+            Dict[str, float], closed["latency_seconds"]
+        )
+        service = cast(Dict[str, int], record["service"])
+        print(
+            f"serve: sustained {cast(float, closed['qps']):.0f} qps "
+            f"p50 {closed_lat['p50'] * 1000:.2f}ms "
+            f"p95 {closed_lat['p95'] * 1000:.2f}ms "
+            f"p99 {closed_lat['p99'] * 1000:.2f}ms; "
+            f"shed {service['shed']} timeouts {service['timeouts']} "
+            f"5xx {cast(int, record['n_5xx'])} -> {out}"
         )
         return 0
     if args.experiment == "postings":

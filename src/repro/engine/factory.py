@@ -1,0 +1,78 @@
+"""Open an index image and wrap it in the matching engine.
+
+The CLI, the benchmarks and the ``free serve`` service all need the
+same dispatch: a FREESHRD image gets a
+:class:`~repro.engine.sharded.ShardedFreeEngine`, anything else a plain
+:class:`~repro.engine.free.FreeEngine`.  Keeping the dispatch here
+guarantees every entry point serves identical results for identical
+images — the serve differential tests compare the HTTP payload against
+an engine built through this same factory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.corpus.store import CorpusStore
+from repro.engine.free import FreeEngine
+from repro.engine.sharded import ShardedFreeEngine
+from repro.index.multigram import GramIndex
+from repro.index.serialize import load_any_index
+from repro.index.sharded import ShardedIndex
+from repro.obs.registry import MetricsRegistry
+
+
+def wrap_index(
+    corpus: CorpusStore,
+    index: Union[GramIndex, ShardedIndex],
+    workers: int = 1,
+    registry: Optional[MetricsRegistry] = None,
+    plan_cache_size: int = 128,
+    candidate_cache_size: int = 0,
+    matcher_cache_size: int = 128,
+) -> FreeEngine:
+    """Wrap an already-loaded index in the right engine kind.
+
+    ``workers`` only applies to sharded images (per-shard fan-out);
+    single-index images ignore it.  The service layer loads one index
+    and calls this once per worker thread with that shared object.
+    """
+    if isinstance(index, ShardedIndex):
+        return ShardedFreeEngine(
+            corpus,
+            index,
+            workers=workers,
+            registry=registry,
+            plan_cache_size=plan_cache_size,
+            candidate_cache_size=candidate_cache_size,
+            matcher_cache_size=matcher_cache_size,
+        )
+    return FreeEngine(
+        corpus,
+        index,
+        registry=registry,
+        plan_cache_size=plan_cache_size,
+        candidate_cache_size=candidate_cache_size,
+        matcher_cache_size=matcher_cache_size,
+    )
+
+
+def open_engine(
+    corpus: CorpusStore,
+    index_path: str,
+    workers: int = 1,
+    registry: Optional[MetricsRegistry] = None,
+    plan_cache_size: int = 128,
+    candidate_cache_size: int = 0,
+    matcher_cache_size: int = 128,
+) -> FreeEngine:
+    """Load either index image kind and wrap it in the right engine."""
+    return wrap_index(
+        corpus,
+        load_any_index(index_path),
+        workers=workers,
+        registry=registry,
+        plan_cache_size=plan_cache_size,
+        candidate_cache_size=candidate_cache_size,
+        matcher_cache_size=matcher_cache_size,
+    )

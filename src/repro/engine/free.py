@@ -198,6 +198,24 @@ class FreeEngine:
         self._plan_cache.clear()
         self._candidate_cache.clear()
 
+    def close(self) -> None:
+        """Release engine-held resources.
+
+        The base engine holds none beyond its caches (dropped here so a
+        closed engine does not pin candidate lists); subclasses with
+        real resources (worker pools, fork-registry entries) override
+        and must stay safe to call twice.  Long-lived callers — the CLI,
+        the benchmarks, ``free serve`` — use the engine as a context
+        manager so this runs on every exit path.
+        """
+        self.invalidate_caches()
+
+    def __enter__(self) -> "FreeEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
     def cache_stats(self) -> dict:
         """Hit/miss counters of all engine caches (for reporting).
 
@@ -244,7 +262,15 @@ class FreeEngine:
         if trace is None and metrics is not None:
             trace = metrics.trace
         with maybe_span(trace, "plan"):
-            key = (pattern, self.cover_policy, self.distribute)
+            # The epoch rides in the key (like the candidate cache's)
+            # so a mutable index bumping its epoch makes every cached
+            # plan unreachable: a physical plan compiled against old
+            # contents may look up keys the mutation removed, which
+            # would silently drop candidates — not just run slow.
+            key = (
+                pattern, self.cover_policy, self.distribute,
+                self._cache_epoch(),
+            )
             cached = self._plan_cache.get(key)
             if cached is not None:
                 if metrics is not None:

@@ -90,6 +90,45 @@ class SearchReport:
     def match_strings(self) -> List[str]:
         return [m.text for m in self.matches]
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form of the report (the ``free serve`` payload).
+
+        Everything except ``timings`` and ``metrics.phase_seconds`` is
+        a pure function of (pattern, engine configuration, corpus,
+        index), so two executions of the same query serialize to
+        byte-identical JSON once those two wall-clock carriers are
+        dropped — the property the serve differential tests assert.
+        """
+        return {
+            "pattern": self.pattern,
+            "engine": self.engine,
+            "n_matches": self.n_matches,
+            "matching_units": self.matching_units,
+            "n_candidates": self.n_candidates,
+            "n_units_read": self.n_units_read,
+            "used_full_scan": self.used_full_scan,
+            "truncated": self.truncated,
+            "io_cost": self.io_cost,
+            "io_detail": dict(self.io_detail),
+            "matches": [
+                {
+                    "doc_id": m.doc_id,
+                    "start": m.start,
+                    "end": m.end,
+                    "text": m.text,
+                }
+                for m in self.matches
+            ],
+            "metrics": (
+                self.metrics.as_dict() if self.metrics is not None else None
+            ),
+            "timings": {
+                "plan_seconds": self.plan_seconds,
+                "execute_seconds": self.execute_seconds,
+                "total_seconds": self.total_seconds,
+            },
+        }
+
     def summary(self) -> str:
         mode = "full scan" if self.used_full_scan else "index"
         return (

@@ -55,6 +55,7 @@ access pattern.
 from __future__ import annotations
 
 import itertools
+import weakref
 from concurrent.futures import (
     Executor,
     ProcessPoolExecutor,
@@ -81,9 +82,20 @@ from repro.plan.physical import CoverPolicy, PhysicalPlan
 
 #: Fork-shared engine registry: entries made *before* the pool's workers
 #: fork are visible in every worker at the same token.  Keyed by a
-#: process-unique token so several engines can coexist.
-_FORK_SHARED: Dict[int, "ShardedFreeEngine"] = {}
+#: process-unique token so several engines can coexist.  The values are
+#: *weak* references: a strong entry would keep an abandoned engine
+#: (one whose ``close()`` was never reached — an exception between
+#: construction and close, or a dropped reference) alive forever and
+#: the registry unbounded.  Forked children resolve the weakref once on
+#: their first task, while the submitting parent necessarily still
+#: holds the engine strongly.
+_FORK_SHARED: Dict[int, "weakref.ref[ShardedFreeEngine]"] = {}
 _TOKENS = itertools.count(1)
+
+
+def _pop_fork_token(token: int) -> None:
+    """Drop one registry entry (close(), or the GC finalizer fallback)."""
+    _FORK_SHARED.pop(token, None)
 
 #: Per-worker-process cache of engines whose DiskCorpus has been
 #: reopened (fork copies this dict; it then diverges per process).
@@ -116,7 +128,13 @@ def _worker_search_shard(
     """Process-pool entry point: run one shard's full pipeline."""
     engine = _CHILD_READY.get(token)
     if engine is None:
-        engine = _FORK_SHARED[token]
+        ref = _FORK_SHARED.get(token)
+        engine = ref() if ref is not None else None
+        if engine is None:
+            raise InternalError(
+                f"fork token {token} has no live engine (engine closed "
+                f"or collected while its pool was still serving tasks)"
+            )
         engine._prepare_forked_worker()
         _CHILD_READY[token] = engine
     return engine._search_shard_local(ordinal, pattern, collect_matches)
@@ -183,6 +201,7 @@ class ShardedFreeEngine(FreeEngine):
         self._pool: Optional[Executor] = None
         self._owns_pool = False
         self._fork_token: Optional[int] = None
+        self._fork_finalizer: Optional[weakref.finalize] = None
         if isinstance(pool, Executor):
             self.pool_kind = "external"
             self._pool = pool
@@ -210,8 +229,14 @@ class ShardedFreeEngine(FreeEngine):
                 token = next(_TOKENS)
                 # Register BEFORE the pool exists: workers fork lazily
                 # on first submit and must find the engine in place.
-                _FORK_SHARED[token] = self
+                # The finalizer is the safety net for engines that are
+                # dropped without ever reaching close() — when the
+                # engine is collected, its token leaves the registry.
+                _FORK_SHARED[token] = weakref.ref(self)
                 self._fork_token = token
+                self._fork_finalizer = weakref.finalize(
+                    self, _pop_fork_token, token
+                )
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
                     mp_context=get_context("fork"),
@@ -228,16 +253,23 @@ class ShardedFreeEngine(FreeEngine):
         """Shut down the worker pool (no-op if never started or shared).
 
         The engine remains usable afterwards on the sequential path; a
-        later parallel query builds a fresh pool.
+        later parallel query builds a fresh pool.  Idempotent: the CLI,
+        the benchmarks and ``free serve`` all run it from context-
+        manager exits, and the GC finalizer covers engines abandoned
+        before any close.
         """
+        if self._fork_finalizer is not None:
+            self._fork_finalizer.detach()
+            self._fork_finalizer = None
         if self._fork_token is not None:
-            _FORK_SHARED.pop(self._fork_token, None)
+            _pop_fork_token(self._fork_token)
             self._fork_token = None
         if self._pool is not None and self._owns_pool:
             self._pool.shutdown(wait=True)
         if self._owns_pool:
             self._pool = None
             self._owns_pool = False
+        super().close()
 
     def __enter__(self) -> "ShardedFreeEngine":
         return self

@@ -1,0 +1,32 @@
+"""The ``free serve`` subsystem: HTTP service + load generator.
+
+See :mod:`repro.serve.service` for the service semantics (bounded
+admission, deadlines, graceful drain) and :mod:`repro.serve.loadgen`
+for the closed/open-loop load harness behind
+``free bench --experiment serve``.  docs/serving.md is the operator
+guide.
+"""
+
+from repro.serve.service import (
+    DeadlineCorpus,
+    QueryService,
+    QueryTimeout,
+    ServeConfig,
+    ServerThread,
+    ServiceStats,
+    build_slots,
+    serve_forever,
+    slots_from_paths,
+)
+
+__all__ = [
+    "DeadlineCorpus",
+    "QueryService",
+    "QueryTimeout",
+    "ServeConfig",
+    "ServerThread",
+    "ServiceStats",
+    "build_slots",
+    "serve_forever",
+    "slots_from_paths",
+]

@@ -1,0 +1,256 @@
+"""A minimal asyncio HTTP/1.1 layer (no dependencies, no frameworks).
+
+``free serve`` needs exactly four things from HTTP: parse a request
+(method, target, headers, body), build a response with a status line
+and headers, keep-alive so load-test clients can reuse connections, and
+hard limits so a misbehaving client cannot buffer unbounded bytes into
+the process.  This module provides those four things and nothing else;
+routing and semantics live in :mod:`repro.serve.service`.
+
+Chunked transfer encoding is deliberately not implemented — every
+client this service is built for (the load generator, curl, Prometheus
+scrapers) sends bodies with ``Content-Length``.  A chunked request gets
+a clean ``411 Length Required``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import FreeError
+
+#: Upper bound on the request line + headers block, bytes.
+MAX_HEADER_BYTES = 16 * 1024
+#: Upper bound on a request body, bytes (patterns are small).
+MAX_BODY_BYTES = 1024 * 1024
+
+STATUS_REASONS: Dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(FreeError):
+    """A request that must be answered with an error status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]  # header names lower-cased
+    body: bytes = b""
+    keep_alive: bool = True
+
+    def json(self) -> Dict[str, object]:
+        """The body as a JSON object (400 on anything else)."""
+        if not self.body:
+            raise HttpError(400, "empty body; expected a JSON object")
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from exc
+        if not isinstance(data, dict):
+            raise HttpError(400, "JSON body must be an object")
+        return data
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_header_bytes: int = MAX_HEADER_BYTES,
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> Optional[Request]:
+    """Read one request; None on a clean connection close.
+
+    Raises :class:`HttpError` on malformed or over-limit input — the
+    caller answers with the error status and closes the connection.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(431, "request head too large") from exc
+    if len(head) > max_header_bytes:
+        raise HttpError(431, "request head too large")
+    return await _parse_head(head, reader, max_body_bytes)
+
+
+async def _parse_head(
+    head: bytes,
+    reader: asyncio.StreamReader,
+    max_body_bytes: int,
+) -> Request:
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise HttpError(400, "undecodable request head") from exc
+    lines = text.split("\r\n")
+    request_line = lines[0]
+    parts = request_line.split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {request_line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding"):
+        raise HttpError(411, "chunked bodies unsupported; send a length")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise HttpError(
+                400, f"bad Content-Length {length_text!r}"
+            ) from exc
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length {length_text!r}")
+        if length > max_body_bytes:
+            raise HttpError(413, "request body too large")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise HttpError(
+                    400, "connection closed mid-body"
+                ) from exc
+
+    split = urlsplit(target)
+    query = {
+        name: values[-1]
+        for name, values in parse_qs(
+            split.query, keep_blank_values=True
+        ).items()
+    }
+    connection = headers.get("connection", "").lower()
+    keep_alive = connection != "close" and version != "HTTP/1.0"
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=split.path,
+        query=query,
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+@dataclass
+class Response:
+    """One response, rendered with :meth:`encode`."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @staticmethod
+    def from_json(
+        payload: Dict[str, object],
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> "Response":
+        body = (
+            json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        )
+        return Response(
+            status=status,
+            body=body,
+            content_type="application/json",
+            headers=dict(headers or {}),
+        )
+
+    @staticmethod
+    def from_text(
+        text: str,
+        status: int = 200,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> "Response":
+        return Response(
+            status=status,
+            body=text.encode("utf-8"),
+            content_type=content_type,
+        )
+
+    def encode(self, keep_alive: bool = True) -> bytes:
+        reason = STATUS_REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("latin-1") + self.body
+
+
+def error_response(
+    status: int,
+    message: str,
+    headers: Optional[Dict[str, str]] = None,
+) -> Response:
+    """The uniform JSON error body every failure path uses."""
+    return Response.from_json(
+        {"error": message, "status": status},
+        status=status,
+        headers=headers,
+    )
+
+
+def parse_response_bytes(raw: bytes) -> Tuple[int, Dict[str, str], bytes]:
+    """Parse a response buffer into (status, headers, body).
+
+    Used by the in-repo load generator and the tests — it keeps the
+    client side dependency-free too.  ``raw`` must contain the complete
+    head; the body is whatever follows (callers read Content-Length).
+    """
+    head, sep, body = raw.partition(b"\r\n\r\n")
+    if not sep:
+        raise FreeError("response without a complete header block")
+    lines = head.decode("latin-1").split("\r\n")
+    status_parts = lines[0].split(" ", 2)
+    if len(status_parts) < 2 or not status_parts[1].isdigit():
+        raise FreeError(f"malformed status line {lines[0]!r}")
+    status = int(status_parts[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        name, colon, value = line.partition(":")
+        if colon:
+            headers[name.strip().lower()] = value.strip()
+    return status, headers, body

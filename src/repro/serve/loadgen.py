@@ -1,0 +1,403 @@
+"""Load generator for ``free serve`` (``free bench --experiment serve``).
+
+Two classic load shapes, run back to back against a live service:
+
+* **closed loop** — ``closed_concurrency`` clients over keep-alive
+  connections, each issuing its next query the moment the previous
+  answer lands.  Throughput is capacity-bound: the measured QPS is what
+  the service *sustains*.
+* **open loop** — queries arrive on a fixed schedule (``open_rate``
+  per second) regardless of completions, the arrival pattern a real
+  user population produces.  When arrivals outrun capacity the bounded
+  admission queue fills and the service sheds with ``429`` — exactly
+  the behaviour this phase exists to exercise and count.
+
+The pattern mix is drawn from the Figure 8 benchmark queries with a
+seeded RNG, so a given configuration replays the same request sequence
+every run.  Results go into ``BENCH_free_serve.json``
+(schema ``free-bench-serve/1``); CI gates on zero 5xx responses and a
+nonzero sustained QPS.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.bench.queries import BENCHMARK_QUERIES
+from repro.corpus.store import CorpusStore
+from repro.errors import FreeError
+from repro.index.multigram import GramIndex
+from repro.index.sharded import ShardedIndex
+from repro.obs.clock import monotonic
+from repro.obs.registry import MetricsRegistry, parse_prometheus_text
+from repro.serve.http import parse_response_bytes
+from repro.serve.service import (
+    QueryService,
+    ServeConfig,
+    ServerThread,
+    build_slots,
+)
+
+BENCH_SERVE_SCHEMA = "free-bench-serve/1"
+
+
+@dataclass
+class WorkloadMix:
+    """A weighted pattern mix; deterministic under a seeded RNG."""
+
+    patterns: List[str]
+    weights: Optional[List[float]] = None
+    #: Share of queries issued as ``POST /first_k`` instead of /search.
+    first_k_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not self.patterns:
+            raise FreeError("workload mix needs at least one pattern")
+        if self.weights is not None and len(self.weights) != len(
+            self.patterns
+        ):
+            raise FreeError("weights must match patterns 1:1")
+
+    def pick(self, rng: random.Random) -> Tuple[str, str]:
+        """-> (endpoint, pattern) for the next request."""
+        pattern = rng.choices(self.patterns, weights=self.weights, k=1)[0]
+        endpoint = (
+            "/first_k"
+            if rng.random() < self.first_k_fraction
+            else "/search"
+        )
+        return endpoint, pattern
+
+
+def default_mix() -> WorkloadMix:
+    """The Figure 8 queries, weighted toward index-friendly patterns.
+
+    The NULL-plan queries (``zip``; ``html``/``phone`` excluded as the
+    most expensive full scans) keep a small share so the mix stresses
+    the full-scan path too, without drowning the run in scans.
+    """
+    weighted = [
+        ("powerpc", 4.0),
+        ("clinton", 3.0),
+        ("stanford", 3.0),
+        ("ebay", 2.0),
+        ("mp3", 2.0),
+        ("sigmod", 1.0),
+        ("script", 1.0),
+        ("zip", 1.0),
+    ]
+    return WorkloadMix(
+        patterns=[BENCHMARK_QUERIES[name] for name, _ in weighted],
+        weights=[weight for _, weight in weighted],
+    )
+
+
+@dataclass
+class LoadConfig:
+    """One load-generation run against a live server."""
+
+    host: str
+    port: int
+    mix: WorkloadMix = field(default_factory=default_mix)
+    seed: int = 1234
+    closed_concurrency: int = 8
+    closed_requests: int = 120  # total across all closed-loop clients
+    open_rate: float = 40.0  # arrivals per second
+    open_requests: int = 80
+    collect_matches: bool = False
+
+
+class _Conn:
+    """A keep-alive client connection (stdlib asyncio only)."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def request(
+        self,
+        method: str,
+        target: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        reader, writer = self._reader, self._writer
+        if reader is None or writer is None:  # pragma: no cover
+            raise FreeError("connection not open")
+        body = (
+            b""
+            if payload is None
+            else json.dumps(payload).encode("utf-8")
+        )
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"Host: {self.host}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        raw_head = await reader.readuntil(b"\r\n\r\n")
+        status, headers, _ = parse_response_bytes(raw_head)
+        length = int(headers.get("content-length", "0"))
+        resp_body = await reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, headers, resp_body
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            with contextlib.suppress(Exception):
+                await self._writer.wait_closed()
+        self._reader = None
+        self._writer = None
+
+
+def _request_of(
+    mix: WorkloadMix, rng: random.Random, collect_matches: bool
+) -> Tuple[str, str, Dict[str, object]]:
+    endpoint, pattern = mix.pick(rng)
+    if endpoint == "/first_k":
+        return "POST", "/first_k", {"pattern": pattern, "k": 5}
+    return (
+        "POST",
+        "/search",
+        {"pattern": pattern, "collect_matches": collect_matches},
+    )
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[min(rank, len(sorted_values) - 1)]
+
+
+def _phase_summary(
+    results: List[Tuple[int, float]],
+    wall_seconds: float,
+    connection_errors: int,
+) -> Dict[str, object]:
+    statuses: Dict[str, int] = {}
+    for status, _latency in results:
+        key = str(status)
+        statuses[key] = statuses.get(key, 0) + 1
+    latencies = sorted(latency for _status, latency in results)
+    wall = max(wall_seconds, 1e-9)
+    n_ok = sum(1 for status, _latency in results if status == 200)
+    return {
+        "requests": len(results) + connection_errors,
+        "completed": len(results),
+        "connection_errors": connection_errors,
+        "wall_seconds": wall_seconds,
+        "qps": len(results) / wall,
+        "served_qps": n_ok / wall,
+        "status_counts": statuses,
+        "latency_seconds": {
+            "p50": _percentile(latencies, 0.50),
+            "p95": _percentile(latencies, 0.95),
+            "p99": _percentile(latencies, 0.99),
+            "mean": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+    }
+
+
+async def _closed_phase(config: LoadConfig) -> Dict[str, object]:
+    results: List[Tuple[int, float]] = []
+    errors = [0]
+    per_client = [
+        config.closed_requests // config.closed_concurrency
+        + (1 if i < config.closed_requests % config.closed_concurrency
+           else 0)
+        for i in range(config.closed_concurrency)
+    ]
+
+    async def client(ordinal: int, n_requests: int) -> None:
+        rng = random.Random(config.seed * 1000 + ordinal)
+        conn = _Conn(config.host, config.port)
+        try:
+            for _i in range(n_requests):
+                method, target, payload = _request_of(
+                    config.mix, rng, config.collect_matches
+                )
+                started = monotonic()
+                try:
+                    status, _headers, _body = await conn.request(
+                        method, target, payload
+                    )
+                except (OSError, asyncio.IncompleteReadError, FreeError):
+                    errors[0] += 1
+                    await conn.close()
+                    continue
+                results.append((status, monotonic() - started))
+        finally:
+            await conn.close()
+
+    started = monotonic()
+    await asyncio.gather(
+        *(client(i, n) for i, n in enumerate(per_client) if n)
+    )
+    wall = monotonic() - started
+    return _phase_summary(results, wall, errors[0])
+
+
+async def _open_phase(config: LoadConfig) -> Dict[str, object]:
+    results: List[Tuple[int, float]] = []
+    errors = [0]
+    rng = random.Random(config.seed * 1000 + 999)
+    interval = (
+        1.0 / config.open_rate if config.open_rate > 0 else 0.0
+    )
+
+    async def one_shot(
+        method: str, target: str, payload: Dict[str, object]
+    ) -> None:
+        conn = _Conn(config.host, config.port)
+        started = monotonic()
+        try:
+            status, _headers, _body = await conn.request(
+                method, target, payload
+            )
+            results.append((status, monotonic() - started))
+        except (OSError, asyncio.IncompleteReadError, FreeError):
+            errors[0] += 1
+        finally:
+            await conn.close()
+
+    tasks: List["asyncio.Task[None]"] = []
+    loop = asyncio.get_running_loop()
+    started = monotonic()
+    for _i in range(config.open_requests):
+        method, target, payload = _request_of(
+            config.mix, rng, config.collect_matches
+        )
+        tasks.append(loop.create_task(one_shot(method, target, payload)))
+        if interval:
+            await asyncio.sleep(interval)
+    if tasks:
+        await asyncio.gather(*tasks)
+    wall = monotonic() - started
+    return _phase_summary(results, wall, errors[0])
+
+
+async def _run_phases(config: LoadConfig) -> Dict[str, object]:
+    return {
+        "closed": await _closed_phase(config),
+        "open": await _open_phase(config),
+    }
+
+
+def run_load(config: LoadConfig) -> Dict[str, object]:
+    """Run both phases against an already-running server."""
+    return asyncio.run(_run_phases(config))
+
+
+def _count_5xx(phases: Dict[str, object]) -> int:
+    total = 0
+    for phase in phases.values():
+        counts = phase["status_counts"]  # type: ignore[index]
+        for status, count in counts.items():
+            if int(status) >= 500:
+                total += int(count)
+    return total
+
+
+async def _scrape_metrics(host: str, port: int) -> str:
+    conn = _Conn(host, port)
+    try:
+        status, _headers, body = await conn.request("GET", "/metrics")
+    finally:
+        await conn.close()
+    if status != 200:
+        raise FreeError(f"/metrics answered {status}")
+    return body.decode("utf-8")
+
+
+def run_serve_benchmark(
+    corpus_opener: Callable[[], CorpusStore],
+    index: Union[GramIndex, ShardedIndex],
+    serve_config: Optional[ServeConfig] = None,
+    seed: int = 1234,
+    closed_concurrency: int = 8,
+    closed_requests: int = 120,
+    open_rate: float = 40.0,
+    open_requests: int = 80,
+    mix: Optional[WorkloadMix] = None,
+) -> Dict[str, object]:
+    """Start a service, drive both load phases, return the record.
+
+    The record carries client-side phase summaries, the server-side
+    admission accounting (served + shed + timeouts must explain every
+    admitted query), and a validated ``/metrics`` scrape.
+    """
+    registry = MetricsRegistry()
+    config = serve_config or ServeConfig(
+        workers=2, queue_depth=16, timeout_seconds=10.0
+    )
+    slots = build_slots(corpus_opener, index, config, registry)
+    service = QueryService(config, slots, registry=registry)
+    with ServerThread(service) as server:
+        load_config = LoadConfig(
+            host=server.host,
+            port=server.port,
+            mix=mix if mix is not None else default_mix(),
+            seed=seed,
+            closed_concurrency=closed_concurrency,
+            closed_requests=closed_requests,
+            open_rate=open_rate,
+            open_requests=open_requests,
+        )
+        phases = run_load(load_config)
+        exposition = asyncio.run(
+            _scrape_metrics(server.host, server.port)
+        )
+    parse_prometheus_text(exposition)  # raises FreeError if malformed
+    stats = service.stats.as_dict()
+    n_5xx = _count_5xx(phases)
+    closed = phases["closed"]
+    sustained = closed["qps"]  # type: ignore[index]
+    return {
+        "schema": BENCH_SERVE_SCHEMA,
+        "config": {
+            "workers": config.workers,
+            "queue_depth": config.queue_depth,
+            "timeout_seconds": config.timeout_seconds,
+            "seed": seed,
+            "closed_concurrency": closed_concurrency,
+            "closed_requests": closed_requests,
+            "open_rate": open_rate,
+            "open_requests": open_requests,
+        },
+        "phases": phases,
+        "service": stats,
+        "sustained_qps": sustained,
+        "n_5xx": n_5xx,
+        "metrics_exposition_lines": len(exposition.splitlines()),
+        "ok": n_5xx == 0 and float(str(sustained)) > 0.0,
+    }
+
+
+def write_bench_serve(
+    path: str, record: Dict[str, object]
+) -> Dict[str, object]:
+    """Persist a serve-bench record the way every bench artifact is."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return record

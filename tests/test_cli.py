@@ -344,3 +344,91 @@ class TestCheck:
         out = capsys.readouterr().out
         assert "BLD001" in out
         assert "check: FAILED" in out
+
+
+class TestCpusText:
+    """record['cpu_count'] may be None: os.cpu_count() can fail."""
+
+    def test_known_count(self):
+        from repro.cli import _cpus_text
+
+        assert _cpus_text(8) == "8 cpus"
+
+    def test_none_count(self):
+        from repro.cli import _cpus_text
+
+        assert _cpus_text(None) == "unknown cpus"
+
+    def test_none_cpu_count_survives_the_bench_record(self):
+        import json
+
+        # The sharded bench record must serialize a None cpu_count
+        # (JSON null), not crash or coerce it.
+        record = {"cpu_count": None}
+        assert json.loads(json.dumps(record))["cpu_count"] is None
+
+    def test_bench_sharded_renders_none_cpu_count(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        from repro import cli
+
+        record = {
+            "speedup": {"p50": 1.5},
+            "io_speedup": {"p50": 2.0},
+            "baseline_latency_seconds": {"p50": 0.01},
+            "sharded_latency_seconds": {"p50": 0.005},
+            "cpu_count": None,
+        }
+        monkeypatch.setattr(
+            cli, "default_workload", lambda n_pages=None: None
+        )
+        monkeypatch.setattr(
+            cli.runner_mod, "write_bench_sharded",
+            lambda *args, **kwargs: record,
+        )
+        out = str(tmp_path / "b.json")
+        assert main(["bench", "--experiment", "sharded",
+                     "--out", out]) == 0
+        text = capsys.readouterr().out
+        assert "unknown cpus" in text
+        assert "None" not in text
+
+
+class TestServeCli:
+    def test_bad_worker_count_is_a_clean_error(self, images, capsys):
+        corpus_path, index_path = images
+        assert main(["serve", corpus_path, index_path,
+                     "--workers", "0"]) == 1
+        assert "workers" in capsys.readouterr().err
+
+    def test_bench_serve_branch_renders_summary(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        from repro import cli
+
+        record = {
+            "phases": {
+                "closed": {
+                    "qps": 123.4,
+                    "latency_seconds": {
+                        "p50": 0.004, "p95": 0.009, "p99": 0.02,
+                    },
+                },
+                "open": {},
+            },
+            "service": {"shed": 2, "timeouts": 1},
+            "n_5xx": 0,
+        }
+        monkeypatch.setattr(
+            cli, "default_workload", lambda n_pages=None: None
+        )
+        monkeypatch.setattr(
+            cli.runner_mod, "write_bench_serve",
+            lambda *args, **kwargs: record,
+        )
+        out = str(tmp_path / "BENCH_free_serve.json")
+        assert main(["bench", "--experiment", "serve",
+                     "--out", out]) == 0
+        text = capsys.readouterr().out
+        assert "serve: sustained 123 qps" in text
+        assert "shed 2 timeouts 1 5xx 0" in text

@@ -1,0 +1,213 @@
+"""Protocol-level tests for the minimal HTTP layer of ``free serve``."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import FreeError
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    HttpError,
+    Request,
+    Response,
+    error_response,
+    parse_response_bytes,
+    read_request,
+)
+
+
+def parse(raw: bytes):
+    """Run read_request over a fed-and-closed stream."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+def raw_request(
+    method="POST",
+    target="/search",
+    headers=(),
+    body=b"",
+    version="HTTP/1.1",
+):
+    lines = [f"{method} {target} {version}"]
+    lines += [f"{k}: {v}" for k, v in headers]
+    if body:
+        lines.append(f"Content-Length: {len(body)}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+class TestReadRequest:
+    def test_basic_post_with_body(self):
+        body = json.dumps({"pattern": "abc"}).encode()
+        req = parse(raw_request(body=body))
+        assert req.method == "POST"
+        assert req.path == "/search"
+        assert req.body == body
+        assert req.json() == {"pattern": "abc"}
+        assert req.keep_alive
+
+    def test_query_string_parsed_and_path_split(self):
+        req = parse(
+            raw_request(
+                method="GET", target="/explain?pattern=a%2Bb&analyze=1"
+            )
+        )
+        assert req.path == "/explain"
+        assert req.query == {"pattern": "a+b", "analyze": "1"}
+
+    def test_header_names_lowercased(self):
+        req = parse(
+            raw_request(
+                method="GET", target="/", headers=[("X-Weird-CASE", "v")]
+            )
+        )
+        assert req.headers["x-weird-case"] == "v"
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_http10_defaults_to_close(self):
+        req = parse(raw_request(method="GET", target="/", version="HTTP/1.0"))
+        assert not req.keep_alive
+
+    def test_connection_close_honoured(self):
+        req = parse(
+            raw_request(
+                method="GET", target="/", headers=[("Connection", "close")]
+            )
+        )
+        assert not req.keep_alive
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_truncated_head_is_400(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / HTTP/1.1\r\nHost: x")  # EOF mid-head
+        assert err.value.status == 400
+
+    def test_unsupported_protocol_is_400(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / SPDY/99\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_chunked_transfer_encoding_is_411(self):
+        with pytest.raises(HttpError) as err:
+            parse(
+                raw_request(
+                    headers=[("Transfer-Encoding", "chunked")]
+                )
+            )
+        assert err.value.status == 411
+
+    def test_oversize_head_is_431(self):
+        big = raw_request(
+            method="GET",
+            target="/",
+            headers=[("X-Pad", "y" * (MAX_HEADER_BYTES + 10))],
+        )
+        with pytest.raises(HttpError) as err:
+            parse(big)
+        assert err.value.status == 431
+
+    def test_oversize_body_is_413(self):
+        head = (
+            f"POST / HTTP/1.1\r\n"
+            f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n"
+        ).encode()
+        with pytest.raises(HttpError) as err:
+            parse(head)
+        assert err.value.status == 413
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_negative_content_length_is_400(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_connection_closed_mid_body_is_400(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+        assert err.value.status == 400
+
+
+class TestRequestJson:
+    def _req(self, body: bytes) -> Request:
+        return Request(
+            method="POST",
+            target="/",
+            path="/",
+            query={},
+            headers={},
+            body=body,
+        )
+
+    def test_empty_body_is_400(self):
+        with pytest.raises(HttpError) as err:
+            self._req(b"").json()
+        assert err.value.status == 400
+
+    def test_malformed_json_is_400(self):
+        with pytest.raises(HttpError) as err:
+            self._req(b"{nope").json()
+        assert err.value.status == 400
+
+    def test_non_object_json_is_400(self):
+        with pytest.raises(HttpError) as err:
+            self._req(b"[1, 2]").json()
+        assert err.value.status == 400
+
+
+class TestResponse:
+    def test_json_roundtrip_through_parser(self):
+        resp = Response.from_json({"b": 2, "a": 1})
+        status, headers, body = parse_response_bytes(resp.encode())
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert int(headers["content-length"]) == len(body)
+        # sort_keys: the serialization is deterministic.
+        assert body == b'{"a": 1, "b": 2}\n'
+
+    def test_keep_alive_header(self):
+        resp = Response.from_text("hi")
+        _s, open_headers, _b = parse_response_bytes(
+            resp.encode(keep_alive=True)
+        )
+        _s, close_headers, _b = parse_response_bytes(
+            resp.encode(keep_alive=False)
+        )
+        assert open_headers["connection"] == "keep-alive"
+        assert close_headers["connection"] == "close"
+
+    def test_extra_headers_rendered(self):
+        resp = error_response(
+            429, "full", headers={"Retry-After": "1"}
+        )
+        status, headers, body = parse_response_bytes(resp.encode())
+        assert status == 429
+        assert headers["retry-after"] == "1"
+        payload = json.loads(body)
+        assert payload == {"error": "full", "status": 429}
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(FreeError):
+            parse_response_bytes(b"not a response")
+        with pytest.raises(FreeError):
+            parse_response_bytes(b"HTTP/1.1 nope\r\n\r\n")

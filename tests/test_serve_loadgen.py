@@ -1,0 +1,128 @@
+"""Tests for the serve load generator and its bench artifact."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.corpus.document import DataUnit
+from repro.corpus.store import InMemoryCorpus
+from repro.errors import FreeError
+from repro.index.builder import build_multigram_index
+from repro.serve.loadgen import (
+    BENCH_SERVE_SCHEMA,
+    WorkloadMix,
+    _percentile,
+    default_mix,
+    run_serve_benchmark,
+    write_bench_serve,
+)
+from repro.serve.service import ServeConfig
+
+
+class TestWorkloadMix:
+    def test_picks_are_deterministic_under_a_seed(self):
+        mix = default_mix()
+        a = [mix.pick(random.Random(42)) for _ in range(5)]
+        b = [mix.pick(random.Random(42)) for _ in range(5)]
+        assert a == b
+
+    def test_endpoints_split_by_fraction(self):
+        mix = WorkloadMix(patterns=["x"], first_k_fraction=1.0)
+        endpoint, _pattern = mix.pick(random.Random(1))
+        assert endpoint == "/first_k"
+        mix = WorkloadMix(patterns=["x"], first_k_fraction=0.0)
+        endpoint, _pattern = mix.pick(random.Random(1))
+        assert endpoint == "/search"
+
+    def test_validation(self):
+        with pytest.raises(FreeError):
+            WorkloadMix(patterns=[])
+        with pytest.raises(FreeError):
+            WorkloadMix(patterns=["a", "b"], weights=[1.0])
+
+
+class TestPercentile:
+    def test_edges(self):
+        assert _percentile([], 0.5) == 0.0
+        assert _percentile([3.0], 0.99) == 3.0
+        values = [float(i) for i in range(1, 101)]
+        assert _percentile(values, 0.50) == 50.0
+        assert _percentile(values, 0.95) == 95.0
+        assert _percentile(values, 0.99) == 99.0
+
+
+@pytest.fixture(scope="module")
+def bench_record():
+    corpus = InMemoryCorpus([
+        DataUnit(i, f"unit {i} powerpc motorola stanford words here")
+        for i in range(40)
+    ])
+    index = build_multigram_index(corpus, threshold=0.3)
+    mix = WorkloadMix(
+        patterns=["powerpc", "stanford", "motorola"],
+        first_k_fraction=0.3,
+    )
+    return run_serve_benchmark(
+        lambda: corpus,
+        index,
+        serve_config=ServeConfig(
+            workers=2, queue_depth=16, timeout_seconds=10.0
+        ),
+        seed=7,
+        closed_concurrency=4,
+        closed_requests=24,
+        open_rate=200.0,
+        open_requests=12,
+        mix=mix,
+    )
+
+
+class TestServeBenchmark:
+    def test_schema_and_gate_fields(self, bench_record):
+        record = bench_record
+        assert record["schema"] == BENCH_SERVE_SCHEMA
+        assert record["n_5xx"] == 0
+        assert record["ok"] is True
+        assert record["sustained_qps"] > 0
+        assert record["metrics_exposition_lines"] > 0
+
+    def test_client_and_server_accounting_agree(self, bench_record):
+        phases = bench_record["phases"]
+        total_completed = 0
+        for phase in phases.values():
+            counts = phase["status_counts"]
+            assert sum(counts.values()) == phase["completed"]
+            assert phase["requests"] == (
+                phase["completed"] + phase["connection_errors"]
+            )
+            total_completed += phase["completed"]
+        service = bench_record["service"]
+        # Every client-side completion is accounted server-side, and
+        # every admitted query terminated in exactly one bucket.
+        assert service["queries"] + service["shed"] == total_completed
+        assert service["queries"] == (
+            service["served"]
+            + service["timeouts"]
+            + service["client_errors"]
+            + service["server_errors"]
+        )
+        assert service["server_errors"] == 0
+
+    def test_latency_summary_shape(self, bench_record):
+        closed = bench_record["phases"]["closed"]
+        lat = closed["latency_seconds"]
+        assert set(lat) == {"p50", "p95", "p99", "mean", "max"}
+        assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+
+    def test_write_bench_serve_roundtrips(self, bench_record, tmp_path):
+        path = tmp_path / "BENCH_free_serve.json"
+        write_bench_serve(str(path), bench_record)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["schema"] == BENCH_SERVE_SCHEMA
+        assert on_disk["ok"] is True
+        # sort_keys + trailing newline, like every bench artifact.
+        text = path.read_text()
+        assert text.endswith("\n")
