@@ -10,7 +10,7 @@ without running a single query, and reports violations as structured
 :class:`~repro.analysis.findings.Finding` values carrying the paper
 reference being violated.
 
-Four analyzer families (all reachable via ``free check``):
+Six analyzer families (all reachable via ``free check``):
 
 * :mod:`~repro.analysis.index_checks` — index structure invariants;
 * :mod:`~repro.analysis.plan_checks` — logical→physical weakening
@@ -18,13 +18,29 @@ Four analyzer families (all reachable via ``free check``):
 * :mod:`~repro.analysis.build_checks` — persisted build-report vs
   index image cross-validation (BLD001..BLD005);
 * :mod:`~repro.analysis.lint` — repo-specific AST lint rules
-  (FREE001..FREE006).
+  (FREE001..FREE006);
+* :mod:`~repro.analysis.conc_checks` — concurrency rules over the
+  CFG/dataflow layer of :mod:`~repro.analysis.flow`
+  (CONC001..CONC006);
+* :mod:`~repro.analysis.res_checks` — resource-lifecycle rules on the
+  same layer (RES001..RES004).
 """
 
 from __future__ import annotations
 
 from repro.analysis.build_checks import check_build_report
-from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.findings import (
+    SARIF_SCHEMA_URI,
+    AnalysisReport,
+    Finding,
+    Severity,
+)
+from repro.analysis.flow import (
+    CFG,
+    FlowJustification,
+    ReachingDefinitions,
+    analyze_resource,
+)
 from repro.analysis.index_checks import (
     check_gram_index,
     check_key_set,
@@ -38,20 +54,31 @@ from repro.analysis.plan_checks import (
     check_plan_pair,
     entails,
 )
-from repro.analysis.runner import run_check
+from repro.analysis.runner import (
+    check_concurrency_paths,
+    collect_rules,
+    run_check,
+)
 
 __all__ = [
     "AnalysisReport",
+    "CFG",
     "Finding",
-    "Severity",
+    "FlowJustification",
     "Justification",
+    "ReachingDefinitions",
+    "SARIF_SCHEMA_URI",
+    "Severity",
+    "analyze_resource",
     "check_build_report",
+    "check_concurrency_paths",
     "check_gram_index",
     "check_key_set",
     "check_segmented_index",
     "check_sharded_index",
     "check_physical_plan",
     "check_plan_pair",
+    "collect_rules",
     "entails",
     "lint_paths",
     "lint_source",

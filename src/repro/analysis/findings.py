@@ -150,6 +150,64 @@ class AnalysisReport:
             "ok": self.ok,
         }
 
+    def as_sarif(
+        self, rules: Optional[Dict[str, str]] = None
+    ) -> Dict[str, object]:
+        """SARIF 2.1.0 log for CI annotation (one run, one tool).
+
+        ``rules`` maps rule codes to their one-line descriptions (the
+        analyzers' ``RULES`` registries); codes without an entry fall
+        back to the first finding's message.
+        """
+        rules = rules or {}
+        ordered_codes: List[str] = []
+        first_message: Dict[str, str] = {}
+        for finding in self.findings:
+            if finding.code not in first_message:
+                ordered_codes.append(finding.code)
+                first_message[finding.code] = finding.message
+        rule_objects = [
+            {
+                "id": code,
+                "shortDescription": {
+                    "text": rules.get(code, first_message[code]),
+                },
+            }
+            for code in ordered_codes
+        ]
+        results: List[Dict[str, object]] = []
+        for finding in self.findings:
+            result: Dict[str, object] = {
+                "ruleId": finding.code,
+                "level": _SARIF_LEVELS[finding.severity],
+                "message": {"text": finding.render()},
+            }
+            location: Dict[str, object] = {}
+            if finding.subject:
+                location["artifactLocation"] = {"uri": finding.subject}
+            region = _sarif_region(finding.location)
+            if region is not None:
+                location["region"] = region
+            if location:
+                result["locations"] = [{"physicalLocation": location}]
+            results.append(result)
+        return {
+            "$schema": SARIF_SCHEMA_URI,
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {
+                    "driver": {
+                        "name": "free-check",
+                        "informationUri": (
+                            "https://doi.org/10.1109/ICDE.2002.994755"
+                        ),
+                        "rules": rule_objects,
+                    },
+                },
+                "results": results,
+            }],
+        }
+
     def merge(self, other: "AnalysisReport") -> None:
         self.findings.extend(other.findings)
         for name in other.sections:
@@ -161,6 +219,32 @@ class AnalysisReport:
             f"AnalysisReport({len(self.findings)} findings, "
             f"{len(self.errors)} errors)"
         )
+
+
+#: Published schema URI of the SARIF 2.1.0 format.
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_SARIF_LEVELS: Dict[Severity, str] = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _sarif_region(location: str) -> Optional[Dict[str, object]]:
+    """Parse the ``line:col`` convention into a SARIF region.
+
+    Analyzer locations that are not positions (index keys, plan paths)
+    yield no region — the textual location stays in the message.
+    """
+    head, _, tail = location.partition(":")
+    if not head.isdigit():
+        return None
+    region: Dict[str, object] = {"startLine": int(head)}
+    if tail.isdigit():
+        # ast columns are 0-based; SARIF columns are 1-based.
+        region["startColumn"] = int(tail) + 1
+    return region
 
 
 def make_finding(
@@ -186,6 +270,7 @@ def make_finding(
 __all__ = [
     "AnalysisReport",
     "Finding",
+    "SARIF_SCHEMA_URI",
     "Severity",
     "make_finding",
     "Optional",

@@ -14,11 +14,14 @@ FREE003    no float ``==``/``!=`` against float literals (cost model
            comparisons must use tolerances or ordering)
 FREE004    no unbounded ``dict`` caches on long-lived objects — use
            :class:`~repro.metrics.LRUCache` (attribute names matching
-           ``cache``/``memo`` assigned ``{}``/``dict()``)
+           ``cache``/``memo`` assigned ``{}``/``dict()``/
+           ``defaultdict(...)``/dict comprehensions, directly or via
+           ``setattr``/``or {}`` fallbacks)
 FREE005    no index mutation without an epoch bump: in classes that
            maintain ``self.epoch``, any method mutating indexed state
            must bump the epoch or call a sibling method that does
-FREE006    no ``time.time()`` calls — wall clocks jump (NTP, DST) and
+FREE006    no ``time.time()`` / ``datetime.now()`` / ``today()`` /
+           ``utcnow()`` calls — wall clocks jump (NTP, DST) and
            cannot be injected in tests; spans, metrics and engine
            timings must read :func:`repro.obs.clock.monotonic`
 =========  ============================================================
@@ -209,43 +212,91 @@ def _is_float_literal(node: ast.expr) -> bool:
 def _rule_unbounded_cache(tree: ast.Module) -> List[Finding]:
     findings: List[Finding] = []
     for node in ast.walk(tree):
-        target: Optional[ast.expr] = None
-        value: Optional[ast.expr] = None
-        if isinstance(node, ast.Assign) and len(node.targets) == 1:
-            target, value = node.targets[0], node.value
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            target, value = node.target, node.value
-        if target is None or value is None:
+        attr = _cache_store_target(node)
+        if attr is None:
             continue
-        if not (
-            isinstance(target, ast.Attribute)
-            and isinstance(target.value, ast.Name)
-            and target.value.id == "self"
-            and CACHE_NAME.search(target.attr)
-        ):
-            continue
-        if _is_bare_dict(value):
-            findings.append(make_finding(
-                "FREE004",
-                f"self.{target.attr} is an unbounded dict cache on a "
-                f"long-lived object; use repro.metrics.LRUCache so it "
-                f"cannot grow without limit",
-                location=_pos(node),
-            ))
+        findings.append(make_finding(
+            "FREE004",
+            f"self.{attr} is an unbounded dict cache on a "
+            f"long-lived object; use repro.metrics.LRUCache so it "
+            f"cannot grow without limit",
+            location=_pos(node),
+        ))
     return findings
 
 
-def _is_bare_dict(node: ast.expr) -> bool:
-    if isinstance(node, ast.Dict) and not node.keys:
-        return True
-    if (
+def _cache_store_target(node: ast.AST) -> Optional[str]:
+    """Cache attribute name if ``node`` stores an unbounded dict there.
+
+    Recognizes direct ``self.<cache> = {}`` / annotated assigns and the
+    dynamic ``setattr(self, "<cache>", {})`` form.
+    """
+    target: Optional[ast.expr] = None
+    value: Optional[ast.expr] = None
+    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+        target, value = node.targets[0], node.value
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        target, value = node.target, node.value
+    elif (
         isinstance(node, ast.Call)
         and isinstance(node.func, ast.Name)
-        and node.func.id in ("dict", "OrderedDict", "defaultdict")
-        and not node.args
-        and not node.keywords
+        and node.func.id == "setattr"
+        and len(node.args) == 3
+        and isinstance(node.args[0], ast.Name)
+        and node.args[0].id == "self"
+        and isinstance(node.args[1], ast.Constant)
+        and isinstance(node.args[1].value, str)
     ):
+        name = node.args[1].value
+        if CACHE_NAME.search(name) and _is_unbounded_dict(node.args[2]):
+            return name
+        return None
+    if target is None or value is None:
+        return None
+    if not (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+        and CACHE_NAME.search(target.attr)
+    ):
+        return None
+    if _is_unbounded_dict(value):
+        return target.attr
+    return None
+
+
+#: Constructors whose result FREE004 treats as an unbounded dict.
+_DICT_FACTORIES = frozenset({"dict", "OrderedDict", "defaultdict"})
+
+
+def _is_unbounded_dict(node: ast.expr) -> bool:
+    if isinstance(node, ast.Dict) and not node.keys:
         return True
+    if isinstance(node, ast.DictComp):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "collections"
+        ):
+            name = func.attr
+        # With or without arguments: defaultdict(list) grows exactly
+        # as fast as defaultdict().
+        if name in _DICT_FACTORIES:
+            return True
+    if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or):
+        # `existing or {}` still ends up unbounded on the None path.
+        return any(_is_unbounded_dict(v) for v in node.values)
+    if isinstance(node, ast.IfExp):
+        return (
+            _is_unbounded_dict(node.body)
+            or _is_unbounded_dict(node.orelse)
+        )
     return False
 
 
@@ -368,29 +419,48 @@ def _calls_any(method: ast.AST, names: Set[str]) -> bool:
 
 # -- FREE006: wall-clock reads ----------------------------------------------
 
+#: datetime classes whose now/today/utcnow reads are wall clocks.
+_DATETIME_CLASSES = frozenset({"datetime", "date"})
+
+#: Wall-clock constructor methods on those classes.
+_WALL_CLOCK_METHODS = frozenset({"now", "today", "utcnow"})
+
+
 def _rule_wall_clock(tree: ast.Module) -> List[Finding]:
-    """No ``time.time()`` (however imported): timings must come from
-    the injectable monotonic clock of :mod:`repro.obs.clock`.
+    """No ``time.time()`` / ``datetime.now()`` (however imported):
+    timings must come from the injectable monotonic clock of
+    :mod:`repro.obs.clock`.
 
     Catches ``time.time()`` through any binding of the ``time`` module
     (``import time``, ``import time as t``) and direct bindings of the
     function (``from time import time``, ``from time import time as
-    now``).  ``perf_counter``/``monotonic`` reads via the clock module
-    are the sanctioned replacement.
+    now``), plus ``datetime.datetime.now()`` / ``.today()`` /
+    ``.utcnow()`` through module (``import datetime``) and class
+    (``from datetime import datetime``) bindings alike.
+    ``perf_counter``/``monotonic`` reads via the clock module are the
+    sanctioned replacement.
     """
     module_names: Set[str] = set()
     function_names: Set[str] = set()
+    dt_module_names: Set[str] = set()
+    dt_class_names: Set[str] = set()
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
                 if alias.name == "time":
                     module_names.add(alias.asname or "time")
+                elif alias.name == "datetime":
+                    dt_module_names.add(alias.asname or "datetime")
         elif isinstance(node, ast.ImportFrom) and node.module == "time":
             for alias in node.names:
                 if alias.name == "time":
                     function_names.add(alias.asname or "time")
-    if not module_names and not function_names:
-        return []
+        elif isinstance(node, ast.ImportFrom) and (
+            node.module == "datetime"
+        ):
+            for alias in node.names:
+                if alias.name in _DATETIME_CLASSES:
+                    dt_class_names.add(alias.asname or alias.name)
     findings: List[Finding] = []
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
@@ -412,7 +482,44 @@ def _rule_wall_clock(tree: ast.Module) -> List[Finding]:
                 "repro.obs.clock.monotonic() instead",
                 location=_pos(node),
             ))
+            continue
+        method = _datetime_wall_clock(
+            func, dt_module_names, dt_class_names
+        )
+        if method is not None:
+            findings.append(make_finding(
+                "FREE006",
+                f"wall-clock read via datetime {method}(); it jumps "
+                f"under NTP and cannot be injected in tests — use "
+                f"repro.obs.clock.monotonic() instead",
+                location=_pos(node),
+            ))
     return findings
+
+
+def _datetime_wall_clock(
+    func: ast.expr,
+    dt_module_names: Set[str],
+    dt_class_names: Set[str],
+) -> Optional[str]:
+    """Method name for ``datetime.datetime.now()`` / ``datetime.now()``
+    call shapes, else None."""
+    if not (
+        isinstance(func, ast.Attribute)
+        and func.attr in _WALL_CLOCK_METHODS
+    ):
+        return None
+    receiver = func.value
+    if isinstance(receiver, ast.Name) and receiver.id in dt_class_names:
+        return func.attr
+    if (
+        isinstance(receiver, ast.Attribute)
+        and receiver.attr in _DATETIME_CLASSES
+        and isinstance(receiver.value, ast.Name)
+        and receiver.value.id in dt_module_names
+    ):
+        return func.attr
+    return None
 
 
 #: Rule registry (docs and the CLI's --list-rules use this).
@@ -422,7 +529,8 @@ RULES = {
     "FREE003": "no float == / != against float literals",
     "FREE004": "no unbounded dict caches on long-lived objects",
     "FREE005": "no index mutation without an epoch bump",
-    "FREE006": "no time.time() — use the injectable obs clock",
+    "FREE006": "no time.time()/datetime.now() — use the injectable "
+               "obs clock",
 }
 
 # Severity is re-exported so callers can filter lint output levels.

@@ -10,16 +10,17 @@ tree — all without executing a single query.
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis import conc_checks, res_checks
 from repro.analysis.build_checks import check_build_report
-from repro.analysis.findings import AnalysisReport
+from repro.analysis.findings import AnalysisReport, Finding
 from repro.analysis.index_checks import (
     check_gram_index,
     check_segmented_index,
     check_sharded_index,
 )
-from repro.analysis.lint import lint_paths
+from repro.analysis.lint import _iter_python_files, _suppressed, lint_paths
 from repro.analysis.plan_checks import check_plan_pair
 from repro.bench.queries import BENCHMARK_QUERIES
 from repro.errors import AnalysisError
@@ -36,6 +37,57 @@ def default_lint_root() -> str:
     return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
+def collect_rules() -> Dict[str, str]:
+    """Every registered rule code -> one-line description.
+
+    Feeds SARIF tool metadata and the docs' rule tables; spans the
+    lint (FREE), concurrency (CONC) and lifecycle (RES) registries.
+    """
+    from repro.analysis.lint import RULES as lint_rules
+
+    merged = dict(lint_rules)
+    merged.update(conc_checks.RULES)
+    merged.update(res_checks.RULES)
+    return merged
+
+
+def check_concurrency_paths(
+    paths: Sequence[str],
+) -> Tuple[List[Finding], Dict[str, List[str]]]:
+    """Run the CONC/RES rule families over ``.py`` files under paths.
+
+    Returns unsuppressed findings plus per-file justification lines
+    (same contract as the plan analyzer's PLAN00x justifications); a
+    ``# noqa``-suppressed finding drops its justification with it.
+    Unreadable files and syntax errors raise
+    :class:`~repro.errors.AnalysisError`, same as the lint family.
+    """
+    findings: List[Finding] = []
+    justifications: Dict[str, List[str]] = {}
+    for filename in _iter_python_files(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise AnalysisError(
+                f"cannot read {filename!r}: {exc}"
+            ) from exc
+        lines = source.splitlines()
+        hits = conc_checks.check_source(source, filename)
+        hits += res_checks.check_source(source, filename)
+        kept = [
+            (finding, justification)
+            for finding, justification in hits
+            if not _suppressed(finding, lines)
+        ]
+        if kept:
+            findings.extend(finding for finding, _ in kept)
+            justifications[filename] = [
+                justification.render() for _, justification in kept
+            ]
+    return findings, justifications
+
+
 def run_check(
     index: Optional[
         Union[GramIndex, SegmentedGramIndex, ShardedIndex, str]
@@ -46,6 +98,8 @@ def run_check(
     policy: Union[CoverPolicy, str] = CoverPolicy.ALL,
     corpus_chars: Optional[int] = None,
     build_report: Optional[Union[BuildReport, str]] = None,
+    concurrency: bool = False,
+    concurrency_root: Optional[str] = None,
 ) -> AnalysisReport:
     """Run the requested analyzer families and return one merged report.
 
@@ -66,11 +120,17 @@ def run_check(
         build_report: a :class:`BuildReport` (or path to its JSON) to
             cross-validate against the index; when ``index`` is an
             image path, ``<image>.build.json`` is auto-discovered.
+        concurrency: run the CONC/RES concurrency & lifecycle rules
+            (the CFG/dataflow analyzer).
+        concurrency_root: directory/file the concurrency pass scans
+            (default: ``lint_root``, else the installed ``repro``
+            package).
     """
     report = AnalysisReport()
-    if index is None and not lint:
+    if index is None and not lint and not concurrency:
         raise AnalysisError(
-            "nothing to check: supply an index and/or enable lint"
+            "nothing to check: supply an index and/or enable lint "
+            "or the concurrency pass"
         )
 
     if index is not None:
@@ -95,6 +155,20 @@ def run_check(
         report.begin_section("lint")
         root = lint_root if lint_root is not None else default_lint_root()
         report.extend(lint_paths([root]))
+
+    if concurrency:
+        report.begin_section("concurrency & lifecycle")
+        root = (
+            concurrency_root
+            if concurrency_root is not None
+            else (lint_root if lint_root is not None
+                  else default_lint_root())
+        )
+        conc_findings, conc_justifications = check_concurrency_paths(
+            [root]
+        )
+        report.extend(conc_findings)
+        report.justifications.update(conc_justifications)
     return report
 
 

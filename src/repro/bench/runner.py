@@ -206,14 +206,14 @@ def run_threshold_ablation(
         index = build_multigram_index(
             corpus, threshold=c, max_gram_len=max_gram_len
         )
-        engine = FreeEngine(corpus, index, disk=DiskModel())
         total_io = 0.0
         total_candidates = 0
-        for pattern in queries.values():
-            engine.disk.reset()
-            report = engine.search(pattern, collect_matches=False)
-            total_io += report.io_cost
-            total_candidates += report.n_candidates
+        with FreeEngine(corpus, index, disk=DiskModel()) as engine:
+            for pattern in queries.values():
+                engine.disk.reset()
+                report = engine.search(pattern, collect_matches=False)
+                total_io += report.io_cost
+                total_candidates += report.n_candidates
         rows.append({
             "threshold_c": c,
             "gram_keys": index.stats.n_keys,
@@ -237,21 +237,23 @@ def run_cover_policy_ablation(
     queries = queries or BENCHMARK_QUERIES
     rows = []
     for policy in CoverPolicy:
-        engine = FreeEngine(
+        total_io = 0.0
+        total_candidates = 0
+        total_postings = 0
+        with FreeEngine(
             workload.corpus,
             workload.presuf,
             disk=DiskModel(),
             cover_policy=policy,
-        )
-        total_io = 0.0
-        total_candidates = 0
-        total_postings = 0
-        for pattern in queries.values():
-            engine.disk.reset()
-            report = engine.search(pattern, collect_matches=False)
-            total_io += report.io_cost
-            total_candidates += report.n_candidates
-            total_postings += int(report.io_detail.get("postings_read", 0))
+        ) as engine:
+            for pattern in queries.values():
+                engine.disk.reset()
+                report = engine.search(pattern, collect_matches=False)
+                total_io += report.io_cost
+                total_candidates += report.n_candidates
+                total_postings += int(
+                    report.io_detail.get("postings_read", 0)
+                )
         rows.append({
             "policy": policy.value,
             "mean_query_io": round(total_io / len(queries), 0),
@@ -299,32 +301,38 @@ def run_repeated_queries(
     rows: List[Dict[str, object]] = []
     match_counts: Dict[str, List[int]] = {}
     for mode, plan_sz, cand_sz, matcher_sz in configs:
-        engine = FreeEngine(
-            corpus,
-            index,
-            disk=DiskModel(),
-            plan_cache_size=plan_sz,
-            candidate_cache_size=cand_sz,
-            matcher_cache_size=matcher_sz,
-        )
         total_plan = 0.0
         total_execute = 0.0
         total_io = 0.0
         candidate_hits = 0
         counts: List[int] = []
         started = time.perf_counter()
-        for _round in range(repeats):
-            for pattern in queries.values():
-                report = engine.search(pattern, collect_matches=False)
-                total_plan += report.plan_seconds
-                total_execute += report.execute_seconds
-                total_io += report.io_cost
-                counts.append(report.n_matches)
-                if report.metrics and report.metrics.candidate_cache_hit:
-                    candidate_hits += 1
-        wall = time.perf_counter() - started
+        with FreeEngine(
+            corpus,
+            index,
+            disk=DiskModel(),
+            plan_cache_size=plan_sz,
+            candidate_cache_size=cand_sz,
+            matcher_cache_size=matcher_sz,
+        ) as engine:
+            for _round in range(repeats):
+                for pattern in queries.values():
+                    report = engine.search(
+                        pattern, collect_matches=False
+                    )
+                    total_plan += report.plan_seconds
+                    total_execute += report.execute_seconds
+                    total_io += report.io_cost
+                    counts.append(report.n_matches)
+                    if (
+                        report.metrics
+                        and report.metrics.candidate_cache_hit
+                    ):
+                        candidate_hits += 1
+            wall = time.perf_counter() - started
+            # Read before close(): closing invalidates the caches.
+            plan_stats = engine.plan_cache.stats()
         match_counts[mode] = counts
-        plan_stats = engine.plan_cache.stats()
         rows.append({
             "mode": mode,
             "repeats": repeats,
@@ -397,12 +405,13 @@ def run_core(
     latencies: List[float] = []
     total_candidates = 0
     total_matches = 0
-    for _round in range(repeats):
-        for pattern in queries.values():
-            report = engine.search(pattern, collect_matches=False)
-            latencies.append(report.total_seconds)
-            total_candidates += report.n_candidates
-            total_matches += report.n_matches
+    with engine:
+        for _round in range(repeats):
+            for pattern in queries.values():
+                report = engine.search(pattern, collect_matches=False)
+                latencies.append(report.total_seconds)
+                total_candidates += report.n_candidates
+                total_matches += report.n_matches
     latencies.sort()
     n_queries = len(latencies)
     window = registry.delta(baseline)
@@ -819,8 +828,10 @@ def run_postings(
                 times.append(time.perf_counter() - started)
             load_seconds[name] = min(times)
             started = time.perf_counter()
-            engine = FreeEngine(corpus, load_index(path), disk=DiskModel())
-            engine.search(first_pattern, collect_matches=False)
+            with FreeEngine(
+                corpus, load_index(path), disk=DiskModel()
+            ) as engine:
+                engine.search(first_pattern, collect_matches=False)
             first_query_seconds[name] = time.perf_counter() - started
 
         engines = {
@@ -978,9 +989,9 @@ def run_scaling(
         index = build_multigram_index(
             corpus, threshold=threshold, max_gram_len=max_gram_len
         )
-        free = FreeEngine(corpus, index, disk=DiskModel())
+        with FreeEngine(corpus, index, disk=DiskModel()) as free:
+            r_free = free.search(pattern, collect_matches=False)
         scan = ScanEngine(corpus, disk=DiskModel())
-        r_free = free.search(pattern, collect_matches=False)
         r_scan = scan.search(pattern, collect_matches=False)
         rows.append({
             "pages": n_pages,

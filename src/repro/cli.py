@@ -175,7 +175,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_check = sub.add_parser(
         "check",
-        help="static invariant analysis: index, plans, lint "
+        help="static invariant analysis: index, plans, lint, "
+             "concurrency & lifecycle "
              "(pre-deploy gate; exits nonzero on violations)",
     )
     p_check.add_argument(
@@ -205,8 +206,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory to lint (default: the installed repro package)",
     )
     p_check.add_argument(
+        "--concurrency",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the CONC/RES concurrency & lifecycle rules "
+             "(CFG/dataflow analyzer; on by default)",
+    )
+    p_check.add_argument(
+        "--concurrency-root", default=None, metavar="PATH",
+        help="directory the concurrency pass scans "
+             "(default: --lint-root, else the installed repro package)",
+    )
+    p_check.add_argument(
+        "--format", choices=["text", "json", "sarif"], default=None,
+        dest="format",
+        help="output format (default: text; sarif emits a SARIF 2.1.0 "
+             "log for CI annotation)",
+    )
+    p_check.add_argument(
         "--json", action="store_true",
-        help="emit the findings as JSON instead of text",
+        help="shorthand for --format json",
     )
     p_check.add_argument(
         "--verbose", action="store_true",
@@ -550,11 +569,13 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from repro.analysis import run_check
+    from repro.analysis import collect_rules, run_check
 
-    if args.index is None and not args.lint:
+    out_format = args.format or ("json" if args.json else "text")
+    if args.index is None and not args.lint and not args.concurrency:
         print(
-            "error: nothing to check — pass --index and/or --lint",
+            "error: nothing to check — pass --index and/or --lint, "
+            "or re-enable --concurrency",
             file=sys.stderr,
         )
         return 2
@@ -565,15 +586,21 @@ def _cmd_check(args: argparse.Namespace) -> int:
         lint_root=args.lint_root,
         policy=args.policy,
         build_report=args.build_report,
+        concurrency=args.concurrency,
+        concurrency_root=args.concurrency_root,
     )
-    if args.json:
+    if out_format == "json":
         import json
 
         print(json.dumps(report.as_dict(), indent=2))
+    elif out_format == "sarif":
+        import json
+
+        print(json.dumps(report.as_sarif(collect_rules()), indent=2))
     else:
         print(report.pretty(verbose=args.verbose))
     code = report.exit_code(strict_warnings=args.strict)
-    if not args.json:
+    if out_format == "text":
         print("check: OK" if code == 0 else "check: FAILED")
     return code
 

@@ -84,6 +84,9 @@ from repro.regex.matcher import Matcher
 #: Candidate-cache sentinel for "the plan said scan everything".
 _SCAN_ALL = object()
 
+#: Closed vocabulary of engine metric label values (CONC005).
+_ENGINE_LABELS = frozenset({"free", "scan", "sharded"})
+
 
 class _BatchGroup:
     """Shared candidate set of one plan group inside ``search_batch``.
@@ -209,6 +212,16 @@ class FreeEngine:
         manager so this runs on every exit path.
         """
         self.invalidate_caches()
+
+    def prewarm(self) -> "FreeEngine":
+        """Eagerly create deferred resources; returns ``self``.
+
+        The base engine has nothing to warm.  Subclasses that build
+        worker pools lazily override this so callers about to start
+        threads (the serve stack) can force pool creation *first* —
+        forking after threads exist snapshots held locks (CONC003).
+        """
+        return self
 
     def __enter__(self) -> "FreeEngine":
         return self
@@ -701,7 +714,9 @@ class FreeEngine:
         and "this process so far" can never be conflated again.
         """
         registry = self.registry
-        engine = self.name
+        # Clamp to the closed engine vocabulary so label cardinality
+        # stays finite even if a subclass invents a new name (CONC005).
+        engine = self.name if self.name in _ENGINE_LABELS else "other"
         registry.counter(
             "free_queries_total", "Queries executed.", ["engine"],
         ).labels(engine=engine).inc()

@@ -249,6 +249,18 @@ class ShardedFreeEngine(FreeEngine):
             self._owns_pool = True
         return self._pool
 
+    def prewarm(self) -> "ShardedFreeEngine":
+        """Create the worker pool now instead of on first query.
+
+        Fork-based pools must exist before any thread starts (fork
+        after threads snapshots lock state — CONC003), so the serve
+        stack prewarms every engine before spinning up its server
+        thread and per-worker executors.
+        """
+        if self.workers > 1 and self.sharded.n_shards > 1:
+            self._ensure_pool()
+        return self
+
     def close(self) -> None:
         """Shut down the worker pool (no-op if never started or shared).
 

@@ -160,7 +160,10 @@ class _Conn:
     async def close(self) -> None:
         if self._writer is not None:
             self._writer.close()
-            with contextlib.suppress(Exception):
+            # Only connection teardown errors are expected here; a
+            # broad suppress would hide real bugs on the close path
+            # (CONC006).
+            with contextlib.suppress(OSError):
                 await self._writer.wait_closed()
         self._reader = None
         self._writer = None

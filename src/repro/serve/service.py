@@ -229,9 +229,15 @@ class _EngineSlot:
         )
 
     def close(self) -> None:
-        self.executor.shutdown(wait=True)
-        self.engine.close()
-        self.corpus.close()
+        # Nested finally so one failing close cannot leak the rest
+        # (RES001: every resource released on every path).
+        try:
+            self.executor.shutdown(wait=True)
+        finally:
+            try:
+                self.engine.close()
+            finally:
+                self.corpus.close()
 
 
 def build_slots(
@@ -240,20 +246,35 @@ def build_slots(
     config: ServeConfig,
     registry: MetricsRegistry,
 ) -> List[_EngineSlot]:
-    """One warm engine per worker, all over the same loaded index."""
+    """One warm engine per worker, all over the same loaded index.
+
+    Engines are prewarmed so fork-based shard pools exist before the
+    serve stack starts any thread (CONC003), and a failure while
+    building slot N closes every resource slots 0..N-1 already own
+    (RES001) instead of leaking corpus handles and pools.
+    """
     slots: List[_EngineSlot] = []
-    for _ordinal in range(config.workers):
-        corpus = DeadlineCorpus(corpus_opener())
-        engine = wrap_index(
-            corpus,
-            index,
-            workers=config.shard_workers,
-            registry=registry,
-            plan_cache_size=config.plan_cache_size,
-            candidate_cache_size=config.candidate_cache_size,
-            matcher_cache_size=config.matcher_cache_size,
-        )
-        slots.append(_EngineSlot(corpus, engine))
+    try:
+        for _ordinal in range(config.workers):
+            corpus = DeadlineCorpus(corpus_opener())
+            try:
+                engine = wrap_index(
+                    corpus,
+                    index,
+                    workers=config.shard_workers,
+                    registry=registry,
+                    plan_cache_size=config.plan_cache_size,
+                    candidate_cache_size=config.candidate_cache_size,
+                    matcher_cache_size=config.matcher_cache_size,
+                ).prewarm()
+            except Exception:
+                corpus.close()
+                raise
+            slots.append(_EngineSlot(corpus, engine))
+    except Exception:
+        for slot in slots:
+            slot.close()
+        raise
     return slots
 
 
@@ -370,11 +391,23 @@ class QueryService:
         if self._server is not None:
             await self._server.wait_closed()
         self._worker_tasks = []
+        # Release every slot and the query log even if one close
+        # raises (RES001); the first failure is re-raised once all
+        # resources had their chance to shut down.
+        errors: List[BaseException] = []
         for slot in self._slots:
-            slot.close()
+            try:
+                slot.close()
+            except Exception as exc:
+                errors.append(exc)
         if self._query_log is not None:
-            self._query_log.close()
+            try:
+                self._query_log.close()
+            except Exception as exc:
+                errors.append(exc)
         self._stopped = True
+        if errors:
+            raise errors[0]
 
     @property
     def draining(self) -> bool:
@@ -631,6 +664,10 @@ class QueryService:
     def _observe_request(
         self, endpoint: str, response: Response, elapsed: float
     ) -> None:
+        # Callers already clamp, but re-clamp at the metrics boundary
+        # so no future call site can mint unbounded label values
+        # (CONC005): the label vocabulary is the closed endpoint set.
+        endpoint = endpoint if endpoint in _KNOWN_ENDPOINTS else "other"
         self.registry.counter(
             "free_serve_requests_total",
             "HTTP requests served, by endpoint and status.",

@@ -1,0 +1,13 @@
+"""CONC001: blocking calls reachable on the asyncio event loop."""
+
+import time
+
+
+class Handler:
+    def _lookup(self, engine, pattern):
+        # Reached transitively from the async handler below.
+        return engine.search(pattern)
+
+    async def handle(self, engine, pattern):
+        time.sleep(0.05)
+        return self._lookup(engine, pattern)

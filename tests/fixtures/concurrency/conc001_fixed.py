@@ -1,0 +1,14 @@
+"""CONC001 fixed: block in an executor, sleep asynchronously."""
+
+import asyncio
+
+
+class Handler:
+    def _lookup(self, engine, pattern):
+        return engine.search(pattern)
+
+    async def handle(self, loop, engine, pattern):
+        await asyncio.sleep(0.05)
+        return await loop.run_in_executor(
+            None, self._lookup, engine, pattern
+        )

@@ -1,0 +1,19 @@
+"""CONC002: a synchronous lock held across an await suspends the
+whole event loop with the lock still taken."""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    async def get(self, key, loader):
+        with self._lock:
+            value = await loader(key)
+            self._entries[key] = value
+        return value
+
+    async def acquire_direct(self):
+        self._lock.acquire()

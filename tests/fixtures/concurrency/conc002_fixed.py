@@ -1,0 +1,18 @@
+"""CONC002 fixed: asyncio.Lock awaited instead of held."""
+
+import asyncio
+
+
+class Cache:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+        self._entries = {}
+
+    async def get(self, key, loader):
+        async with self._lock:
+            value = await loader(key)
+            self._entries[key] = value
+        return value
+
+    async def acquire_direct(self):
+        await self._lock.acquire()

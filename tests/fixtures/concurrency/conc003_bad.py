@@ -1,0 +1,13 @@
+"""CONC003: fork-based pool created on a path after a thread start
+snapshots whatever locks those threads hold."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def serve(run_server, warm):
+    server_thread = threading.Thread(target=run_server, daemon=True)
+    server_thread.start()
+    pool = ProcessPoolExecutor(max_workers=2)
+    warm(pool)
+    return pool

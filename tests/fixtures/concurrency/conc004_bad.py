@@ -1,0 +1,22 @@
+"""CONC004: the same attribute written unlocked from a worker
+thread and from the event loop."""
+
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self.total = 0
+        self._worker = None
+
+    def start_worker(self):
+        self._worker = threading.Thread(
+            target=self._drain, daemon=True
+        )
+        self._worker.start()
+
+    def _drain(self):
+        self.total = self.total + 1
+
+    async def observe(self, n):
+        self.total = self.total + n

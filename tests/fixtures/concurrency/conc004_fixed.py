@@ -1,0 +1,24 @@
+"""CONC004 fixed: both contexts take the lock around the write."""
+
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+        self._worker = None
+
+    def start_worker(self):
+        self._worker = threading.Thread(
+            target=self._drain, daemon=True
+        )
+        self._worker.start()
+
+    def _drain(self):
+        with self._lock:
+            self.total = self.total + 1
+
+    async def observe(self, n):
+        with self._lock:
+            self.total = self.total + n

@@ -1,0 +1,10 @@
+"""CONC005: a caller-controlled string flows into a metric label,
+so the label set (and the registry) grows without bound."""
+
+
+class Metrics:
+    def __init__(self, counter):
+        self.counter = counter
+
+    def observe(self, endpoint):
+        self.counter.labels(endpoint=endpoint).inc()

@@ -1,0 +1,12 @@
+"""CONC005 fixed: clamp the label to a literal vocabulary first."""
+
+_ENDPOINTS = frozenset({"/search", "/metrics"})
+
+
+class Metrics:
+    def __init__(self, counter):
+        self.counter = counter
+
+    def observe(self, endpoint):
+        label = endpoint if endpoint in _ENDPOINTS else "other"
+        self.counter.labels(endpoint=label).inc()

@@ -1,0 +1,14 @@
+"""CONC006: a broad except-and-drop on a close path hides leaked
+resources behind a clean-looking shutdown."""
+
+
+class Pipe:
+    def __init__(self, conn):
+        self.conn = conn
+
+    def close(self):
+        try:
+            self.conn.flush()
+        except Exception:
+            pass
+        self.conn.close()

@@ -1,0 +1,13 @@
+"""CONC006 fixed: catch the narrow error the flush can raise."""
+
+
+class Pipe:
+    def __init__(self, conn):
+        self.conn = conn
+
+    def close(self):
+        try:
+            self.conn.flush()
+        except OSError:
+            pass
+        self.conn.close()

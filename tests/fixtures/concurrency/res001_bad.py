@@ -1,0 +1,16 @@
+"""RES001: reconstruction of the pre-analyzer unmanaged CLI engine.
+
+The ``search`` command built a ``FreeEngine``, ran the query, and on
+the truncation early-return path never closed it — the mmap'd index
+and corpus handle leaked until interpreter exit."""
+
+from repro.engine.free import FreeEngine
+
+
+def run_search(corpus, index, pattern, limit):
+    engine = FreeEngine(corpus, index)
+    matches = engine.search(pattern)
+    if limit is not None and len(matches) > limit:
+        return matches[:limit]
+    engine.close()
+    return matches

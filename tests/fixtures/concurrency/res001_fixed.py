@@ -1,0 +1,11 @@
+"""RES001 fixed: `with` manages the engine on every path."""
+
+from repro.engine.free import FreeEngine
+
+
+def run_search(corpus, index, pattern, limit):
+    with FreeEngine(corpus, index) as engine:
+        matches = engine.search(pattern)
+        if limit is not None and len(matches) > limit:
+            return matches[:limit]
+    return matches

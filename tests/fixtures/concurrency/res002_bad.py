@@ -1,0 +1,11 @@
+"""RES002: every path into the second close() already closed the
+handle in the finally block."""
+
+
+def copy_rows(path, sink):
+    handle = open(path, "rb")
+    try:
+        sink.write(handle.read())
+    finally:
+        handle.close()
+    handle.close()

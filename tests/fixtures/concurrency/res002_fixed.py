@@ -1,0 +1,9 @@
+"""RES002 fixed: close exactly once, in the finally block."""
+
+
+def copy_rows(path, sink):
+    handle = open(path, "rb")
+    try:
+        sink.write(handle.read())
+    finally:
+        handle.close()

@@ -1,0 +1,19 @@
+"""RES003: reconstruction of the pre-analyzer ``_FORK_SHARED`` leak.
+
+The fork-pool host registered a *strong* ``self`` reference in a
+module registry (pinning every engine alive forever) and registered
+its ``weakref.finalize`` only after the fork pool existed — a crash
+in between leaked the registration window."""
+
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+
+_FORK_SHARED = {}
+
+
+class PoolHost:
+    def ensure_pool(self, token):
+        _FORK_SHARED[token] = self
+        pool = ProcessPoolExecutor(max_workers=2)
+        weakref.finalize(self, _FORK_SHARED.pop, token, None)
+        return pool

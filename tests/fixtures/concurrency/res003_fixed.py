@@ -1,0 +1,13 @@
+"""RES003 fixed: weak registry entry, finalize before sharing."""
+
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+
+_FORK_SHARED = {}
+
+
+class PoolHost:
+    def ensure_pool(self, token):
+        _FORK_SHARED[token] = weakref.ref(self)
+        weakref.finalize(self, _FORK_SHARED.pop, token, None)
+        return ProcessPoolExecutor(max_workers=2)

@@ -1,0 +1,10 @@
+"""RES004: __del__ relied on to release the mapped view; GC
+finalization order is unspecified and __del__ may never run."""
+
+
+class MappedImage:
+    def __init__(self, view):
+        self.view = view
+
+    def __del__(self):
+        self.view.close()

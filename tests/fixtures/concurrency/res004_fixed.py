@@ -1,0 +1,13 @@
+"""RES004 fixed: explicit close() with weakref.finalize as the
+safety net instead of __del__."""
+
+import weakref
+
+
+class MappedImage:
+    def __init__(self, view):
+        self.view = view
+        self._finalizer = weakref.finalize(self, view.close)
+
+    def close(self):
+        self._finalizer()

@@ -1,0 +1,391 @@
+"""CONC rule tests: each rule fires on a minimal snippet and on its
+checked-in fixture, stays silent on the fixed variant, and ships a
+machine-checkable justification."""
+
+import os
+import re
+import textwrap
+
+import pytest
+
+from repro.analysis import check_concurrency_paths
+from repro.analysis.conc_checks import RULES, check_source
+from repro.analysis.runner import default_lint_root
+from repro.errors import AnalysisError
+
+FIXTURES = os.path.join(
+    os.path.dirname(__file__), "fixtures", "concurrency"
+)
+
+CONC_RULES = sorted(RULES)
+
+
+def run(snippet):
+    return check_source(textwrap.dedent(snippet), "snippet.py")
+
+
+def codes(hits):
+    return [finding.code for finding, _ in hits]
+
+
+def read_fixture(name):
+    with open(os.path.join(FIXTURES, name), encoding="utf-8") as f:
+        return f.read()
+
+
+class TestFixturePairs:
+    @pytest.mark.parametrize("rule", CONC_RULES)
+    def test_bad_fixture_fires_exactly_its_rule(self, rule):
+        name = rule.lower() + "_bad.py"
+        hits = check_source(read_fixture(name), name)
+        assert hits, f"{name} produced no findings"
+        assert set(codes(hits)) == {rule}
+
+    @pytest.mark.parametrize("rule", CONC_RULES)
+    def test_fixed_fixture_is_clean(self, rule):
+        name = rule.lower() + "_fixed.py"
+        assert check_source(read_fixture(name), name) == []
+
+    @pytest.mark.parametrize("rule", CONC_RULES)
+    def test_justifications_are_machine_checkable(self, rule):
+        name = rule.lower() + "_bad.py"
+        hits = check_source(read_fixture(name), name)
+        for _finding, justification in hits:
+            assert justification.rule == rule
+            rendered = justification.render()
+            # Same contract as the PLAN00x prover steps:
+            # "<RULE>: <fact>  [<evidence>]".
+            assert re.match(
+                rf"^{rule}: .+  \[.+\]$", rendered
+            ), rendered
+
+
+class TestBlockingOnLoop:
+    def test_direct_blocking_call(self):
+        hits = run("""
+        import time
+
+        async def handler():
+            time.sleep(1)
+        """)
+        assert codes(hits) == ["CONC001"]
+
+    def test_transitive_through_sync_helper(self):
+        hits = run("""
+        import subprocess
+
+        def helper():
+            subprocess.run(["true"])
+
+        async def handler():
+            helper()
+        """)
+        assert codes(hits) == ["CONC001"]
+        evidence = hits[0][1].evidence
+        assert "handler" in evidence and "helper" in evidence
+
+    def test_engine_receiver_heuristic(self):
+        hits = run("""
+        async def handler(engine, pattern):
+            return engine.search(pattern)
+        """)
+        assert codes(hits) == ["CONC001"]
+
+    def test_aliased_import_resolved(self):
+        hits = run("""
+        import time as t
+
+        async def handler():
+            t.sleep(1)
+        """)
+        assert codes(hits) == ["CONC001"]
+
+    def test_sync_function_not_flagged(self):
+        hits = run("""
+        import time
+
+        def handler():
+            time.sleep(1)
+        """)
+        assert hits == []
+
+    def test_executor_hop_is_clean(self):
+        hits = run("""
+        async def handler(loop, engine, pattern):
+            return await loop.run_in_executor(
+                None, engine.search, pattern
+            )
+        """)
+        assert hits == []
+
+
+class TestAwaitUnderLock:
+    def test_with_lock_spanning_await(self):
+        hits = run("""
+        class C:
+            async def get(self, loader):
+                with self._lock:
+                    return await loader()
+        """)
+        assert codes(hits) == ["CONC002"]
+
+    def test_sync_acquire_in_async(self):
+        hits = run("""
+        class C:
+            async def get(self):
+                self._lock.acquire()
+        """)
+        assert codes(hits) == ["CONC002"]
+
+    def test_async_with_is_clean(self):
+        hits = run("""
+        class C:
+            async def get(self, loader):
+                async with self._lock:
+                    return await loader()
+        """)
+        assert hits == []
+
+    def test_sync_lock_without_await_is_clean(self):
+        hits = run("""
+        class C:
+            async def get(self):
+                with self._lock:
+                    return self._entries.copy()
+        """)
+        assert hits == []
+
+
+class TestForkAfterThread:
+    def test_fork_on_path_after_start(self):
+        hits = run("""
+        import threading
+        from concurrent.futures import ProcessPoolExecutor
+
+        def serve(target):
+            worker_thread = threading.Thread(target=target)
+            worker_thread.start()
+            return ProcessPoolExecutor()
+        """)
+        assert codes(hits) == ["CONC003"]
+
+    def test_fork_before_start_is_clean(self):
+        hits = run("""
+        import threading
+        from concurrent.futures import ProcessPoolExecutor
+
+        def serve(target):
+            pool = ProcessPoolExecutor()
+            worker_thread = threading.Thread(target=target)
+            worker_thread.start()
+            return pool
+        """)
+        assert hits == []
+
+    def test_transitive_fork_through_helper(self):
+        hits = run("""
+        import threading
+        from concurrent.futures import ProcessPoolExecutor
+
+        def make_pool():
+            return ProcessPoolExecutor()
+
+        def serve(target):
+            worker_thread = threading.Thread(target=target)
+            worker_thread.start()
+            return make_pool()
+        """)
+        assert codes(hits) == ["CONC003"]
+
+    def test_branch_exclusive_paths_are_clean(self):
+        hits = run("""
+        import threading
+        from concurrent.futures import ProcessPoolExecutor
+
+        def serve(target, use_threads):
+            if use_threads:
+                worker_thread = threading.Thread(target=target)
+                worker_thread.start()
+                return None
+            return ProcessPoolExecutor()
+        """)
+        assert hits == []
+
+
+class TestCrossContextWrites:
+    def test_unlocked_write_from_both_contexts(self):
+        hits = run(read_fixture("conc004_bad.py"))
+        assert codes(hits) == ["CONC004"]
+        assert "total" in hits[0][0].message
+
+    def test_lock_on_both_sides_is_clean(self):
+        hits = run("""
+        import threading
+
+        class S:
+            def spawn(self):
+                threading.Thread(target=self._work).start()
+
+            def _work(self):
+                with self._lock:
+                    self.n = 1
+
+            async def tick(self):
+                with self._lock:
+                    self.n = 2
+        """)
+        assert hits == []
+
+    def test_write_reached_through_self_call_closure(self):
+        hits = run("""
+        import threading
+
+        class S:
+            def spawn(self):
+                threading.Thread(target=self._work).start()
+
+            def _work(self):
+                self._bump()
+
+            def _bump(self):
+                self.n = 1
+
+            async def tick(self):
+                self.n = 2
+        """)
+        # _bump is executor-reachable through the self-call closure.
+        assert codes(hits) == ["CONC004"]
+
+    def test_disjoint_attributes_are_clean(self):
+        hits = run("""
+        import threading
+
+        class S:
+            def spawn(self):
+                threading.Thread(target=self._work).start()
+
+            def _work(self):
+                self.worker_n = 1
+
+            async def tick(self):
+                self.loop_n = 2
+        """)
+        assert hits == []
+
+
+class TestUnboundedLabels:
+    def test_parameter_label_fires(self):
+        hits = run("""
+        class M:
+            def observe(self, endpoint):
+                self.counter.labels(endpoint=endpoint).inc()
+        """)
+        assert codes(hits) == ["CONC005"]
+
+    def test_membership_clamp_is_clean(self):
+        hits = run("""
+        VOCAB = frozenset({"a", "b"})
+
+        class M:
+            def observe(self, endpoint):
+                label = endpoint if endpoint in VOCAB else "other"
+                self.counter.labels(endpoint=label).inc()
+        """)
+        assert hits == []
+
+    def test_literal_loop_target_is_clean(self):
+        hits = run("""
+        class M:
+            def observe(self):
+                for mode in ("hit", "miss"):
+                    self.counter.labels(mode=mode).inc()
+        """)
+        assert hits == []
+
+    def test_str_conversion_is_bounded(self):
+        hits = run("""
+        class M:
+            def observe(self, code):
+                self.counter.labels(status=str(code)).inc()
+        """)
+        assert hits == []
+
+    def test_fstring_label_fires(self):
+        hits = run("""
+        class M:
+            def observe(self, pattern):
+                self.counter.labels(q=f"{pattern}").inc()
+        """)
+        assert codes(hits) == ["CONC005"]
+
+
+class TestSwallowedOnClose:
+    def test_broad_except_drop_in_close(self):
+        hits = run(read_fixture("conc006_bad.py"))
+        assert codes(hits) == ["CONC006"]
+
+    def test_suppress_exception_in_shutdown(self):
+        hits = run("""
+        import contextlib
+
+        class C:
+            def shutdown(self):
+                with contextlib.suppress(Exception):
+                    self.conn.close()
+        """)
+        assert codes(hits) == ["CONC006"]
+
+    def test_narrow_except_is_clean(self):
+        hits = run(read_fixture("conc006_fixed.py"))
+        assert hits == []
+
+    def test_broad_except_outside_close_path_is_clean(self):
+        hits = run("""
+        class C:
+            def lookup(self):
+                try:
+                    return self.table["k"]
+                except Exception:
+                    pass
+        """)
+        assert hits == []
+
+    def test_broad_except_that_records_is_clean(self):
+        hits = run("""
+        class C:
+            def close(self):
+                try:
+                    self.conn.flush()
+                except Exception as exc:
+                    self.errors.append(exc)
+        """)
+        assert hits == []
+
+
+class TestEngineContract:
+    def test_rule_registry_complete(self):
+        assert CONC_RULES == [
+            "CONC001", "CONC002", "CONC003", "CONC004", "CONC005",
+            "CONC006",
+        ]
+
+    def test_syntax_error_raises_analysis_error(self):
+        with pytest.raises(AnalysisError):
+            check_source("def f(:\n", "bad.py")
+
+    def test_findings_carry_filename_and_position(self):
+        hits = run("""
+        import time
+
+        async def handler():
+            time.sleep(1)
+        """)
+        finding = hits[0][0]
+        assert finding.subject == "snippet.py"
+        assert re.match(r"^\d+:\d+$", finding.location)
+
+    def test_repo_is_clean(self):
+        # The CI gate: zero unsuppressed CONC/RES findings over the
+        # installed package.
+        findings, _ = check_concurrency_paths([default_lint_root()])
+        assert findings == []

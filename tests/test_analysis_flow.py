@@ -1,0 +1,364 @@
+"""CFG/dataflow layer tests: graph shape, reaching definitions, and
+the resource ownership lattice that CONC/RES rules build on."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.flow import (
+    CFG,
+    FlowJustification,
+    ReachingDefinitions,
+    analyze_resource,
+    header_exprs,
+    own_body_nodes,
+)
+
+
+def parse_fn(snippet):
+    tree = ast.parse(textwrap.dedent(snippet))
+    fn = tree.body[0]
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return fn
+
+
+def fn_and_cfg(snippet):
+    fn = parse_fn(snippet)
+    return fn, CFG.from_function(fn)
+
+
+class TestCfgShape:
+    def test_branch_join_reaches_exit_from_both_arms(self):
+        fn, cfg = fn_and_cfg("""
+        def f(flag):
+            if flag:
+                a = 1
+            else:
+                a = 2
+            return a
+        """)
+        branch = fn.body[0]
+        then_stmt, else_stmt = branch.body[0], branch.orelse[0]
+        ret = fn.body[1]
+        assert cfg.path_exists(
+            cfg.position_of(then_stmt), cfg.position_of(ret)
+        )
+        assert cfg.path_exists(
+            cfg.position_of(else_stmt), cfg.position_of(ret)
+        )
+        # The arms are exclusive: no path from one into the other.
+        assert not cfg.path_exists(
+            cfg.position_of(then_stmt), cfg.position_of(else_stmt)
+        )
+
+    def test_header_is_placed_separately_from_body(self):
+        fn, cfg = fn_and_cfg("""
+        def f(flag):
+            if flag:
+                a = 1
+            return flag
+        """)
+        branch = fn.body[0]
+        header_pos = cfg.position_of(branch)
+        body_pos = cfg.position_of(branch.body[0])
+        assert header_pos is not None and body_pos is not None
+        assert header_pos[0] != body_pos[0]
+        # Only the test expression is evaluated in the header block.
+        assert header_exprs(branch) == [branch.test]
+
+    def test_loop_back_edge(self):
+        fn, cfg = fn_and_cfg("""
+        def f(items):
+            total = 0
+            for item in items:
+                total = total + 1
+            return total
+        """)
+        body_stmt = fn.body[1].body[0]
+        pos = cfg.position_of(body_stmt)
+        # Strictly-forward path from the body back to itself: the
+        # back edge through the loop header makes it reachable.
+        assert cfg.path_exists(pos, pos)
+
+    def test_break_exits_the_loop(self):
+        fn, cfg = fn_and_cfg("""
+        def f(items):
+            for item in items:
+                break
+                shadow = 1
+            return items
+        """)
+        brk = fn.body[0].body[0]
+        shadow = fn.body[0].body[1]
+        ret = fn.body[1]
+        assert cfg.path_exists(
+            cfg.position_of(brk), cfg.position_of(ret)
+        )
+        assert not cfg.path_exists(
+            cfg.position_of(brk), cfg.position_of(shadow)
+        )
+
+    def test_try_body_reaches_handler_and_finally(self):
+        fn, cfg = fn_and_cfg("""
+        def f(path, sink):
+            try:
+                sink.write(path)
+            except OSError:
+                sink.reset()
+            finally:
+                sink.flush()
+            return sink
+        """)
+        try_stmt = fn.body[0]
+        body_pos = cfg.position_of(try_stmt.body[0])
+        handler_pos = cfg.position_of(try_stmt.handlers[0].body[0])
+        finally_pos = cfg.position_of(try_stmt.finalbody[0])
+        assert cfg.path_exists(body_pos, handler_pos)
+        assert cfg.path_exists(body_pos, finally_pos)
+        assert cfg.path_exists(handler_pos, finally_pos)
+
+    def test_early_return_cuts_the_path(self):
+        fn, cfg = fn_and_cfg("""
+        def f(a):
+            if a:
+                return 0
+            mid = 1
+            return mid
+        """)
+        early = fn.body[0].body[0]
+        mid = fn.body[1]
+        assert not cfg.path_exists(
+            cfg.position_of(early), cfg.position_of(mid)
+        )
+
+    def test_code_after_return_is_unreachable(self):
+        fn, cfg = fn_and_cfg("""
+        def f(x):
+            return x
+            dead = 1
+        """)
+        dead_pos = cfg.position_of(fn.body[1])
+        assert dead_pos is not None
+        assert dead_pos[0] not in cfg.reachable_blocks()
+
+    def test_from_function_rejects_non_functions(self):
+        with pytest.raises(TypeError):
+            CFG.from_function(ast.parse("x = 1").body[0])
+
+
+class TestReachingDefinitions:
+    def test_branch_join_merges_both_definitions(self):
+        fn, cfg = fn_and_cfg("""
+        def f(flag):
+            if flag:
+                x = 1
+            else:
+                x = 2
+            return x
+        """)
+        rd = ReachingDefinitions(cfg, ["flag"])
+        defs = rd.at_statement(fn.body[1], "x")
+        assert len(defs) == 2
+        assert {d.value.value for d in defs} == {1, 2}
+
+    def test_loop_carried_definition_reaches_loop_top(self):
+        fn, cfg = fn_and_cfg("""
+        def f(items):
+            total = 0
+            for item in items:
+                total = total + 1
+            return total
+        """)
+        rd = ReachingDefinitions(cfg, ["items"])
+        body_stmt = fn.body[1].body[0]
+        kinds = {d.kind for d in rd.at_statement(body_stmt, "total")}
+        # Both the init and the loop-carried redefinition reach.
+        assert kinds == {"assign"}
+        assert len(rd.at_statement(body_stmt, "total")) == 2
+
+    def test_straight_line_kill(self):
+        fn, cfg = fn_and_cfg("""
+        def f():
+            x = 1
+            x = 2
+            return x
+        """)
+        rd = ReachingDefinitions(cfg, [])
+        defs = rd.at_statement(fn.body[2], "x")
+        assert [d.value.value for d in defs] == [2]
+
+    def test_parameter_definition(self):
+        fn, cfg = fn_and_cfg("""
+        def f(endpoint):
+            return endpoint
+        """)
+        rd = ReachingDefinitions(cfg, ["endpoint"])
+        defs = rd.at_statement(fn.body[0], "endpoint")
+        assert [d.kind for d in defs] == ["param"]
+
+    def test_early_return_does_not_leak_definition(self):
+        fn, cfg = fn_and_cfg("""
+        def f(a):
+            if a:
+                x = 1
+                return x
+            x = 2
+            return x
+        """)
+        rd = ReachingDefinitions(cfg, ["a"])
+        final_ret = fn.body[2]
+        defs = rd.at_statement(final_ret, "x")
+        assert [d.value.value for d in defs] == [2]
+
+
+def lattice(snippet):
+    fn = parse_fn(snippet)
+    cfg = CFG.from_function(fn)
+    creation = fn.body[0]
+    assert isinstance(creation, ast.Assign)
+    name = creation.targets[0].id
+    return analyze_resource(cfg, name, creation)
+
+
+class TestResourceLattice:
+    def test_early_return_leak(self):
+        events = lattice("""
+        def f(path, flag):
+            handle = open(path)
+            if flag:
+                return 1
+            handle.close()
+            return 0
+        """)
+        assert [e.kind for e in events] == ["may-leak"]
+
+    def test_closed_on_every_path_is_clean(self):
+        events = lattice("""
+        def f(path, flag):
+            handle = open(path)
+            if flag:
+                handle.close()
+                return 1
+            handle.close()
+            return 0
+        """)
+        assert events == []
+
+    def test_definite_double_close(self):
+        events = lattice("""
+        def f(path):
+            handle = open(path)
+            handle.close()
+            handle.close()
+        """)
+        assert [e.kind for e in events] == ["double-close"]
+
+    def test_close_in_except_then_after_is_not_double(self):
+        # MUST-analysis: the fall-through path into the final close
+        # never went through the except handler, so this is legal.
+        events = lattice("""
+        def f(path, sink):
+            handle = open(path)
+            try:
+                sink.write(handle.read())
+            except OSError:
+                handle.close()
+                raise
+            handle.close()
+        """)
+        assert events == []
+
+    def test_with_adoption_transfers(self):
+        events = lattice("""
+        def f(path):
+            handle = open(path)
+            with handle:
+                pass
+            return None
+        """)
+        assert events == []
+
+    def test_return_transfers(self):
+        events = lattice("""
+        def f(path):
+            handle = open(path)
+            return handle
+        """)
+        assert events == []
+
+    def test_call_argument_transfers(self):
+        events = lattice("""
+        def f(path, registry):
+            handle = open(path)
+            registry.adopt(handle)
+            return None
+        """)
+        assert events == []
+
+    def test_method_call_on_resource_is_not_a_transfer(self):
+        # Regression: `handle.read()` is a use, not a hand-off — the
+        # handle must still be closed.
+        events = lattice("""
+        def f(path):
+            handle = open(path)
+            data = handle.read()
+            return data
+        """)
+        assert [e.kind for e in events] == ["may-leak"]
+
+    def test_reassignment_stops_tracking(self):
+        events = lattice("""
+        def f(path):
+            handle = open(path)
+            handle = None
+            return handle
+        """)
+        assert events == []
+
+    def test_loop_close_then_leak_on_reentry(self):
+        # Closing inside the loop then iterating again re-reaches the
+        # exit with the resource open on the no-iteration path? No —
+        # creation precedes the loop, so the zero-iteration path
+        # leaks.
+        events = lattice("""
+        def f(path, items):
+            handle = open(path)
+            for item in items:
+                handle.close()
+            return None
+        """)
+        assert "may-leak" in [e.kind for e in events]
+
+
+class TestAstHelpers:
+    def test_own_body_nodes_excludes_nested_function_bodies(self):
+        fn = parse_fn("""
+        def outer():
+            x = 1
+            def inner():
+                y = 2
+            return x
+        """)
+        nodes = list(own_body_nodes(fn))
+        assigned = {
+            t.id for n in nodes if isinstance(n, ast.Assign)
+            for t in n.targets if isinstance(t, ast.Name)
+        }
+        assert "x" in assigned
+        assert "y" not in assigned
+        # The nested def itself is still yielded (callable shape).
+        assert any(
+            isinstance(n, ast.FunctionDef) and n.name == "inner"
+            for n in nodes
+        )
+
+    def test_justification_render_contract(self):
+        step = FlowJustification(
+            "RES001", "resource escapes", evidence="open@3 ->* exit"
+        )
+        assert step.render() == (
+            "RES001: resource escapes  [open@3 ->* exit]"
+        )
+        bare = FlowJustification("CONC001", "blocking call on loop")
+        assert bare.render() == "CONC001: blocking call on loop"

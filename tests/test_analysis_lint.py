@@ -95,6 +95,74 @@ class TestUnboundedCache:
         """
         assert run(snippet) == []
 
+    def test_defaultdict_with_args(self):
+        snippet = """
+        class A:
+            def __init__(self):
+                self._cache = defaultdict(list)
+        """
+        assert codes(run(snippet)) == ["FREE004"]
+
+    def test_collections_defaultdict(self):
+        snippet = """
+        import collections
+
+        class A:
+            def __init__(self):
+                self.memo = collections.defaultdict(dict)
+        """
+        assert codes(run(snippet)) == ["FREE004"]
+
+    def test_dict_comprehension(self):
+        snippet = """
+        class A:
+            def __init__(self, keys):
+                self._cache = {k: None for k in keys}
+        """
+        assert codes(run(snippet)) == ["FREE004"]
+
+    def test_setattr_dynamic_store(self):
+        snippet = """
+        class A:
+            def __init__(self):
+                setattr(self, "result_cache", {})
+        """
+        findings = run(snippet)
+        assert codes(findings) == ["FREE004"]
+        assert "result_cache" in findings[0].message
+
+    def test_setattr_non_cache_name_ok(self):
+        snippet = """
+        class A:
+            def __init__(self):
+                setattr(self, "postings", {})
+        """
+        assert run(snippet) == []
+
+    def test_or_fallback_pattern(self):
+        snippet = """
+        class A:
+            def __init__(self, seed):
+                self._cache = seed or {}
+        """
+        assert codes(run(snippet)) == ["FREE004"]
+
+    def test_ifexp_branch_pattern(self):
+        snippet = """
+        class A:
+            def __init__(self, shared):
+                self.memo = shared if shared else {}
+        """
+        assert codes(run(snippet)) == ["FREE004"]
+
+    def test_annotated_assign_still_caught(self):
+        snippet = """
+        class A:
+            def __init__(self):
+                self._cache: dict = defaultdict(set)
+        """
+        assert codes(run(snippet)) == ["FREE004"]
+
 
 EPOCH_SNIPPET = """
 class Index:
@@ -196,6 +264,57 @@ class TestWallClock:
         """
         assert run(snippet) == []
 
+    def test_datetime_module_now_fires(self):
+        snippet = """
+        import datetime
+        stamp = datetime.datetime.now()
+        """
+        assert codes(run(snippet)) == ["FREE006"]
+
+    def test_datetime_class_today_fires(self):
+        snippet = """
+        from datetime import datetime
+        stamp = datetime.today()
+        """
+        assert codes(run(snippet)) == ["FREE006"]
+
+    def test_datetime_class_alias_utcnow_fires(self):
+        snippet = """
+        from datetime import datetime as dt
+        stamp = dt.utcnow()
+        """
+        assert codes(run(snippet)) == ["FREE006"]
+
+    def test_date_today_through_module_fires(self):
+        snippet = """
+        import datetime
+        day = datetime.date.today()
+        """
+        assert codes(run(snippet)) == ["FREE006"]
+
+    def test_datetime_constructor_ok(self):
+        # Building a fixed datetime is not a wall-clock read.
+        snippet = """
+        from datetime import datetime
+        epoch = datetime(1970, 1, 1)
+        """
+        assert run(snippet) == []
+
+    def test_unrelated_now_method_ok(self):
+        # .now() on an unrelated object, no datetime binding used.
+        snippet = """
+        import datetime
+        stamp = scheduler.now()
+        """
+        assert run(snippet) == []
+
+    def test_datetime_noqa_escape_hatch(self):
+        snippet = """
+        import datetime
+        stamp = datetime.datetime.now()  # noqa: FREE006
+        """
+        assert run(snippet) == []
+
 
 class TestSuppression:
     def test_bare_noqa(self):
@@ -206,6 +325,26 @@ class TestSuppression:
 
     def test_wrong_code_does_not_suppress(self):
         assert codes(run("assert x  # noqa: FREE003\n")) == ["FREE001"]
+
+    def test_multiple_codes(self):
+        snippet = "assert cost == 0.5  # noqa: FREE001, FREE003\n"
+        assert run(snippet) == []
+
+    def test_multiple_codes_suppress_only_listed(self):
+        # Both rules fire on this line; only FREE003 is listed.
+        snippet = "assert cost == 0.5  # noqa: FREE003\n"
+        assert codes(run(snippet)) == ["FREE001"]
+
+    def test_lowercase_noqa_and_code(self):
+        assert run("assert x  # NOQA: free001\n") == []
+
+    def test_trailing_comment_after_noqa(self):
+        snippet = "assert x  # noqa: FREE001  (invariant is cheap)\n"
+        assert run(snippet) == []
+
+    def test_noqa_on_other_line_does_not_suppress(self):
+        snippet = "# noqa: FREE001\nassert x\n"
+        assert codes(run(snippet)) == ["FREE001"]
 
 
 class TestEngine:

@@ -1,0 +1,154 @@
+"""Strict schema tests for the machine-readable analyzer output:
+``free check --format json`` and ``--format sarif``."""
+
+import json
+
+from repro.analysis.findings import (
+    SARIF_SCHEMA_URI,
+    AnalysisReport,
+    Severity,
+    make_finding,
+)
+from repro.analysis.runner import collect_rules
+from repro.cli import main
+
+
+def seeded_report():
+    report = AnalysisReport()
+    report.begin_section("concurrency & lifecycle")
+    report.add(make_finding(
+        "RES001",
+        "engine leaks on the early-return path",
+        severity=Severity.ERROR,
+        subject="src/repro/example.py",
+        location="12:4",
+    ))
+    report.add(make_finding(
+        "CONC005",
+        "label takes an unbounded value",
+        severity=Severity.WARNING,
+        subject="src/repro/example.py",
+        location="30:8",
+    ))
+    report.add(make_finding(
+        "IDX009",
+        "postings within the Obs 3.8 bound",
+        severity=Severity.INFO,
+        subject="gram-index",
+        location="key=abc",
+    ))
+    report.justifications["src/repro/example.py"] = [
+        "RES001: resource escapes  [open@12 ->* exit]",
+    ]
+    return report
+
+
+class TestJsonSchema:
+    def test_as_dict_shape(self):
+        payload = seeded_report().as_dict()
+        assert set(payload) == {
+            "sections", "findings", "justifications", "ok",
+        }
+        assert payload["ok"] is False
+        assert payload["sections"] == ["concurrency & lifecycle"]
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "code", "severity", "message", "paper_ref",
+                "subject", "location",
+            }
+            assert finding["severity"] in ("error", "warning", "info")
+        assert payload["justifications"] == {
+            "src/repro/example.py": [
+                "RES001: resource escapes  [open@12 ->* exit]",
+            ],
+        }
+
+    def test_round_trips_through_json(self):
+        payload = seeded_report().as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestSarifSchema:
+    def test_top_level_envelope(self):
+        sarif = seeded_report().as_sarif(collect_rules())
+        assert sarif["$schema"] == SARIF_SCHEMA_URI
+        assert sarif["version"] == "2.1.0"
+        assert len(sarif["runs"]) == 1
+
+    def test_tool_driver_and_rules(self):
+        sarif = seeded_report().as_sarif(collect_rules())
+        driver = sarif["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "free-check"
+        rules = {rule["id"]: rule for rule in driver["rules"]}
+        # Only referenced rules appear, each with a description.
+        assert set(rules) == {"RES001", "CONC005", "IDX009"}
+        assert (
+            rules["RES001"]["shortDescription"]["text"]
+            == collect_rules()["RES001"]
+        )
+
+    def test_results_levels_and_locations(self):
+        sarif = seeded_report().as_sarif(collect_rules())
+        results = sarif["runs"][0]["results"]
+        by_rule = {r["ruleId"]: r for r in results}
+        assert by_rule["RES001"]["level"] == "error"
+        assert by_rule["CONC005"]["level"] == "warning"
+        assert by_rule["IDX009"]["level"] == "note"
+        location = by_rule["RES001"]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == (
+            "src/repro/example.py"
+        )
+        # ast columns are 0-based, SARIF's are 1-based.
+        assert location["region"] == {"startLine": 12,
+                                      "startColumn": 5}
+
+    def test_non_positional_location_has_no_region(self):
+        sarif = seeded_report().as_sarif(collect_rules())
+        results = sarif["runs"][0]["results"]
+        idx = next(r for r in results if r["ruleId"] == "IDX009")
+        location = idx["locations"][0]["physicalLocation"]
+        assert "region" not in location
+
+    def test_message_is_the_rendered_finding(self):
+        sarif = seeded_report().as_sarif(collect_rules())
+        result = sarif["runs"][0]["results"][0]
+        text = result["message"]["text"]
+        assert text.startswith("error RES001")
+
+
+class TestCollectRules:
+    def test_merges_all_three_registries(self):
+        rules = collect_rules()
+        assert {"FREE001", "CONC001", "RES001"} <= set(rules)
+        assert all(
+            isinstance(code, str) and isinstance(text, str)
+            for code, text in rules.items()
+        )
+
+    def test_codes_are_unique_across_families(self):
+        rules = collect_rules()
+        free = [c for c in rules if c.startswith("FREE")]
+        conc = [c for c in rules if c.startswith("CONC")]
+        res = [c for c in rules if c.startswith("RES")]
+        assert len(free) == 6 and len(conc) == 6 and len(res) == 4
+
+
+class TestCliFormats:
+    def test_json_flag_is_format_alias(self, capsys):
+        assert main(["check", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert "concurrency & lifecycle" in payload["sections"]
+
+    def test_sarif_is_valid_json_with_envelope(self, capsys):
+        assert main(["check", "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["$schema"] == SARIF_SCHEMA_URI
+        assert payload["runs"][0]["tool"]["driver"]["name"] == (
+            "free-check"
+        )
+
+    def test_text_is_the_default(self, capsys):
+        assert main(["check"]) == 0
+        out = capsys.readouterr().out
+        assert "check: OK" in out

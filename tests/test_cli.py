@@ -298,9 +298,29 @@ class TestCheck:
         out = capsys.readouterr().out
         assert "lint" in out
 
-    def test_no_args_is_usage_error(self, capsys):
-        assert main(["check"]) == 2
+    def test_everything_disabled_is_usage_error(self, capsys):
+        assert main(["check", "--no-concurrency"]) == 2
         assert "nothing to check" in capsys.readouterr().err
+
+    def test_bare_check_runs_concurrency_gate(self, capsys):
+        # --concurrency defaults on: a bare `free check` is the
+        # zero-findings CONC/RES gate over the installed package.
+        assert main(["check"]) == 0
+        out = capsys.readouterr().out
+        assert "concurrency & lifecycle" in out
+        assert "check: OK" in out
+
+    def test_format_sarif(self, capsys):
+        import json
+
+        assert main(["check", "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        driver = payload["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "free-check"
+        assert payload["runs"][0]["results"] == []
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert rule_ids == set()  # no findings -> no referenced rules
 
     def test_json_output(self, images, capsys):
         import json

@@ -10,6 +10,7 @@ payload that satisfies the strict CI parser.
 
 from __future__ import annotations
 
+import asyncio
 import http.client
 import json
 import threading
@@ -21,6 +22,7 @@ from repro.corpus.document import DataUnit
 from repro.corpus.store import CorpusStore, InMemoryCorpus
 from repro.engine.factory import wrap_index
 from repro.index.builder import build_multigram_index
+from repro.index.sharded import ShardedIndex
 from repro.obs.registry import MetricsRegistry, parse_prometheus_text
 from repro.serve.service import (
     QueryService,
@@ -426,3 +428,104 @@ class TestQueryLog:
         assert entries[2]["status"] == 400
         assert entries[2]["n_matches"] is None
         assert all("ts_monotonic" in e for e in entries)
+
+
+class _TrackingCorpus(CorpusStore):
+    """A corpus proxy that records whether close() was called."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.closed = False
+
+    def __len__(self):
+        return len(self._inner)
+
+    def get(self, doc_id):
+        return self._inner.get(doc_id)
+
+    def __iter__(self):
+        return iter(self._inner)
+
+    @property
+    def total_chars(self):
+        return self._inner.total_chars
+
+    def close(self):
+        self.closed = True
+
+
+class _ExplodingSlot:
+    """Engine-slot stand-in whose close() can be made to raise."""
+
+    def __init__(self, error=None):
+        self.error = error
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+        if self.error is not None:
+            raise self.error
+
+
+class TestLifecycle:
+    def test_build_slots_prewarms_shard_pools(self):
+        # CONC003 remediation: the fork-based shard pool must exist
+        # before the serve stack starts any thread, not lazily on the
+        # first query.
+        corpus = _tiny_corpus(24)
+        index = ShardedIndex.build(corpus, 2, threshold=0.3)
+        config = ServeConfig(port=0, workers=1, shard_workers=2)
+        slots = build_slots(
+            lambda: corpus, index, config, MetricsRegistry()
+        )
+        try:
+            assert slots[0].engine._pool is not None
+        finally:
+            for slot in slots:
+                slot.close()
+
+    def test_build_slots_closes_earlier_slots_on_failure(self):
+        corpus = _tiny_corpus(8)
+        index = build_multigram_index(corpus, threshold=0.3)
+        opened = []
+
+        def opener():
+            if opened:
+                raise RuntimeError("disk went away")
+            tracked = _TrackingCorpus(corpus)
+            opened.append(tracked)
+            return tracked
+
+        config = ServeConfig(port=0, workers=2)
+        with pytest.raises(RuntimeError, match="disk went away"):
+            build_slots(opener, index, config, MetricsRegistry())
+        # Slot 0 was fully built before the second opener call blew
+        # up; its corpus must not leak (RES001).
+        assert opened[0].closed
+
+    def test_stop_closes_every_slot_despite_errors(self):
+        config = ServeConfig(port=0, workers=3)
+        slots = [
+            _ExplodingSlot(RuntimeError("first")),
+            _ExplodingSlot(RuntimeError("second")),
+            _ExplodingSlot(),
+        ]
+        service = QueryService(config, slots)
+        with pytest.raises(RuntimeError, match="first"):
+            asyncio.run(service.stop())
+        assert all(slot.closed for slot in slots)
+        assert service._stopped
+        asyncio.run(service.stop())  # idempotent: no re-raise
+
+    def test_stop_closes_query_log_after_slot_error(self, tmp_path):
+        log_path = tmp_path / "queries.jsonl"
+        config = ServeConfig(
+            port=0, workers=1, query_log_path=str(log_path)
+        )
+        service = QueryService(
+            config, [_ExplodingSlot(RuntimeError("boom"))]
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            asyncio.run(service.stop())
+        assert service._query_log is not None
+        assert service._query_log._file is None
