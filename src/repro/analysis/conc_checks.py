@@ -22,7 +22,13 @@ CONC004    no attribute of a long-lived object written from both the
 CONC005    no unbounded metric label values: every expression flowing
            into ``.labels(...)`` must be provably finite (literals,
            ``str()`` of a bounded value, membership-clamped names,
-           iteration over literal containers)
+           iteration over literal containers).  Identity label *names*
+           (``trace_id``, ``span_id``, ``request_id``, ...) are banned
+           outright — per-request-unique values are unbounded by
+           construction even when they pass the boundedness grammar
+           (``str(tid)`` would); attach identities to histograms as
+           exemplars (``observe(v, exemplar={"trace_id": tid})``)
+           instead
 CONC006    no except-and-drop on drain/close paths (``except
            Exception: pass`` / ``contextlib.suppress(Exception)``
            inside ``close``/``stop``/``drain``-like functions hides
@@ -849,6 +855,15 @@ def _bounded_definition(
     return False  # param / aug / with / except / import: unbounded
 
 
+#: Label names whose values are per-request unique by construction:
+#: no boundedness proof can save them (``str(trace_id)`` passes the
+#: grammar but still mints one time series per request).  The
+#: sanctioned channel for identities is the histogram exemplar.
+_IDENTITY_LABELS = frozenset(
+    {"trace_id", "span_id", "request_id", "query_id", "correlation_id"}
+)
+
+
 def _rule_unbounded_labels(ctx: _ModuleContext) -> List[RuleHit]:
     hits: List[RuleHit] = []
     for qualname, fn, _cls in ctx.iter_functions():
@@ -883,6 +898,31 @@ def _rule_unbounded_labels(ctx: _ModuleContext) -> List[RuleHit]:
                 else:
                     values.append((keyword.arg, keyword.value))
             for label_name, value in values:
+                if label_name in _IDENTITY_LABELS:
+                    hits.append((
+                        make_finding(
+                            "CONC005",
+                            f"metric label {label_name!r} in "
+                            f"{qualname}() is a per-request identity — "
+                            f"one time series per request, unbounded "
+                            f"cardinality by construction; attach it "
+                            f"as a histogram exemplar "
+                            f"(observe(v, exemplar={{...}})) instead",
+                            location=_pos(value),
+                        ),
+                        FlowJustification(
+                            "CONC005",
+                            f"label name {label_name!r} at line "
+                            f"{value.lineno} in {qualname}() is in the "
+                            f"identity-label ban list; boundedness of "
+                            f"the value is irrelevant",
+                            evidence=(
+                                "banned identity labels: "
+                                + ", ".join(sorted(_IDENTITY_LABELS))
+                            ),
+                        ),
+                    ))
+                    continue
                 if _bounded_label_value(value, ctx, rd, stmt):
                     continue
                 value_text = ast.unparse(value)

@@ -1,5 +1,5 @@
 """Command-line front end: ``free synth | build | convert | search |
-explain | check | bench | metrics | serve``.
+explain | check | bench | metrics | serve | traces``.
 
 Typical session::
 
@@ -21,6 +21,7 @@ Observability (see docs/observability.md)::
 Serving (see docs/serving.md)::
 
     free serve corpus.img corpus.idx --port 8080 --workers 4
+    free traces http://127.0.0.1:8080 --slow           # sampled span trees
     free bench --experiment serve                      # BENCH_free_serve.json
 """
 
@@ -28,7 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, cast
+from typing import Dict, List, Optional, Tuple, cast
 
 from repro.bench import report as report_mod
 from repro.bench import runner as runner_mod
@@ -325,11 +326,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append one JSON line per query served",
     )
     p_serve.add_argument(
+        "--query-log-max-bytes", type=int, default=None, metavar="BYTES",
+        help="rotate the query log past this size (old file -> .1)",
+    )
+    p_serve.add_argument(
         "--shard-workers", type=int, default=1, metavar="K",
         help="per-shard fan-out processes inside each worker engine "
              "(sharded images only)",
     )
+    p_serve.add_argument(
+        "--trace-sample", type=float, default=0.01, metavar="RATE",
+        help="fraction of request traces kept in /debug/tracez "
+             "(deterministic in the trace id; default 0.01)",
+    )
+    p_serve.add_argument(
+        "--slow-trace", type=float, default=0.25, metavar="SECONDS",
+        help="requests at/over this duration are always trace-retained",
+    )
+    p_serve.add_argument(
+        "--trace-store", type=int, default=128, metavar="N",
+        help="ring capacity for sampled traces (slow top-N is N/4)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_traces = sub.add_parser(
+        "traces",
+        help="fetch sampled traces from a running free serve",
+    )
+    p_traces.add_argument(
+        "url",
+        help="server base URL (http://host:port) or host:port",
+    )
+    p_traces.add_argument(
+        "--slow", action="store_true",
+        help="show the retained slowest queries instead of recent ones",
+    )
+    p_traces.add_argument(
+        "-n", type=int, default=10, metavar="N",
+        help="how many traces to fetch (default 10)",
+    )
+    p_traces.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the raw JSON payload instead of rendered trees",
+    )
+    p_traces.set_defaults(func=_cmd_traces)
 
     return parser
 
@@ -521,7 +561,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         timeout_seconds=args.timeout if args.timeout > 0 else None,
         query_log_path=args.query_log,
+        query_log_max_bytes=args.query_log_max_bytes,
         shard_workers=args.shard_workers,
+        trace_sample_rate=args.trace_sample,
+        slow_trace_seconds=args.slow_trace,
+        trace_store_size=args.trace_store,
+        slow_store_size=max(args.trace_store // 4, 1),
     )
     registry = get_registry()
     slots = slots_from_paths(args.corpus, args.index, config, registry)
@@ -547,6 +592,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"({stats.served} served, {stats.shed} shed, "
         f"{stats.timeouts} timed out)"
     )
+    return 0
+
+
+def _serve_base(url: str) -> Tuple[str, int]:
+    """``http://host:port`` or bare ``host:port`` -> (host, port)."""
+    from urllib.parse import urlsplit
+
+    text = url if "//" in url else f"http://{url}"
+    split = urlsplit(text)
+    if split.scheme not in ("http", ""):
+        raise FreeError(f"only http:// URLs are supported, got {url!r}")
+    if not split.hostname or not split.port:
+        raise FreeError(
+            f"need host and port, e.g. http://127.0.0.1:8080, got {url!r}"
+        )
+    return split.hostname, split.port
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    import http.client
+
+    host, port = _serve_base(args.url)
+    path = "/debug/slowqueries" if args.slow else "/debug/tracez"
+    fmt = "json" if args.as_json else "text"
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", f"{path}?n={args.n}&format={fmt}")
+        response = conn.getresponse()
+        body = response.read().decode("utf-8")
+    finally:
+        conn.close()
+    if response.status != 200:
+        print(
+            f"error: {path} answered {response.status}: {body.strip()}",
+            file=sys.stderr,
+        )
+        return 1
+    print(body.rstrip("\n"))
     return 0
 
 

@@ -411,7 +411,7 @@ class FreeEngine:
         pattern: str,
         limit: Optional[int] = None,
         collect_matches: bool = True,
-        trace: bool = False,
+        trace: Union[bool, Trace] = False,
     ) -> SearchReport:
         """Run a query end to end.
 
@@ -424,7 +424,9 @@ class FreeEngine:
             trace: record the request as a span tree on
                 ``report.trace`` (off by default: the disabled path is
                 a few ``None`` checks, < 2% on the repeated-query
-                benchmark).
+                benchmark).  Pass a :class:`~repro.obs.trace.Trace` to
+                record into a caller-owned trace — how ``free serve``
+                threads an inbound request's trace id into the engine.
         """
         return self._execute_query(
             pattern, limit, collect_matches, trace, group=None
@@ -435,7 +437,7 @@ class FreeEngine:
         patterns: Sequence[str],
         limit: Optional[int] = None,
         collect_matches: bool = True,
-        trace: bool = False,
+        trace: Union[bool, Trace] = False,
     ) -> List[SearchReport]:
         """Run a batch of queries, amortizing work across the batch.
 
@@ -481,12 +483,15 @@ class FreeEngine:
         pattern: str,
         limit: Optional[int],
         collect_matches: bool,
-        trace: bool,
+        trace: Union[bool, Trace],
         group: Optional[_BatchGroup],
     ) -> SearchReport:
         """The shared body of :meth:`search` and :meth:`search_batch`."""
         metrics = QueryMetrics()
-        request_trace = Trace() if trace else None
+        if isinstance(trace, Trace):
+            request_trace: Optional[Trace] = trace
+        else:
+            request_trace = Trace() if trace else None
         metrics.trace = request_trace
         report = SearchReport(
             pattern=pattern, engine=self.name, metrics=metrics,
@@ -551,9 +556,14 @@ class FreeEngine:
         self._observe_query(report, metrics)
         return report
 
-    def first_k(self, pattern: str, k: int = 10) -> SearchReport:
+    def first_k(
+        self,
+        pattern: str,
+        k: int = 10,
+        trace: Union[bool, Trace] = False,
+    ) -> SearchReport:
         """The Section 5.4 measurement: stop at the first k matches."""
-        return self.search(pattern, limit=k)
+        return self.search(pattern, limit=k, trace=trace)
 
     def count(self, pattern: str) -> int:
         """Total number of matching strings in the corpus."""

@@ -76,7 +76,7 @@ from repro.iomodel.diskmodel import DiskModel
 from repro.metrics import QueryMetrics
 from repro.obs.clock import monotonic
 from repro.obs.registry import MetricsRegistry
-from repro.obs.trace import maybe_span
+from repro.obs.trace import Trace, maybe_span
 from repro.plan.cost import PlanCost
 from repro.plan.physical import CoverPolicy, PhysicalPlan
 
@@ -383,7 +383,7 @@ class ShardedFreeEngine(FreeEngine):
         pattern: str,
         limit: Optional[int],
         collect_matches: bool,
-        trace: bool,
+        trace: Union[bool, Trace],
         group: Optional[_BatchGroup],
     ) -> SearchReport:
         if (

@@ -27,6 +27,15 @@ from repro.obs.buildreport import (
     default_report_path,
 )
 from repro.obs.clock import ManualClock, monotonic, set_clock, use_clock
+from repro.obs.ids import (
+    TraceParent,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    should_sample,
+    trace_id_fraction,
+)
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
@@ -40,9 +49,20 @@ from repro.obs.registry import (
     get_registry,
     parse_prometheus_text,
 )
+from repro.obs.store import TraceRecord, TraceStore, phase_seconds
 from repro.obs.trace import Span, Trace, maybe_span
 
 __all__ = [
+    "TraceParent",
+    "format_traceparent",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+    "should_sample",
+    "trace_id_fraction",
+    "TraceRecord",
+    "TraceStore",
+    "phase_seconds",
     "BuildReport",
     "LevelProfile",
     "PassProfile",

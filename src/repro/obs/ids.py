@@ -1,0 +1,148 @@
+"""Request identity: 128-bit trace ids, 64-bit span ids, W3C headers.
+
+Every request served by ``free serve`` gets one **trace id** that is
+shared by the HTTP response (``traceparent`` header), the JSONL query
+log, the sampled :class:`~repro.obs.store.TraceStore`, and the latency
+histogram exemplars in ``/metrics`` — the production norm that logs,
+metrics and traces must be correlated by one identifier.  Each span in
+the request's tree additionally carries a **span id**.
+
+The wire format is the W3C Trace Context ``traceparent`` header::
+
+    00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+    │  │                                │                 └ flags
+    │  │                                └ parent span id (16 hex)
+    │  └ trace id (32 hex, not all-zero)
+    └ version
+
+:func:`parse_traceparent` is strict about the parts the spec is strict
+about (lowercase hex, exact widths, non-zero ids, version ``ff``
+forbidden) and forward-compatible the way the spec demands: a version
+above ``00`` may carry trailing ``-...`` fields, which are ignored.
+Malformed input returns ``None`` — the serving layer then mints a
+fresh identity instead of failing the request.
+
+Sampling is **deterministic in the trace id**: the low 64 bits, read
+as a fraction of 2^64, are compared against the configured sample
+rate.  Every process examining the same trace id reaches the same
+keep/drop decision without coordination.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+#: Widths of the two id fields, in hex characters.
+TRACE_ID_HEX_LEN = 32
+SPAN_ID_HEX_LEN = 16
+
+#: The ``traceparent`` version this module emits.
+TRACEPARENT_VERSION = "00"
+
+#: W3C trace flags: bit 0 = sampled ("the caller recorded this trace").
+FLAG_SAMPLED = 0x01
+
+_TRACEPARENT = re.compile(
+    r"^(?P<version>[0-9a-f]{2})"
+    r"-(?P<trace_id>[0-9a-f]{32})"
+    r"-(?P<span_id>[0-9a-f]{16})"
+    r"-(?P<flags>[0-9a-f]{2})"
+    r"(?P<rest>.*)$"
+)
+
+_ZERO_TRACE_ID = "0" * TRACE_ID_HEX_LEN
+_ZERO_SPAN_ID = "0" * SPAN_ID_HEX_LEN
+
+
+def new_trace_id() -> str:
+    """A fresh random 128-bit trace id as 32 lowercase hex chars."""
+    while True:
+        raw = os.urandom(16)
+        if any(raw):  # the all-zero id is invalid per the W3C spec
+            return raw.hex()
+
+
+def new_span_id() -> str:
+    """A fresh random 64-bit span id as 16 lowercase hex chars."""
+    while True:
+        raw = os.urandom(8)
+        if any(raw):
+            return raw.hex()
+
+
+@dataclass(frozen=True)
+class TraceParent:
+    """One parsed (or to-be-formatted) ``traceparent`` value."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = False
+
+    def format(self) -> str:
+        return format_traceparent(
+            self.trace_id, self.span_id, sampled=self.sampled
+        )
+
+
+def format_traceparent(
+    trace_id: str, span_id: str, sampled: bool = False
+) -> str:
+    """Render a version-00 ``traceparent`` header value."""
+    flags = FLAG_SAMPLED if sampled else 0x00
+    return (
+        f"{TRACEPARENT_VERSION}-{trace_id}-{span_id}-{flags:02x}"
+    )
+
+
+def parse_traceparent(value: Optional[str]) -> Optional[TraceParent]:
+    """Parse a ``traceparent`` header; ``None`` on anything malformed.
+
+    Rejects (returning ``None``, never raising): wrong field widths,
+    uppercase or non-hex characters, all-zero trace or span ids, the
+    forbidden version ``ff``, and — for version ``00`` — any trailing
+    bytes.  Higher versions may carry extra ``-...`` fields (W3C
+    forward compatibility); they are accepted and ignored.
+    """
+    if value is None:
+        return None
+    match = _TRACEPARENT.match(value.strip())
+    if match is None:
+        return None
+    version = match.group("version")
+    if version == "ff":
+        return None
+    trace_id = match.group("trace_id")
+    span_id = match.group("span_id")
+    if trace_id == _ZERO_TRACE_ID or span_id == _ZERO_SPAN_ID:
+        return None
+    rest = match.group("rest")
+    if rest and (version == "00" or not rest.startswith("-")):
+        return None
+    flags = int(match.group("flags"), 16)
+    return TraceParent(
+        trace_id=trace_id,
+        span_id=span_id,
+        sampled=bool(flags & FLAG_SAMPLED),
+    )
+
+
+def trace_id_fraction(trace_id: str) -> float:
+    """The trace id's low 64 bits as a fraction in ``[0, 1)``.
+
+    The deterministic sampling coordinate: every observer of the same
+    trace id computes the same value, so "keep 1% of traces" needs no
+    shared state and honours cross-service consistency.
+    """
+    return int(trace_id[-SPAN_ID_HEX_LEN:], 16) / 2.0**64
+
+
+def should_sample(trace_id: str, rate: float) -> bool:
+    """Deterministic head-sampling decision for this trace id."""
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return trace_id_fraction(trace_id) < rate

@@ -91,14 +91,27 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket histogram with sum and count.
+    """Fixed-bucket histogram with sum, count, and exemplars.
 
     ``bucket_counts[i]`` counts observations ``<= uppers[i]``
     *non*-cumulatively in memory; the exposition accumulates them into
     Prometheus ``le`` semantics (plus the implicit ``+Inf`` bucket).
+
+    An **exemplar** is one concrete observation pinned to the bucket it
+    landed in — OpenMetrics style: a tiny label set (``trace_id``) plus
+    the observed value, rendered after the bucket sample as
+    ``... # {trace_id="..."} 0.0042``.  Exemplars link a latency
+    histogram back to individual stored traces; each bucket keeps only
+    its most recent one, so memory stays bounded by the bucket count.
+    Identity values like trace ids must ONLY travel as exemplars, never
+    as metric labels (analyzer rule CONC005): labels multiply series,
+    exemplars do not.
     """
 
-    __slots__ = ("uppers", "bucket_counts", "inf_count", "sum", "count")
+    __slots__ = (
+        "uppers", "bucket_counts", "inf_count", "sum", "count",
+        "exemplars",
+    )
 
     def __init__(self, uppers: Sequence[float]):
         ordered = tuple(float(u) for u in uppers)
@@ -111,15 +124,41 @@ class Histogram:
         self.inf_count = 0
         self.sum = 0.0
         self.count = 0
+        #: bucket index (len(uppers) = +Inf) -> (label pairs, value).
+        self.exemplars: Dict[
+            int, Tuple[Tuple[Tuple[str, str], ...], float]
+        ] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(
+        self,
+        value: float,
+        exemplar: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.sum += value
         self.count += 1
+        bucket = len(self.uppers)  # +Inf unless a finite bucket catches
         for i, upper in enumerate(self.uppers):
             if value <= upper:
                 self.bucket_counts[i] += 1
-                return
-        self.inf_count += 1
+                bucket = i
+                break
+        else:
+            self.inf_count += 1
+        if exemplar:
+            for label in exemplar:
+                if not _LABEL.match(label):
+                    raise MetricsError(
+                        f"invalid exemplar label name {label!r}"
+                    )
+            self.exemplars[bucket] = (
+                tuple(sorted(exemplar.items())), value
+            )
+
+    def bucket_exemplar(
+        self, index: int
+    ) -> Optional[Tuple[Tuple[Tuple[str, str], ...], float]]:
+        """The exemplar pinned to bucket ``index`` (if any)."""
+        return self.exemplars.get(index)
 
     def cumulative(self) -> List[Tuple[float, int]]:
         """``(le, cumulative_count)`` pairs ending with ``(inf, count)``."""
@@ -337,12 +376,20 @@ class MetricsRegistry:
             for labelvalues, child in family.children():
                 pairs = list(zip(family.labelnames, labelvalues))
                 if isinstance(child, Histogram):
-                    for le, n in child.cumulative():
+                    for index, (le, n) in enumerate(child.cumulative()):
                         bucket_pairs = pairs + [("le", _le_text(le))]
-                        lines.append(
+                        line = (
                             f"{family.name}_bucket"
                             f"{_render_labels(bucket_pairs)} {n}"
                         )
+                        exemplar = child.bucket_exemplar(index)
+                        if exemplar is not None:
+                            ex_pairs, ex_value = exemplar
+                            line += (
+                                f" # {_render_labels(ex_pairs)}"
+                                f" {_number(ex_value)}"
+                            )
+                        lines.append(line)
                     lines.append(
                         f"{family.name}_sum{_render_labels(pairs)} "
                         f"{_number(child.sum)}"
@@ -420,8 +467,10 @@ def get_registry() -> MetricsRegistry:
 _SAMPLE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?P<labels>\{[^}]*\})?"
-    r"\s+(?P<value>[^\s]+)"
-    r"(?:\s+(?P<timestamp>-?\d+))?$"
+    r"\s+(?P<value>[^\s#]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?"
+    r"(?:\s+#\s+(?P<exemplar_labels>\{[^}]*\})"
+    r"\s+(?P<exemplar_value>[^\s]+))?$"
 )
 _LABEL_PAIR = re.compile(
     r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
@@ -436,6 +485,12 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict[str, float]]:
     redefinition, a histogram whose ``+Inf`` bucket disagrees with its
     ``_count``, or non-monotone cumulative buckets — the checks the CI
     smoke job runs against ``free metrics`` output.
+
+    OpenMetrics-style exemplars (``... # {trace_id="..."} 0.004``) are
+    accepted on histogram ``_bucket`` lines only; the exemplar's label
+    set and value are validated (and, for a finite ``le``, the value
+    must fit inside the bucket), then discarded — the return shape is
+    unchanged.
     """
     samples: Dict[str, Dict[str, float]] = {}
     types: Dict[str, str] = {}
@@ -475,9 +530,45 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict[str, float]]:
             ) from exc
         labels_text = match.group("labels") or ""
         label_key = _parse_labels(labels_text, line_no)
+        if match.group("exemplar_labels") is not None:
+            _validate_exemplar(match, label_key, line_no)
         samples.setdefault(match.group("name"), {})[label_key] = value
     _validate_histograms(samples, types)
     return samples
+
+
+def _validate_exemplar(
+    match: "re.Match[str]", label_key: str, line_no: int
+) -> None:
+    name = match.group("name")
+    if not name.endswith("_bucket"):
+        raise MetricsError(
+            f"line {line_no}: exemplar on non-bucket sample {name!r}"
+        )
+    ex_labels = match.group("exemplar_labels")
+    ex_key = _parse_labels(ex_labels, line_no)
+    if not ex_key:
+        raise MetricsError(
+            f"line {line_no}: exemplar with an empty label set"
+        )
+    ex_value_text = match.group("exemplar_value")
+    try:
+        ex_value = float(ex_value_text)
+    except ValueError as exc:
+        raise MetricsError(
+            f"line {line_no}: bad exemplar value {ex_value_text!r}"
+        ) from exc
+    le_items = [
+        pair for pair in label_key.split(",") if pair.startswith("le=")
+    ]
+    if le_items:
+        le_text = le_items[0][3:]
+        le = math.inf if le_text == "+Inf" else float(le_text)
+        if math.isfinite(le) and ex_value > le:
+            raise MetricsError(
+                f"line {line_no}: exemplar value {ex_value} exceeds "
+                f"its bucket bound le={le_text}"
+            )
 
 
 def _parse_labels(labels_text: str, line_no: int) -> str:

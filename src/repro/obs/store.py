@@ -1,0 +1,225 @@
+"""A bounded in-memory store of sampled request traces.
+
+``free serve`` traces every query request (span trees are cheap — a
+handful of objects per request) but *keeps* only an interesting
+subset, decided at request completion:
+
+* **probabilistic** — a configurable fraction of all traces, chosen
+  deterministically from the trace id (see
+  :func:`repro.obs.ids.should_sample`), lands in a fixed-size ring
+  buffer: a rolling window of "normal" requests;
+* **always-sample-slow** — any request whose duration crosses the slow
+  threshold is retained in a separate bounded top-N (by duration)
+  collection, so the outliers an operator actually debugs survive long
+  after the ring has rolled past them.
+
+Both collections are bounded, so a service that runs for months holds
+a constant amount of trace memory no matter the traffic.  The store is
+thread-safe: the serve event loop writes, CLI/debug readers may arrive
+from any thread, and the tests hammer it concurrently.
+
+``GET /debug/tracez`` and ``GET /debug/slowqueries`` render this store
+live; ``free traces <url>`` tails it from a terminal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.ids import should_sample
+from repro.obs.trace import Trace
+
+#: Span names whose durations the query log and debug views summarize.
+PHASE_SPANS = ("plan", "matcher", "postings", "verify")
+
+
+def phase_seconds(trace: Optional[Trace]) -> Dict[str, float]:
+    """Summed duration per well-known phase span, seconds.
+
+    The per-request span taxonomy (``docs/observability.md``) tiles a
+    query into plan / matcher / postings / verify; this flattens the
+    tree into the per-phase totals the JSONL query log and the
+    ``/debug`` endpoints report.  Absent phases are simply omitted.
+    """
+    out: Dict[str, float] = {}
+    if trace is None:
+        return out
+    for name in PHASE_SPANS:
+        spans = trace.find(name)
+        if spans:
+            out[name] = sum(span.duration_seconds for span in spans)
+    return out
+
+
+@dataclass
+class TraceRecord:
+    """One completed, sampled request: identity + outcome + span tree."""
+
+    trace_id: str
+    endpoint: str
+    pattern: str
+    status: int
+    duration_seconds: float
+    ts_monotonic: float
+    trace: Optional[Trace] = field(default=None, repr=False)
+    parent_span_id: Optional[str] = None
+    sampled_reason: str = ""
+
+    def phases(self) -> Dict[str, float]:
+        return phase_seconds(self.trace)
+
+    def as_dict(self, spans: bool = True) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "endpoint": self.endpoint,
+            "pattern": self.pattern,
+            "status": self.status,
+            "duration_seconds": self.duration_seconds,
+            "ts_monotonic": self.ts_monotonic,
+            "parent_span_id": self.parent_span_id,
+            "sampled_reason": self.sampled_reason,
+            "phase_seconds": self.phases(),
+        }
+        if spans and self.trace is not None:
+            payload["trace"] = self.trace.as_dict()
+        return payload
+
+    def render(self) -> str:
+        """Human-readable block (``/debug/tracez?format=text``)."""
+        lines = [
+            f"trace {self.trace_id} {self.endpoint} "
+            f"pattern={self.pattern!r} status={self.status} "
+            f"{self.duration_seconds * 1000:.3f}ms "
+            f"[{self.sampled_reason}]"
+        ]
+        if self.trace is not None:
+            for raw in self.trace.render().splitlines()[1:]:
+                lines.append("  " + raw)
+        return "\n".join(lines)
+
+
+class TraceStore:
+    """Bounded ring of sampled traces + bounded top-N of slow ones."""
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        slow_capacity: int = 32,
+        sample_rate: float = 0.01,
+        slow_threshold_seconds: float = 0.25,
+    ):
+        if capacity < 1 or slow_capacity < 1:
+            raise ValueError("trace store capacities must be >= 1")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        if slow_threshold_seconds <= 0:
+            raise ValueError("slow_threshold_seconds must be positive")
+        self.capacity = capacity
+        self.slow_capacity = slow_capacity
+        self.sample_rate = sample_rate
+        self.slow_threshold_seconds = slow_threshold_seconds
+        self._lock = threading.Lock()
+        self._ring: Deque[TraceRecord] = deque(maxlen=capacity)
+        #: Min-heap of (duration, seq, record): the cheapest slow trace
+        #: is always at the root, ready to be displaced by a slower one.
+        self._slow: List[Tuple[float, int, TraceRecord]] = []
+        self._seq = 0
+        self.offered = 0
+        self.kept_sampled = 0
+        self.kept_slow = 0
+        self.evicted = 0
+
+    # -- writes --------------------------------------------------------------
+
+    def offer(self, record: TraceRecord) -> Optional[str]:
+        """Apply the sampling policy; returns the keep-reason or None.
+
+        Reasons: ``"probability"`` (ring), ``"slow"`` (top-N), or
+        ``"probability+slow"`` (both).  The record's
+        ``sampled_reason`` field is set to the decision.
+        """
+        slow = record.duration_seconds >= self.slow_threshold_seconds
+        sampled = should_sample(record.trace_id, self.sample_rate)
+        if not slow and not sampled:
+            with self._lock:
+                self.offered += 1
+            return None
+        reasons = []
+        if sampled:
+            reasons.append("probability")
+        if slow:
+            reasons.append("slow")
+        record.sampled_reason = "+".join(reasons)
+        with self._lock:
+            self.offered += 1
+            if sampled:
+                if len(self._ring) == self.capacity:
+                    self.evicted += 1
+                self._ring.append(record)
+                self.kept_sampled += 1
+            if slow:
+                self._keep_slow(record)
+                self.kept_slow += 1
+        return record.sampled_reason
+
+    def _keep_slow(self, record: TraceRecord) -> None:
+        self._seq += 1
+        item = (record.duration_seconds, self._seq, record)
+        if len(self._slow) < self.slow_capacity:
+            heapq.heappush(self._slow, item)
+        elif item[0] > self._slow[0][0]:
+            heapq.heapreplace(self._slow, item)
+            self.evicted += 1
+        else:
+            self.evicted += 1
+
+    # -- reads ---------------------------------------------------------------
+
+    def recent(self, n: Optional[int] = None) -> List[TraceRecord]:
+        """Newest-first slice of the probabilistic ring."""
+        with self._lock:
+            records = list(self._ring)
+        records.reverse()
+        return records if n is None else records[:n]
+
+    def slowest(self, n: Optional[int] = None) -> List[TraceRecord]:
+        """Slow-retained traces, slowest first."""
+        with self._lock:
+            items = list(self._slow)
+        items.sort(key=lambda item: (-item[0], -item[1]))
+        records = [record for _duration, _seq, record in items]
+        return records if n is None else records[:n]
+
+    def get(self, trace_id: str) -> Optional[TraceRecord]:
+        """Look one trace up by id (ring first, then the slow set)."""
+        with self._lock:
+            for record in reversed(self._ring):
+                if record.trace_id == trace_id:
+                    return record
+            for _duration, _seq, record in self._slow:
+                if record.trace_id == trace_id:
+                    return record
+        return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring) + len(self._slow)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "slow_capacity": self.slow_capacity,
+                "sample_rate": self.sample_rate,
+                "slow_threshold_seconds": self.slow_threshold_seconds,
+                "ring_size": len(self._ring),
+                "slow_size": len(self._slow),
+                "offered": self.offered,
+                "kept_sampled": self.kept_sampled,
+                "kept_slow": self.kept_slow,
+                "evicted": self.evicted,
+            }

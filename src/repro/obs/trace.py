@@ -44,12 +44,15 @@ from typing import (
 )
 
 from repro.obs import clock as obs_clock
+from repro.obs.ids import new_span_id, new_trace_id
 
 
 class Span:
     """One timed operation; children nest inside the parent's window."""
 
-    __slots__ = ("name", "attrs", "started", "ended", "children")
+    __slots__ = (
+        "name", "attrs", "started", "ended", "children", "span_id"
+    )
 
     def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
         self.name = name
@@ -57,6 +60,7 @@ class Span:
         self.started: float = 0.0
         self.ended: float = 0.0
         self.children: List["Span"] = []
+        self.span_id: str = new_span_id()
 
     @property
     def duration_seconds(self) -> float:
@@ -74,6 +78,7 @@ class Span:
     def as_dict(self) -> Dict[str, Any]:
         return {
             "name": self.name,
+            "span_id": self.span_id,
             "duration_seconds": self.duration_seconds,
             "attrs": dict(self.attrs),
             "children": [child.as_dict() for child in self.children],
@@ -92,10 +97,21 @@ class Trace:
     Spans open/close through the :meth:`span` context manager; nesting
     follows the call stack.  A trace is single-threaded by design (one
     request, one trace) — the engine creates one per traced query.
+
+    Every trace carries a 128-bit **trace id** (32 hex chars; see
+    :mod:`repro.obs.ids`).  The serving layer threads the id of an
+    inbound W3C ``traceparent`` header through by constructing
+    ``Trace(trace_id=...)``; standalone uses (``free search --trace``)
+    mint a fresh random id.
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None):
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        trace_id: Optional[str] = None,
+    ):
         self._clock = clock if clock is not None else obs_clock.monotonic
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
         self.roots: List[Span] = []
         self._stack: List[Span] = []
 
@@ -155,6 +171,7 @@ class Trace:
 
     def as_dict(self) -> Dict[str, Any]:
         return {
+            "trace_id": self.trace_id,
             "total_seconds": self.total_seconds(),
             "leaf_seconds": self.leaf_seconds(),
             "spans": [span.as_dict() for span in self.roots],

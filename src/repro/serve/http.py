@@ -28,6 +28,11 @@ MAX_HEADER_BYTES = 16 * 1024
 #: Upper bound on a request body, bytes (patterns are small).
 MAX_BODY_BYTES = 1024 * 1024
 
+#: The W3C Trace Context header (lower-case, as parsed headers are
+#: stored).  Every response ``free serve`` writes carries one — the
+#: inbound trace id echoed back, or a freshly minted identity.
+TRACEPARENT_HEADER = "traceparent"
+
 STATUS_REASONS: Dict[int, str] = {
     200: "OK",
     400: "Bad Request",
@@ -63,6 +68,10 @@ class Request:
     headers: Dict[str, str]  # header names lower-cased
     body: bytes = b""
     keep_alive: bool = True
+
+    def traceparent(self) -> Optional[str]:
+        """The raw inbound ``traceparent`` header value, if any."""
+        return self.headers.get(TRACEPARENT_HEADER)
 
     def json(self) -> Dict[str, object]:
         """The body as a JSON object (400 on anything else)."""

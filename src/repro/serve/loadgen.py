@@ -15,7 +15,12 @@ Two classic load shapes, run back to back against a live service:
 The pattern mix is drawn from the Figure 8 benchmark queries with a
 seeded RNG, so a given configuration replays the same request sequence
 every run.  Results go into ``BENCH_free_serve.json``
-(schema ``free-bench-serve/1``); CI gates on zero 5xx responses and a
+(schema ``free-bench-serve/2``): per-phase status counts and latency
+percentiles plus a per-endpoint latency histogram over the standard
+bucket grid.  The generator also *asserts the observability contract*:
+every response must carry a ``traceparent`` header (the run fails
+otherwise), and the final ``/metrics`` scrape — exemplars included —
+must pass the strict parser.  CI gates on zero 5xx responses and a
 nonzero sustained QPS.
 """
 
@@ -35,8 +40,13 @@ from repro.errors import FreeError
 from repro.index.multigram import GramIndex
 from repro.index.sharded import ShardedIndex
 from repro.obs.clock import monotonic
-from repro.obs.registry import MetricsRegistry, parse_prometheus_text
-from repro.serve.http import parse_response_bytes
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+from repro.serve.http import TRACEPARENT_HEADER, parse_response_bytes
 from repro.serve.service import (
     QueryService,
     ServeConfig,
@@ -44,7 +54,10 @@ from repro.serve.service import (
     build_slots,
 )
 
-BENCH_SERVE_SCHEMA = "free-bench-serve/1"
+BENCH_SERVE_SCHEMA = "free-bench-serve/2"
+
+#: (endpoint, status, latency_seconds) for one completed request.
+_Result = Tuple[str, int, float]
 
 
 @dataclass
@@ -189,18 +202,49 @@ def _percentile(sorted_values: List[float], q: float) -> float:
     return sorted_values[min(rank, len(sorted_values) - 1)]
 
 
+def _le_label(le: float) -> str:
+    return "+Inf" if math.isinf(le) else repr(le)
+
+
+def _endpoint_histograms(
+    results: List[_Result],
+) -> Dict[str, Dict[str, object]]:
+    """Per-endpoint latency histograms over the standard bucket grid."""
+    hists: Dict[str, Histogram] = {}
+    for endpoint, _status, latency in results:
+        hist = hists.get(endpoint)
+        if hist is None:
+            hist = hists[endpoint] = Histogram(DEFAULT_LATENCY_BUCKETS)
+        hist.observe(latency)
+    return {
+        endpoint: {
+            "count": hist.count,
+            "sum_seconds": hist.sum,
+            "p50": hist.quantile(0.50),
+            "p95": hist.quantile(0.95),
+            "p99": hist.quantile(0.99),
+            "buckets": {
+                _le_label(le): n for le, n in hist.cumulative()
+            },
+        }
+        for endpoint, hist in sorted(hists.items())
+    }
+
+
 def _phase_summary(
-    results: List[Tuple[int, float]],
+    results: List[_Result],
     wall_seconds: float,
     connection_errors: int,
 ) -> Dict[str, object]:
     statuses: Dict[str, int] = {}
-    for status, _latency in results:
+    for _endpoint, status, _latency in results:
         key = str(status)
         statuses[key] = statuses.get(key, 0) + 1
-    latencies = sorted(latency for _status, latency in results)
+    latencies = sorted(latency for _endpoint, _status, latency in results)
     wall = max(wall_seconds, 1e-9)
-    n_ok = sum(1 for status, _latency in results if status == 200)
+    n_ok = sum(
+        1 for _endpoint, status, _latency in results if status == 200
+    )
     return {
         "requests": len(results) + connection_errors,
         "completed": len(results),
@@ -218,12 +262,14 @@ def _phase_summary(
             ),
             "max": latencies[-1] if latencies else 0.0,
         },
+        "per_endpoint": _endpoint_histograms(results),
     }
 
 
 async def _closed_phase(config: LoadConfig) -> Dict[str, object]:
-    results: List[Tuple[int, float]] = []
+    results: List[_Result] = []
     errors = [0]
+    missing_traceparent = [0]
     per_client = [
         config.closed_requests // config.closed_concurrency
         + (1 if i < config.closed_requests % config.closed_concurrency
@@ -241,14 +287,16 @@ async def _closed_phase(config: LoadConfig) -> Dict[str, object]:
                 )
                 started = monotonic()
                 try:
-                    status, _headers, _body = await conn.request(
+                    status, headers, _body = await conn.request(
                         method, target, payload
                     )
                 except (OSError, asyncio.IncompleteReadError, FreeError):
                     errors[0] += 1
                     await conn.close()
                     continue
-                results.append((status, monotonic() - started))
+                if TRACEPARENT_HEADER not in headers:
+                    missing_traceparent[0] += 1
+                results.append((target, status, monotonic() - started))
         finally:
             await conn.close()
 
@@ -257,12 +305,23 @@ async def _closed_phase(config: LoadConfig) -> Dict[str, object]:
         *(client(i, n) for i, n in enumerate(per_client) if n)
     )
     wall = monotonic() - started
+    _require_traceparent(missing_traceparent[0])
     return _phase_summary(results, wall, errors[0])
 
 
+def _require_traceparent(n_missing: int) -> None:
+    """Every completed response must echo a ``traceparent`` header."""
+    if n_missing:
+        raise FreeError(
+            f"{n_missing} responses arrived without a traceparent "
+            f"header; the serve observability contract is broken"
+        )
+
+
 async def _open_phase(config: LoadConfig) -> Dict[str, object]:
-    results: List[Tuple[int, float]] = []
+    results: List[_Result] = []
     errors = [0]
+    missing_traceparent = [0]
     rng = random.Random(config.seed * 1000 + 999)
     interval = (
         1.0 / config.open_rate if config.open_rate > 0 else 0.0
@@ -274,10 +333,12 @@ async def _open_phase(config: LoadConfig) -> Dict[str, object]:
         conn = _Conn(config.host, config.port)
         started = monotonic()
         try:
-            status, _headers, _body = await conn.request(
+            status, headers, _body = await conn.request(
                 method, target, payload
             )
-            results.append((status, monotonic() - started))
+            if TRACEPARENT_HEADER not in headers:
+                missing_traceparent[0] += 1
+            results.append((target, status, monotonic() - started))
         except (OSError, asyncio.IncompleteReadError, FreeError):
             errors[0] += 1
         finally:
@@ -296,6 +357,7 @@ async def _open_phase(config: LoadConfig) -> Dict[str, object]:
     if tasks:
         await asyncio.gather(*tasks)
     wall = monotonic() - started
+    _require_traceparent(missing_traceparent[0])
     return _phase_summary(results, wall, errors[0])
 
 
@@ -350,8 +412,11 @@ def run_serve_benchmark(
     admitted query), and a validated ``/metrics`` scrape.
     """
     registry = MetricsRegistry()
+    # Sample every trace by default: the bench artifact doubles as the
+    # CI proof that exemplars flow all the way into /metrics.
     config = serve_config or ServeConfig(
-        workers=2, queue_depth=16, timeout_seconds=10.0
+        workers=2, queue_depth=16, timeout_seconds=10.0,
+        trace_sample_rate=1.0,
     )
     slots = build_slots(corpus_opener, index, config, registry)
     service = QueryService(config, slots, registry=registry)
@@ -381,6 +446,8 @@ def run_serve_benchmark(
             "workers": config.workers,
             "queue_depth": config.queue_depth,
             "timeout_seconds": config.timeout_seconds,
+            "trace_sample_rate": config.trace_sample_rate,
+            "slow_trace_seconds": config.slow_trace_seconds,
             "seed": seed,
             "closed_concurrency": closed_concurrency,
             "closed_requests": closed_requests,
@@ -389,9 +456,11 @@ def run_serve_benchmark(
         },
         "phases": phases,
         "service": stats,
+        "trace_store": service.trace_store.stats(),
         "sustained_qps": sustained,
         "n_5xx": n_5xx,
         "metrics_exposition_lines": len(exposition.splitlines()),
+        "metrics_exposition": exposition,
         "ok": n_5xx == 0 and float(str(sustained)) > 0.0,
     }
 

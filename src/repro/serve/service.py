@@ -15,9 +15,29 @@ layer of :mod:`repro.serve.http`:
 ``GET /explain?pattern=...&analyze=0|1``
     the access plan as text (``free explain`` over HTTP).
 ``GET /metrics``
-    the process metrics registry in Prometheus text exposition.
+    the process metrics registry in Prometheus text exposition, with
+    OpenMetrics-style exemplars linking latency buckets to trace ids.
 ``GET /healthz``
     liveness plus queue/served/shed/timeout counters.
+``GET /debug/tracez``
+    recent sampled traces (``?n=``, ``?format=json|text``).
+``GET /debug/slowqueries``
+    the retained slowest queries with their span breakdown.
+``GET /debug/vars``
+    config + service stats + trace-store stats in one JSON object.
+
+**Request identity.**  Every request gets a 128-bit trace id — taken
+from an inbound W3C ``traceparent`` header when one parses, minted
+fresh otherwise — and every response echoes a ``traceparent`` back
+(sampled flag = "this trace was kept; go fetch it from
+``/debug/tracez``").  Query requests always run with a live span tree;
+at completion the :class:`~repro.obs.store.TraceStore` keeps a
+configurable fraction plus everything over the slow threshold.  The
+same id appears in the JSONL query log and as the exemplar on the
+latency histogram bucket the request landed in, so logs, metrics and
+traces correlate on one identifier.  Trace ids must never become
+metric *labels* (unbounded cardinality — analyzer rule CONC005);
+exemplars are the sanctioned escape hatch.
 
 **Admission control.**  Query requests pass through one bounded
 :class:`asyncio.Queue`.  A full queue sheds the request immediately
@@ -57,10 +77,11 @@ import asyncio
 import contextlib
 import json
 import math
+import os
 import signal
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import (
     Callable,
     Dict,
@@ -75,13 +96,23 @@ from repro.corpus.document import DataUnit
 from repro.corpus.store import CorpusStore, DiskCorpus
 from repro.engine.factory import wrap_index
 from repro.engine.free import FreeEngine
+from repro.engine.results import SearchReport
 from repro.errors import FreeError
 from repro.index.multigram import GramIndex
 from repro.index.serialize import load_any_index
 from repro.index.sharded import ShardedIndex
 from repro.obs.clock import monotonic
+from repro.obs.ids import (
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
 from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.store import TraceRecord, TraceStore, phase_seconds
+from repro.obs.trace import Trace
 from repro.serve.http import (
+    TRACEPARENT_HEADER,
     HttpError,
     Request,
     Response,
@@ -105,6 +136,9 @@ class ServeConfig:
     timeout_seconds: Optional[float] = 5.0
     retry_after_seconds: float = 1.0
     query_log_path: Optional[str] = None
+    #: Rotate the query log once it would exceed this many bytes
+    #: (the old file moves to ``<path>.1``); None = never rotate.
+    query_log_max_bytes: Optional[int] = None
     plan_cache_size: int = 256
     #: On by default: serving is exactly the repeated-traffic workload
     #: the candidate cache exists for (see FreeEngine docs).
@@ -112,6 +146,15 @@ class ServeConfig:
     matcher_cache_size: int = 256
     #: Per-shard fan-out inside each worker engine (sharded images).
     shard_workers: int = 1
+    #: Fraction of traces kept probabilistically (deterministic in the
+    #: trace id; see repro.obs.ids.should_sample).
+    trace_sample_rate: float = 0.01
+    #: Requests at or over this duration are always kept ("slow").
+    slow_trace_seconds: float = 0.25
+    #: Ring capacity for probabilistically sampled traces.
+    trace_store_size: int = 128
+    #: Top-N capacity for slow-retained traces.
+    slow_store_size: int = 32
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -120,6 +163,17 @@ class ServeConfig:
             raise FreeError("queue_depth must be >= 1")
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise FreeError("timeout_seconds must be positive or None")
+        if (
+            self.query_log_max_bytes is not None
+            and self.query_log_max_bytes < 1
+        ):
+            raise FreeError("query_log_max_bytes must be positive or None")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise FreeError("trace_sample_rate must be in [0, 1]")
+        if self.slow_trace_seconds <= 0:
+            raise FreeError("slow_trace_seconds must be positive")
+        if self.trace_store_size < 1 or self.slow_store_size < 1:
+            raise FreeError("trace store sizes must be >= 1")
 
 
 class DeadlineCorpus(CorpusStore):
@@ -198,12 +252,54 @@ class ServiceStats:
 
 
 @dataclass
+class RequestIdentity:
+    """One request's trace identity, inbound or freshly minted.
+
+    ``kept`` is written by the worker once the sampling decision is
+    made (before the response future resolves), so the connection
+    handler can echo the sampled flag on the ``traceparent`` response
+    header and attach the exemplar only for retrievable traces.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_span_id: Optional[str] = None
+    requested_sampling: bool = False
+    kept: bool = False
+
+    def response_header(self) -> str:
+        return format_traceparent(
+            self.trace_id, self.span_id, sampled=self.kept
+        )
+
+    @staticmethod
+    def of(request: Optional[Request]) -> "RequestIdentity":
+        """Adopt the inbound ``traceparent`` identity or mint one."""
+        parent = (
+            parse_traceparent(request.traceparent())
+            if request is not None
+            else None
+        )
+        if parent is None:
+            return RequestIdentity(
+                trace_id=new_trace_id(), span_id=new_span_id()
+            )
+        return RequestIdentity(
+            trace_id=parent.trace_id,
+            span_id=new_span_id(),
+            parent_span_id=parent.span_id,
+            requested_sampling=parent.sampled,
+        )
+
+
+@dataclass
 class _Outcome:
     """What one executed job produced (worker thread -> event loop)."""
 
     response: Response
     n_matches: Optional[int] = None
     n_candidates: Optional[int] = None
+    candidate_ratio: Optional[float] = None
 
 
 @dataclass
@@ -212,9 +308,11 @@ class _Job:
 
     endpoint: str
     pattern: str
-    fn: Callable[[FreeEngine], _Outcome]
+    fn: Callable[[FreeEngine, Trace], _Outcome]
     future: "asyncio.Future[Response]"
     deadline: Optional[float]
+    ident: RequestIdentity
+    trace: Trace
     enqueued_at: float = 0.0
 
 
@@ -292,17 +390,48 @@ def slots_from_paths(
 
 
 class _QueryLog(object):
-    """Append-only JSONL record of every query served."""
+    """Append-only JSONL record of every query served.
 
-    def __init__(self, path: str):
+    Each entry is one ``write()`` call of one complete line (readers
+    tailing the file never see a torn entry).  With ``max_bytes`` set,
+    the file rotates before a line that would push it past the limit:
+    the current file moves to ``<path>.1`` (replacing any previous
+    rollover) and a fresh file starts — two generations bound the disk
+    footprint at roughly ``2 * max_bytes``.  A single line larger than
+    the limit still lands (in its own generation) rather than looping.
+    """
+
+    def __init__(self, path: str, max_bytes: Optional[int] = None):
         self.path = path
+        self.max_bytes = max_bytes
+        self.rotations = 0
         self._file: Optional[TextIO] = open(path, "a", encoding="utf-8")
+        self._size = os.path.getsize(path)
 
     def write(self, entry: Dict[str, object]) -> None:
         if self._file is None:
             return
-        self._file.write(json.dumps(entry, sort_keys=True) + "\n")
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        n_bytes = len(line.encode("utf-8"))
+        if (
+            self.max_bytes is not None
+            and self._size > 0
+            and self._size + n_bytes > self.max_bytes
+        ):
+            self._rotate()
+        self._file.write(line)
         self._file.flush()
+        self._size += n_bytes
+
+    def _rotate(self) -> None:
+        if self._file is None:
+            return
+        self._file.close()
+        self._file = None  # if reopen fails, close() stays safe
+        os.replace(self.path, self.path + ".1")
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        self.rotations += 1
 
     def close(self) -> None:
         if self._file is not None:
@@ -314,7 +443,10 @@ _PROMETHEUS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Endpoint label values with bounded cardinality for the registry.
 _KNOWN_ENDPOINTS = frozenset(
-    {"/search", "/first_k", "/explain", "/metrics", "/healthz"}
+    {
+        "/search", "/first_k", "/explain", "/metrics", "/healthz",
+        "/debug/tracez", "/debug/slowqueries", "/debug/vars",
+    }
 )
 
 
@@ -346,9 +478,18 @@ class QueryService:
         self._draining = False
         self._stopped = False
         self._query_log = (
-            _QueryLog(config.query_log_path)
+            _QueryLog(
+                config.query_log_path,
+                max_bytes=config.query_log_max_bytes,
+            )
             if config.query_log_path
             else None
+        )
+        self.trace_store = TraceStore(
+            capacity=config.trace_store_size,
+            slow_capacity=config.slow_store_size,
+            sample_rate=config.trace_sample_rate,
+            slow_threshold_seconds=config.slow_trace_seconds,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -426,21 +567,29 @@ class QueryService:
                     request = await read_request(reader)
                 except HttpError as exc:
                     response = error_response(exc.status, str(exc))
-                    self._observe_request("other", response, 0.0)
+                    ident = RequestIdentity.of(None)
+                    response.headers[TRACEPARENT_HEADER] = (
+                        ident.response_header()
+                    )
+                    self._observe_request("other", response, 0.0, ident)
                     writer.write(response.encode(keep_alive=False))
                     await writer.drain()
                     break
                 if request is None:
                     break
                 started = monotonic()
-                response = await self._dispatch(request)
+                ident = RequestIdentity.of(request)
+                response = await self._dispatch(request, ident)
                 elapsed = monotonic() - started
+                response.headers[TRACEPARENT_HEADER] = (
+                    ident.response_header()
+                )
                 endpoint = (
                     request.path
                     if request.path in _KNOWN_ENDPOINTS
                     else "other"
                 )
-                self._observe_request(endpoint, response, elapsed)
+                self._observe_request(endpoint, response, elapsed, ident)
                 keep = request.keep_alive and not self._draining
                 writer.write(response.encode(keep_alive=keep))
                 await writer.drain()
@@ -453,7 +602,9 @@ class QueryService:
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
-    async def _dispatch(self, request: Request) -> Response:
+    async def _dispatch(
+        self, request: Request, ident: RequestIdentity
+    ) -> Response:
         try:
             if request.path == "/healthz":
                 self._require_method(request, "GET")
@@ -464,15 +615,24 @@ class QueryService:
                     self.registry.render_prometheus(),
                     content_type=_PROMETHEUS_TYPE,
                 )
+            if request.path == "/debug/tracez":
+                self._require_method(request, "GET")
+                return self._handle_tracez(request)
+            if request.path == "/debug/slowqueries":
+                self._require_method(request, "GET")
+                return self._handle_slowqueries(request)
+            if request.path == "/debug/vars":
+                self._require_method(request, "GET")
+                return self._vars_response()
             if request.path == "/search":
                 self._require_method(request, "POST")
-                return await self._handle_search(request)
+                return await self._handle_search(request, ident)
             if request.path == "/first_k":
                 self._require_method(request, "POST")
-                return await self._handle_first_k(request)
+                return await self._handle_first_k(request, ident)
             if request.path == "/explain":
                 self._require_method(request, "GET")
-                return await self._handle_explain(request)
+                return await self._handle_explain(request, ident)
             return error_response(
                 404, f"no such endpoint {request.path!r}"
             )
@@ -498,54 +658,133 @@ class QueryService:
         payload.update(self.stats.as_dict())
         return Response.from_json(payload)
 
+    # -- debug endpoints -----------------------------------------------------
+
+    @staticmethod
+    def _debug_n(request: Request, default: int) -> int:
+        text = request.query.get("n")
+        if text is None:
+            return default
+        try:
+            n = int(text)
+        except ValueError as exc:
+            raise HttpError(400, "?n= must be an integer") from exc
+        if n < 1:
+            raise HttpError(400, "?n= must be >= 1")
+        return n
+
+    def _handle_tracez(self, request: Request) -> Response:
+        """Recent sampled traces (JSON by default, ``?format=text``)."""
+        n = self._debug_n(request, default=20)
+        records = self.trace_store.recent(n)
+        if request.query.get("format") == "text":
+            blocks = [record.render() for record in records]
+            if not blocks:
+                blocks = ["(no sampled traces yet)"]
+            return Response.from_text("\n\n".join(blocks) + "\n")
+        return Response.from_json({
+            "traces": [record.as_dict() for record in records],
+            "store": self.trace_store.stats(),
+        })
+
+    def _handle_slowqueries(self, request: Request) -> Response:
+        """Retained slowest queries, slowest first, with spans."""
+        n = self._debug_n(request, default=10)
+        records = self.trace_store.slowest(n)
+        if request.query.get("format") == "text":
+            blocks = [record.render() for record in records]
+            if not blocks:
+                blocks = ["(no slow queries retained yet)"]
+            return Response.from_text("\n\n".join(blocks) + "\n")
+        return Response.from_json({
+            "slowest": [record.as_dict() for record in records],
+            "slow_threshold_seconds": (
+                self.config.slow_trace_seconds
+            ),
+        })
+
+    def _vars_response(self) -> Response:
+        payload: Dict[str, object] = {
+            "config": asdict(self.config),
+            "stats": self.stats.as_dict(),
+            "trace_store": self.trace_store.stats(),
+            "queued": self._queue.qsize(),
+            "inflight": self._inflight,
+            "draining": self._draining,
+            "workers": self.config.workers,
+            "query_log": (
+                {
+                    "path": self._query_log.path,
+                    "max_bytes": self._query_log.max_bytes,
+                    "rotations": self._query_log.rotations,
+                }
+                if self._query_log is not None
+                else None
+            ),
+        }
+        return Response.from_json(payload)
+
     # -- query endpoints -----------------------------------------------------
 
-    async def _handle_search(self, request: Request) -> Response:
+    @staticmethod
+    def _report_outcome(
+        engine: FreeEngine, report: SearchReport
+    ) -> _Outcome:
+        corpus_size = len(engine.corpus)
+        return _Outcome(
+            response=Response.from_json(report.as_dict()),
+            n_matches=report.n_matches,
+            n_candidates=report.n_candidates,
+            candidate_ratio=(
+                report.n_candidates / corpus_size if corpus_size else None
+            ),
+        )
+
+    async def _handle_search(
+        self, request: Request, ident: RequestIdentity
+    ) -> Response:
         body = request.json()
         pattern = self._pattern_of(body)
         limit = self._optional_int(body, "limit", minimum=1)
         collect = bool(body.get("collect_matches", True))
 
-        def fn(engine: FreeEngine) -> _Outcome:
+        def fn(engine: FreeEngine, trace: Trace) -> _Outcome:
             report = engine.search(
-                pattern, limit=limit, collect_matches=collect
+                pattern, limit=limit, collect_matches=collect,
+                trace=trace,
             )
-            return _Outcome(
-                response=Response.from_json(report.as_dict()),
-                n_matches=report.n_matches,
-                n_candidates=report.n_candidates,
-            )
+            return self._report_outcome(engine, report)
 
-        return await self._submit("/search", pattern, fn)
+        return await self._submit("/search", pattern, fn, ident)
 
-    async def _handle_first_k(self, request: Request) -> Response:
+    async def _handle_first_k(
+        self, request: Request, ident: RequestIdentity
+    ) -> Response:
         body = request.json()
         pattern = self._pattern_of(body)
         k = self._optional_int(body, "k", minimum=1)
         if k is None:
             k = 10
 
-        def fn(engine: FreeEngine) -> _Outcome:
-            report = engine.first_k(pattern, k=k)
-            return _Outcome(
-                response=Response.from_json(report.as_dict()),
-                n_matches=report.n_matches,
-                n_candidates=report.n_candidates,
-            )
+        def fn(engine: FreeEngine, trace: Trace) -> _Outcome:
+            report = engine.first_k(pattern, k=k, trace=trace)
+            return self._report_outcome(engine, report)
 
-        return await self._submit("/first_k", pattern, fn)
+        return await self._submit("/first_k", pattern, fn, ident)
 
-    async def _handle_explain(self, request: Request) -> Response:
+    async def _handle_explain(
+        self, request: Request, ident: RequestIdentity
+    ) -> Response:
         pattern = request.query.get("pattern")
         if not pattern:
             raise HttpError(400, "/explain needs a ?pattern= parameter")
         analyze = request.query.get("analyze", "0") not in ("0", "", "no")
 
-        def fn(engine: FreeEngine) -> _Outcome:
+        def fn(engine: FreeEngine, trace: Trace) -> _Outcome:
             text = engine.explain(pattern, analyze=analyze)
             return _Outcome(response=Response.from_text(text + "\n"))
 
-        return await self._submit("/explain", pattern, fn)
+        return await self._submit("/explain", pattern, fn, ident)
 
     @staticmethod
     def _pattern_of(body: Dict[str, object]) -> str:
@@ -575,7 +814,8 @@ class QueryService:
         self,
         endpoint: str,
         pattern: str,
-        fn: Callable[[FreeEngine], _Outcome],
+        fn: Callable[[FreeEngine, Trace], _Outcome],
+        ident: RequestIdentity,
     ) -> Response:
         if self._draining:
             return error_response(
@@ -589,6 +829,8 @@ class QueryService:
             fn=fn,
             future=asyncio.get_running_loop().create_future(),
             deadline=(now + timeout) if timeout is not None else None,
+            ident=ident,
+            trace=Trace(trace_id=ident.trace_id),
             enqueued_at=now,
         )
         try:
@@ -641,11 +883,32 @@ class QueryService:
                     )
                 finally:
                     self._inflight -= 1
+                self._sample_trace(job, response)
                 self._log_query(job, outcome, response)
                 if not job.future.done():
                     job.future.set_result(response)
             finally:
                 self._queue.task_done()
+
+    def _sample_trace(self, job: _Job, response: Response) -> None:
+        """Offer the finished request's trace to the sampled store.
+
+        Runs BEFORE the response future resolves, so the connection
+        handler sees ``ident.kept`` when it writes the ``traceparent``
+        response header and the latency exemplar.
+        """
+        finished = monotonic()
+        record = TraceRecord(
+            trace_id=job.ident.trace_id,
+            endpoint=job.endpoint,
+            pattern=job.pattern,
+            status=response.status,
+            duration_seconds=finished - job.enqueued_at,
+            ts_monotonic=finished,
+            trace=job.trace,
+            parent_span_id=job.ident.parent_span_id,
+        )
+        job.ident.kept = self.trace_store.offer(record) is not None
 
     def _execute(self, slot: _EngineSlot, job: _Job) -> _Outcome:
         """Run one job on the slot's thread under its deadline."""
@@ -655,29 +918,40 @@ class QueryService:
             )
         slot.corpus.set_deadline(job.deadline)
         try:
-            return job.fn(slot.engine)
+            with job.trace.span(job.endpoint, pattern=job.pattern):
+                return job.fn(slot.engine, job.trace)
         finally:
             slot.corpus.clear_deadline()
 
     # -- observability -------------------------------------------------------
 
     def _observe_request(
-        self, endpoint: str, response: Response, elapsed: float
+        self,
+        endpoint: str,
+        response: Response,
+        elapsed: float,
+        ident: Optional[RequestIdentity] = None,
     ) -> None:
         # Callers already clamp, but re-clamp at the metrics boundary
         # so no future call site can mint unbounded label values
         # (CONC005): the label vocabulary is the closed endpoint set.
+        # The trace id rides as an exemplar, never as a label.
         endpoint = endpoint if endpoint in _KNOWN_ENDPOINTS else "other"
         self.registry.counter(
             "free_serve_requests_total",
             "HTTP requests served, by endpoint and status.",
             ["endpoint", "status"],
         ).labels(endpoint=endpoint, status=str(response.status)).inc()
+        exemplar = (
+            {"trace_id": ident.trace_id}
+            if ident is not None and ident.kept
+            else None
+        )
         self.registry.histogram(
             "free_serve_request_seconds",
             "End-to-end HTTP request latency (queueing included).",
             ["endpoint"],
-        ).labels(endpoint=endpoint).observe(elapsed)
+        ).labels(endpoint=endpoint).observe(elapsed, exemplar=exemplar)
         self.registry.gauge(
             "free_serve_queue_depth",
             "Jobs currently waiting in the admission queue.",
@@ -686,6 +960,16 @@ class QueryService:
             "free_serve_inflight",
             "Queries currently executing on worker engines.",
         ).unlabeled().set(self._inflight)
+
+    @staticmethod
+    def _outcome_label(status: int) -> str:
+        if status == 200:
+            return "ok"
+        if status == 504:
+            return "timeout"
+        if status >= 500:
+            return "server_error"
+        return "client_error"
 
     def _log_query(
         self,
@@ -698,13 +982,20 @@ class QueryService:
         finished = monotonic()
         entry: Dict[str, object] = {
             "ts_monotonic": finished,
+            "trace_id": job.ident.trace_id,
             "endpoint": job.endpoint,
             "pattern": job.pattern,
             "status": response.status,
+            "outcome": self._outcome_label(response.status),
             "latency_seconds": finished - job.enqueued_at,
             "timed_out": response.status == 504,
             "n_matches": outcome.n_matches if outcome else None,
             "n_candidates": outcome.n_candidates if outcome else None,
+            "candidate_ratio": (
+                outcome.candidate_ratio if outcome else None
+            ),
+            "phase_seconds": phase_seconds(job.trace),
+            "sampled": job.ident.kept,
         }
         self._query_log.write(entry)
 

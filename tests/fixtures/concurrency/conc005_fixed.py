@@ -1,4 +1,5 @@
-"""CONC005 fixed: clamp the label to a literal vocabulary first."""
+"""CONC005 fixed: clamp the label to a literal vocabulary first;
+route identities through histogram exemplars, never labels."""
 
 _ENDPOINTS = frozenset({"/search", "/metrics"})
 
@@ -10,3 +11,16 @@ class Metrics:
     def observe(self, endpoint):
         label = endpoint if endpoint in _ENDPOINTS else "other"
         self.counter.labels(endpoint=label).inc()
+
+
+class Latency:
+    """The trace id rides as an exemplar: one value pinned per bucket,
+    bounded memory, no new time series."""
+
+    def __init__(self, histogram):
+        self.histogram = histogram
+
+    def observe(self, trace_id, endpoint, elapsed):
+        label = endpoint if endpoint in _ENDPOINTS else "other"
+        child = self.histogram.labels(endpoint=label)
+        child.observe(elapsed, exemplar={"trace_id": trace_id})

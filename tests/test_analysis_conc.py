@@ -318,6 +318,48 @@ class TestUnboundedLabels:
         """)
         assert codes(hits) == ["CONC005"]
 
+    def test_identity_label_fires_even_when_bounded(self):
+        # str(...) passes the boundedness grammar, but per-request
+        # identities are banned by NAME: one series per request.
+        hits = run("""
+        class M:
+            def observe(self, trace_id):
+                self.histogram.labels(trace_id=str(trace_id)).observe(1)
+        """)
+        assert codes(hits) == ["CONC005"]
+        finding, _justification = hits[0]
+        assert "exemplar" in finding.message
+
+    def test_identity_label_fires_for_literal_value(self):
+        # even a constant value is wrong under an identity label name
+        hits = run("""
+        class M:
+            def observe(self):
+                self.counter.labels(request_id="fixed").inc()
+        """)
+        assert codes(hits) == ["CONC005"]
+
+    def test_all_identity_names_banned(self):
+        for name in (
+            "trace_id", "span_id", "request_id", "query_id",
+            "correlation_id",
+        ):
+            hits = run(f"""
+            class M:
+                def observe(self, value):
+                    self.counter.labels({name}=str(value)).inc()
+            """)
+            assert codes(hits) == ["CONC005"], name
+
+    def test_exemplar_kwarg_is_the_sanctioned_channel(self):
+        hits = run("""
+        class M:
+            def observe(self, trace_id, elapsed):
+                child = self.histogram.labels(endpoint="/search")
+                child.observe(elapsed, exemplar={"trace_id": trace_id})
+        """)
+        assert hits == []
+
 
 class TestSwallowedOnClose:
     def test_broad_except_drop_in_close(self):

@@ -1,0 +1,173 @@
+"""Request identity: trace/span ids and W3C traceparent parsing.
+
+The Hypothesis round-trip is the load-bearing property: any identity
+this process formats must parse back to the same identity on the next
+hop (or in our own connection handler when a client echoes it back).
+The rejection tests pin the strictness the W3C spec demands — the
+serving layer treats any ``None`` parse as "mint a fresh identity", so
+over-acceptance would silently adopt garbage trace ids.
+"""
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.ids import (
+    FLAG_SAMPLED,
+    SPAN_ID_HEX_LEN,
+    TRACE_ID_HEX_LEN,
+    TraceParent,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    should_sample,
+    trace_id_fraction,
+)
+
+_HEX = "0123456789abcdef"
+
+
+def _hex_id(length, nonzero=True):
+    ids = st.text(alphabet=_HEX, min_size=length, max_size=length)
+    if nonzero:
+        ids = ids.filter(lambda s: s != "0" * length)
+    return ids
+
+
+class TestIdGeneration:
+    def test_trace_id_shape(self):
+        for _ in range(32):
+            tid = new_trace_id()
+            assert re.fullmatch(r"[0-9a-f]{32}", tid)
+            assert tid != "0" * TRACE_ID_HEX_LEN
+
+    def test_span_id_shape(self):
+        for _ in range(32):
+            sid = new_span_id()
+            assert re.fullmatch(r"[0-9a-f]{16}", sid)
+            assert sid != "0" * SPAN_ID_HEX_LEN
+
+    def test_ids_are_distinct(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        trace_id=_hex_id(TRACE_ID_HEX_LEN),
+        span_id=_hex_id(SPAN_ID_HEX_LEN),
+        sampled=st.booleans(),
+    )
+    def test_format_parse_round_trip(self, trace_id, span_id, sampled):
+        header = format_traceparent(trace_id, span_id, sampled=sampled)
+        parsed = parse_traceparent(header)
+        assert parsed == TraceParent(
+            trace_id=trace_id, span_id=span_id, sampled=sampled
+        )
+        # and the dataclass re-formats to the identical header
+        assert parsed.format() == header
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        trace_id=_hex_id(TRACE_ID_HEX_LEN),
+        span_id=_hex_id(SPAN_ID_HEX_LEN),
+    )
+    def test_surrounding_whitespace_tolerated(self, trace_id, span_id):
+        header = "  " + format_traceparent(trace_id, span_id) + "\t"
+        parsed = parse_traceparent(header)
+        assert parsed is not None and parsed.trace_id == trace_id
+
+
+class TestRejection:
+    def test_none_and_empty(self):
+        assert parse_traceparent(None) is None
+        assert parse_traceparent("") is None
+        assert parse_traceparent("   ") is None
+
+    def test_malformed_shapes(self):
+        tid, sid = "ab" * 16, "cd" * 8
+        bad = [
+            "not-a-traceparent",
+            f"00-{tid}-{sid}",             # missing flags
+            f"00-{tid}-{sid}-1",           # flags too short
+            f"00-{tid}-{sid}-012",         # flags too long
+            f"00-{tid[:-1]}-{sid}-01",     # short trace id
+            f"00-{tid}-{sid[:-1]}-01",     # short span id
+            f"00-{tid}x-{sid}-01",         # long trace id
+            f"0-{tid}-{sid}-01",           # short version
+            f"00_{tid}-{sid}-01",          # wrong separator
+        ]
+        for header in bad:
+            assert parse_traceparent(header) is None, header
+
+    def test_non_hex_and_uppercase_rejected(self):
+        tid, sid = "ab" * 16, "cd" * 8
+        assert parse_traceparent(f"00-{'g' * 32}-{sid}-01") is None
+        assert parse_traceparent(f"00-{tid.upper()}-{sid}-01") is None
+        assert parse_traceparent(f"00-{tid}-{sid.upper()}-01") is None
+        assert parse_traceparent(f"00-{tid}-{sid}-0G") is None
+
+    def test_all_zero_ids_rejected(self):
+        tid, sid = "ab" * 16, "cd" * 8
+        assert parse_traceparent(f"00-{'0' * 32}-{sid}-01") is None
+        assert parse_traceparent(f"00-{tid}-{'0' * 16}-01") is None
+
+    def test_version_ff_rejected(self):
+        header = f"ff-{'ab' * 16}-{'cd' * 8}-01"
+        assert parse_traceparent(header) is None
+
+    def test_version_00_rejects_trailing_fields(self):
+        base = f"00-{'ab' * 16}-{'cd' * 8}-01"
+        assert parse_traceparent(base + "-extra") is None
+        assert parse_traceparent(base + "x") is None
+
+    def test_higher_version_allows_dash_suffix_only(self):
+        base = f"42-{'ab' * 16}-{'cd' * 8}-01"
+        parsed = parse_traceparent(base + "-future-fields")
+        assert parsed is not None and parsed.trace_id == "ab" * 16
+        assert parse_traceparent(base + "junk") is None
+
+    @settings(max_examples=100, deadline=None)
+    @given(junk=st.text(max_size=64))
+    def test_arbitrary_text_never_raises(self, junk):
+        parse_traceparent(junk)  # None or TraceParent; never an error
+
+
+class TestSamplingFlag:
+    def test_flag_bit_parsed(self):
+        tid, sid = "ab" * 16, "cd" * 8
+        assert parse_traceparent(f"00-{tid}-{sid}-01").sampled
+        assert not parse_traceparent(f"00-{tid}-{sid}-00").sampled
+        # other flag bits set alongside sampled
+        flags = f"{FLAG_SAMPLED | 0x02:02x}"
+        assert parse_traceparent(f"00-{tid}-{sid}-{flags}").sampled
+
+
+class TestDeterministicSampling:
+    def test_fraction_in_unit_interval_and_deterministic(self):
+        for _ in range(64):
+            tid = new_trace_id()
+            fraction = trace_id_fraction(tid)
+            assert 0.0 <= fraction < 1.0
+            assert fraction == trace_id_fraction(tid)
+
+    def test_rate_extremes(self):
+        tid = new_trace_id()
+        assert should_sample(tid, 1.0)
+        assert should_sample(tid, 2.0)
+        assert not should_sample(tid, 0.0)
+        assert not should_sample(tid, -1.0)
+
+    def test_decision_matches_fraction(self):
+        low = "0" * 31 + "1"     # fraction ~ 0
+        high = "f" * 32          # fraction ~ 1
+        assert should_sample(low, 0.5)
+        assert not should_sample(high, 0.5)
+
+    def test_same_id_same_decision_everywhere(self):
+        # the property that lets every process sample without
+        # coordination: the decision is a pure function of (id, rate)
+        for _ in range(32):
+            tid = new_trace_id()
+            assert should_sample(tid, 0.3) == should_sample(tid, 0.3)

@@ -208,6 +208,107 @@ class TestExposition:
             parse_prometheus_text(bad)
 
 
+class TestExemplars:
+    def _histo(self, buckets=(0.1, 1.0)):
+        registry = MetricsRegistry()
+        return registry, registry.histogram(
+            "h_seconds", "Latency.", buckets=buckets
+        ).unlabeled()
+
+    def test_observe_stores_last_exemplar_per_bucket(self):
+        _registry, histo = self._histo()
+        histo.observe(0.05, exemplar={"trace_id": "a" * 32})
+        histo.observe(0.07, exemplar={"trace_id": "b" * 32})
+        histo.observe(0.5, exemplar={"trace_id": "c" * 32})
+        histo.observe(0.06)  # no exemplar: previous one sticks
+        labels, value = histo.bucket_exemplar(0)
+        assert dict(labels) == {"trace_id": "b" * 32}
+        assert value == pytest.approx(0.07)
+        labels, _value = histo.bucket_exemplar(1)
+        assert dict(labels) == {"trace_id": "c" * 32}
+        assert histo.bucket_exemplar(2) is None  # +Inf untouched
+
+    def test_overflow_exemplar_lands_on_inf_bucket(self):
+        _registry, histo = self._histo()
+        histo.observe(50.0, exemplar={"trace_id": "d" * 32})
+        assert histo.bucket_exemplar(0) is None
+        assert histo.bucket_exemplar(1) is None
+        labels, value = histo.bucket_exemplar(2)
+        assert dict(labels) == {"trace_id": "d" * 32}
+        assert value == pytest.approx(50.0)
+
+    def test_invalid_exemplar_label_name_rejected(self):
+        _registry, histo = self._histo()
+        with pytest.raises(MetricsError):
+            histo.observe(0.05, exemplar={"trace id": "x"})
+
+    def test_exposition_renders_openmetrics_suffix(self):
+        registry, histo = self._histo()
+        histo.observe(0.05, exemplar={"trace_id": "ab" * 16})
+        text = registry.render_prometheus()
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith('h_seconds_bucket{le="0.1"}')
+        )
+        assert line.endswith(f'# {{trace_id="{"ab" * 16}"}} 0.05')
+        # buckets without exemplars render without the suffix
+        inf_line = next(
+            l for l in text.splitlines()
+            if l.startswith('h_seconds_bucket{le="+Inf"}')
+        )
+        assert "#" not in inf_line
+
+    def test_strict_parser_accepts_exemplar_lines(self):
+        registry, histo = self._histo()
+        histo.observe(0.05, exemplar={"trace_id": "ab" * 16})
+        histo.observe(5.0, exemplar={"trace_id": "cd" * 16})
+        samples = parse_prometheus_text(registry.render_prometheus())
+        buckets = samples["h_seconds_bucket"]
+        assert buckets["le=+Inf"] == 2.0
+
+    def test_parser_rejects_exemplar_on_non_bucket_line(self):
+        bad = "\n".join([
+            "# TYPE c_total counter",
+            'c_total 5 # {trace_id="ab"} 1.0',
+        ])
+        with pytest.raises(MetricsError):
+            parse_prometheus_text(bad)
+
+    def test_parser_rejects_exemplar_value_above_le(self):
+        bad = "\n".join([
+            "# TYPE h histogram",
+            'h_bucket{le="1.0"} 1 # {trace_id="ab"} 2.5',
+            'h_bucket{le="+Inf"} 1',
+            "h_count 1",
+        ])
+        with pytest.raises(MetricsError):
+            parse_prometheus_text(bad)
+
+    def test_parser_rejects_empty_or_bad_exemplar(self):
+        empty = "\n".join([
+            "# TYPE h histogram",
+            'h_bucket{le="+Inf"} 1 # {} 0.5',
+            "h_count 1",
+        ])
+        with pytest.raises(MetricsError):
+            parse_prometheus_text(empty)
+        bad_value = "\n".join([
+            "# TYPE h histogram",
+            'h_bucket{le="+Inf"} 1 # {trace_id="ab"} notafloat',
+            "h_count 1",
+        ])
+        with pytest.raises(MetricsError):
+            parse_prometheus_text(bad_value)
+
+    def test_exemplars_do_not_disturb_snapshot_delta(self):
+        registry, histo = self._histo()
+        histo.observe(0.05, exemplar={"trace_id": "ab" * 16})
+        snap = registry.snapshot()
+        histo.observe(0.06, exemplar={"trace_id": "cd" * 16})
+        window = registry.delta(snap)
+        assert window["h_seconds"]["samples"][""]["count"] == 1
+
+
 class TestGlobalRegistry:
     def test_get_registry_is_stable(self):
         assert get_registry() is get_registry()

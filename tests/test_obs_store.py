@@ -1,0 +1,253 @@
+"""TraceStore: bounded ring eviction, slow-trace retention, and
+thread-safety under concurrent writers."""
+
+import threading
+
+import pytest
+
+from repro.obs.clock import ManualClock, use_clock
+from repro.obs.ids import new_trace_id
+from repro.obs.store import (
+    PHASE_SPANS,
+    TraceRecord,
+    TraceStore,
+    phase_seconds,
+)
+from repro.obs.trace import Trace
+
+
+def record(duration, endpoint="/search", trace=None, trace_id=None):
+    return TraceRecord(
+        trace_id=trace_id if trace_id is not None else new_trace_id(),
+        endpoint=endpoint,
+        pattern="abc",
+        status=200,
+        duration_seconds=duration,
+        ts_monotonic=0.0,
+        trace=trace,
+    )
+
+
+class TestValidation:
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+        with pytest.raises(ValueError):
+            TraceStore(slow_capacity=0)
+        with pytest.raises(ValueError):
+            TraceStore(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            TraceStore(slow_threshold_seconds=0.0)
+
+
+class TestSamplingPolicy:
+    def test_rate_one_keeps_everything(self):
+        store = TraceStore(sample_rate=1.0, slow_threshold_seconds=10.0)
+        for _ in range(10):
+            assert store.offer(record(0.01)) == "probability"
+        assert len(store.recent()) == 10
+
+    def test_rate_zero_keeps_only_slow(self):
+        store = TraceStore(sample_rate=0.0, slow_threshold_seconds=0.5)
+        assert store.offer(record(0.01)) is None
+        assert store.offer(record(0.9)) == "slow"
+        assert store.recent() == []
+        assert len(store.slowest()) == 1
+
+    def test_both_reasons_combine(self):
+        store = TraceStore(sample_rate=1.0, slow_threshold_seconds=0.5)
+        kept = store.offer(record(0.9))
+        assert kept == "probability+slow"
+
+    def test_sampled_reason_written_back(self):
+        store = TraceStore(sample_rate=1.0, slow_threshold_seconds=10.0)
+        rec = record(0.01)
+        store.offer(rec)
+        assert rec.sampled_reason == "probability"
+
+    def test_decision_is_deterministic_in_the_id(self):
+        tid = new_trace_id()
+        first = TraceStore(sample_rate=0.37).offer(
+            record(0.01, trace_id=tid)
+        )
+        second = TraceStore(sample_rate=0.37).offer(
+            record(0.01, trace_id=tid)
+        )
+        assert first == second
+
+
+class TestRingEviction:
+    def test_ring_is_bounded_and_newest_first(self):
+        store = TraceStore(
+            capacity=4, sample_rate=1.0, slow_threshold_seconds=10.0
+        )
+        records = [record(0.001 * i) for i in range(10)]
+        for rec in records:
+            store.offer(rec)
+        recent = store.recent()
+        assert len(recent) == 4
+        assert [r.trace_id for r in recent] == [
+            r.trace_id for r in reversed(records[-4:])
+        ]
+        assert store.stats()["evicted"] == 6
+
+    def test_recent_n_slices(self):
+        store = TraceStore(
+            capacity=8, sample_rate=1.0, slow_threshold_seconds=10.0
+        )
+        for i in range(8):
+            store.offer(record(0.001 * i))
+        assert len(store.recent(3)) == 3
+
+
+class TestSlowRetention:
+    def test_top_n_by_duration_survives_ring_churn(self):
+        store = TraceStore(
+            capacity=2,
+            slow_capacity=3,
+            sample_rate=0.0,
+            slow_threshold_seconds=0.1,
+        )
+        durations = [0.2, 0.9, 0.15, 0.5, 0.3, 0.7]
+        for duration in durations:
+            store.offer(record(duration))
+        slowest = [r.duration_seconds for r in store.slowest()]
+        assert slowest == [0.9, 0.7, 0.5]  # top-3, slowest first
+
+    def test_fast_requests_never_enter_slow_set(self):
+        store = TraceStore(sample_rate=0.0, slow_threshold_seconds=0.5)
+        store.offer(record(0.49))
+        assert store.slowest() == []
+
+    def test_threshold_is_inclusive(self):
+        store = TraceStore(sample_rate=0.0, slow_threshold_seconds=0.5)
+        assert store.offer(record(0.5)) == "slow"
+
+
+class TestLookup:
+    def test_get_finds_in_ring_and_slow_set(self):
+        store = TraceStore(
+            capacity=4, sample_rate=1.0, slow_threshold_seconds=0.5
+        )
+        fast, slow = record(0.01), record(0.9)
+        store.offer(fast)
+        store.offer(slow)
+        assert store.get(fast.trace_id) is fast
+        assert store.get(slow.trace_id) is slow
+        assert store.get("f" * 32) is None
+
+    def test_slow_record_survives_ring_eviction(self):
+        store = TraceStore(
+            capacity=2, sample_rate=1.0, slow_threshold_seconds=0.5
+        )
+        slow = record(0.9)
+        store.offer(slow)
+        for _ in range(5):
+            store.offer(record(0.01))
+        assert store.get(slow.trace_id) is slow
+
+
+class TestConcurrency:
+    def test_concurrent_writers_keep_bounds_and_counters(self):
+        store = TraceStore(
+            capacity=16,
+            slow_capacity=8,
+            sample_rate=1.0,
+            slow_threshold_seconds=0.5,
+        )
+        n_threads, per_thread = 8, 200
+
+        def hammer(ordinal):
+            for i in range(per_thread):
+                duration = 0.9 if (i % 10) == 0 else 0.01
+                store.offer(record(duration))
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,))
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        stats = store.stats()
+        total = n_threads * per_thread
+        assert stats["offered"] == total
+        assert stats["ring_size"] == 16
+        assert stats["slow_size"] == 8
+        assert stats["kept_sampled"] == total
+        assert stats["kept_slow"] == n_threads * (per_thread // 10)
+        # every retained slow trace really is slow
+        assert all(
+            r.duration_seconds >= 0.5 for r in store.slowest()
+        )
+
+    def test_concurrent_readers_do_not_crash_writers(self):
+        store = TraceStore(
+            capacity=8, sample_rate=1.0, slow_threshold_seconds=0.5
+        )
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    store.recent(4)
+                    store.slowest(4)
+                    len(store)
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for i in range(2000):
+                store.offer(record(0.9 if i % 7 == 0 else 0.01))
+        finally:
+            stop.set()
+            thread.join()
+        assert not failures
+
+
+class TestPhaseSeconds:
+    def test_flattens_the_span_taxonomy(self):
+        clock = ManualClock()
+        with use_clock(clock):
+            trace = Trace()
+            with trace.span("/search"):
+                with trace.span("plan"):
+                    clock.advance(0.010)
+                with trace.span("postings"):
+                    clock.advance(0.020)
+                with trace.span("verify"):
+                    clock.advance(0.030)
+        phases = phase_seconds(trace)
+        assert phases["plan"] == pytest.approx(0.010)
+        assert phases["postings"] == pytest.approx(0.020)
+        assert phases["verify"] == pytest.approx(0.030)
+        assert "matcher" not in phases  # absent phases omitted
+        assert set(phases) <= set(PHASE_SPANS)
+
+    def test_none_trace_yields_empty(self):
+        assert phase_seconds(None) == {}
+
+
+class TestRecordExport:
+    def test_as_dict_with_and_without_spans(self):
+        trace = Trace()
+        with trace.span("/search"):
+            pass
+        rec = record(0.9, trace=trace, trace_id=trace.trace_id)
+        full = rec.as_dict()
+        assert full["trace"]["trace_id"] == rec.trace_id
+        lean = rec.as_dict(spans=False)
+        assert "trace" not in lean
+
+    def test_render_mentions_identity_and_reason(self):
+        store = TraceStore(sample_rate=1.0, slow_threshold_seconds=10.0)
+        rec = record(0.01)
+        store.offer(rec)
+        text = rec.render()
+        assert rec.trace_id in text
+        assert "probability" in text

@@ -79,6 +79,37 @@ class TestTraceStructure:
         assert trace.root.duration_seconds >= 0.0
 
 
+class TestTraceIdentity:
+    def test_trace_mints_an_id_by_default(self):
+        import re
+
+        assert re.fullmatch(r"[0-9a-f]{32}", Trace().trace_id)
+        assert Trace().trace_id != Trace().trace_id
+
+    def test_explicit_trace_id_adopted(self):
+        tid = "ab" * 16
+        trace = Trace(trace_id=tid)
+        assert trace.trace_id == tid
+        assert trace.as_dict()["trace_id"] == tid
+
+    def test_every_span_carries_a_distinct_span_id(self):
+        import re
+
+        trace = Trace()
+        with trace.span("search"):
+            with trace.span("plan"):
+                pass
+            with trace.span("verify"):
+                pass
+        spans = [trace.root] + trace.root.children
+        ids = [s.span_id for s in spans]
+        assert len(set(ids)) == len(ids)
+        for span_id in ids:
+            assert re.fullmatch(r"[0-9a-f]{16}", span_id)
+        payload = trace.as_dict()["spans"][0]
+        assert payload["span_id"] == trace.root.span_id
+
+
 class TestTraceTimings:
     def _timed_trace(self):
         clock = ManualClock()

@@ -69,7 +69,8 @@ def bench_record():
         lambda: corpus,
         index,
         serve_config=ServeConfig(
-            workers=2, queue_depth=16, timeout_seconds=10.0
+            workers=2, queue_depth=16, timeout_seconds=10.0,
+            trace_sample_rate=1.0,
         ),
         seed=7,
         closed_concurrency=4,
@@ -126,3 +127,42 @@ class TestServeBenchmark:
         # sort_keys + trailing newline, like every bench artifact.
         text = path.read_text()
         assert text.endswith("\n")
+
+    def test_per_endpoint_histograms(self, bench_record):
+        for phase in bench_record["phases"].values():
+            per_endpoint = phase["per_endpoint"]
+            assert per_endpoint, "no per-endpoint histograms recorded"
+            total = 0
+            for endpoint, summary in per_endpoint.items():
+                assert endpoint.startswith("/")
+                buckets = summary["buckets"]
+                assert "+Inf" in buckets
+                # cumulative buckets end at the observation count
+                assert buckets["+Inf"] == summary["count"]
+                counts = [
+                    buckets[k] for k in buckets
+                ]
+                assert counts == sorted(counts)
+                assert summary["p50"] <= summary["p95"] <= summary["p99"]
+                total += summary["count"]
+            assert total == phase["completed"]
+
+    def test_trace_store_stats_recorded(self, bench_record):
+        store = bench_record["trace_store"]
+        # the default bench samples everything, so the store saw every
+        # admitted query and kept each one
+        assert store["offered"] == bench_record["service"]["queries"]
+        assert store["kept_sampled"] == store["offered"]
+
+    def test_metrics_exposition_carries_exemplars(self, bench_record):
+        from repro.obs.registry import parse_prometheus_text
+
+        exposition = bench_record["metrics_exposition"]
+        parse_prometheus_text(exposition)  # strict parse must pass
+        exemplar_lines = [
+            line for line in exposition.splitlines()
+            if "free_serve_request_seconds_bucket" in line
+            and "# {" in line
+        ]
+        assert exemplar_lines, "bench produced no latency exemplars"
+        assert all('trace_id="' in l for l in exemplar_lines)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import os
 import threading
 import time
 
@@ -26,6 +27,7 @@ from repro.index.sharded import ShardedIndex
 from repro.obs.registry import MetricsRegistry, parse_prometheus_text
 from repro.serve.service import (
     QueryService,
+    RequestIdentity,
     ServeConfig,
     ServerThread,
     build_slots,
@@ -282,7 +284,8 @@ class TestBackpressure:
         async def go():
             service._draining = True
             resp = await service._submit(
-                "/search", "x", lambda engine: None
+                "/search", "x", lambda engine, trace: None,
+                RequestIdentity.of(None),
             )
             return resp.status
 
@@ -428,6 +431,103 @@ class TestQueryLog:
         assert entries[2]["status"] == 400
         assert entries[2]["n_matches"] is None
         assert all("ts_monotonic" in e for e in entries)
+
+
+class TestQueryLogRotation:
+    def test_rotation_rolls_to_dot_one(self, tmp_path):
+        from repro.serve.service import _QueryLog
+
+        path = str(tmp_path / "queries.jsonl")
+        log = _QueryLog(path, max_bytes=512)
+        try:
+            for i in range(100):
+                log.write({"seq": i, "pattern": "x" * 32})
+        finally:
+            log.close()
+        rolled = path + ".1"
+        assert os.path.exists(rolled)
+        assert os.path.getsize(path) <= 512
+        # both generations hold whole, parseable JSON lines
+        entries = []
+        for name in (rolled, path):
+            with open(name, encoding="utf-8") as handle:
+                for line in handle:
+                    assert line.endswith("\n")
+                    entries.append(json.loads(line))
+        seqs = [e["seq"] for e in entries]
+        # the rollover keeps a contiguous, in-order tail
+        assert seqs == list(range(seqs[0], 100))
+        assert log.rotations > 0
+
+    def test_single_oversized_line_does_not_loop(self, tmp_path):
+        from repro.serve.service import _QueryLog
+
+        path = str(tmp_path / "queries.jsonl")
+        log = _QueryLog(path, max_bytes=64)
+        try:
+            log.write({"pattern": "y" * 500})  # bigger than max_bytes
+            log.write({"pattern": "z" * 500})
+        finally:
+            log.close()
+        # each oversized line lands before triggering a rotate, so the
+        # live file plus one rollover hold one line each
+        with open(path, encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 1
+        with open(path + ".1", encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 1
+
+    def test_unbounded_by_default(self, tmp_path):
+        from repro.serve.service import _QueryLog
+
+        path = str(tmp_path / "queries.jsonl")
+        log = _QueryLog(path)
+        try:
+            for i in range(50):
+                log.write({"seq": i, "pattern": "x" * 64})
+        finally:
+            log.close()
+        assert not os.path.exists(path + ".1")
+        with open(path, encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 50
+
+    def test_size_resumes_from_existing_file(self, tmp_path):
+        from repro.serve.service import _QueryLog
+
+        path = str(tmp_path / "queries.jsonl")
+        first = _QueryLog(path, max_bytes=4096)
+        first.write({"seq": 0})
+        first.close()
+        # a restart must count the bytes already on disk
+        second = _QueryLog(path, max_bytes=4096)
+        try:
+            assert second._size == os.path.getsize(path)
+        finally:
+            second.close()
+
+    def test_rotation_over_http(self, corpus, multigram_index, tmp_path):
+        log_path = tmp_path / "queries.jsonl"
+        thread, _slots = make_server(
+            corpus, multigram_index, workers=1,
+            query_log_path=str(log_path),
+            query_log_max_bytes=256,
+        )
+        with thread:
+            for _ in range(8):
+                request(
+                    thread.port, "POST", "/search",
+                    {"pattern": "stanford", "collect_matches": False},
+                )
+            _status, _headers, body = request(
+                thread.port, "GET", "/debug/vars"
+            )
+        vars_payload = json.loads(body)
+        assert vars_payload["query_log"]["rotations"] >= 1
+        rolled = str(log_path) + ".1"
+        assert os.path.exists(rolled)
+        for name in (rolled, str(log_path)):
+            with open(name, encoding="utf-8") as handle:
+                for line in handle:
+                    json.loads(line)  # every line whole
 
 
 class _TrackingCorpus(CorpusStore):

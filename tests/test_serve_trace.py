@@ -1,0 +1,280 @@
+"""End-to-end request observability through ``free serve``.
+
+The acceptance property of the observability stack: ONE trace id,
+supplied by the client as a W3C ``traceparent`` header, must come back
+on the response header, appear in the request's JSONL query-log entry,
+be retrievable from ``GET /debug/tracez``, and show up as the exemplar
+on the latency histogram in ``GET /metrics`` — logs, metrics and
+traces correlated by a single identifier.
+"""
+
+import http.client
+import json
+import re
+
+import pytest
+
+from repro.obs.ids import format_traceparent, parse_traceparent
+from repro.obs.registry import MetricsRegistry, parse_prometheus_text
+from repro.serve.service import (
+    QueryService,
+    ServeConfig,
+    ServerThread,
+    build_slots,
+)
+
+_TRACEPARENT_SHAPE = re.compile(r"^00-[0-9a-f]{32}-[0-9a-f]{16}-0[01]$")
+
+
+def request(port, method, path, payload=None, headers=None, timeout=30):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        send_headers = dict(headers or {})
+        if body:
+            send_headers.setdefault("Content-Type", "application/json")
+        conn.request(method, path, body, send_headers)
+        resp = conn.getresponse()
+        resp_headers = {k.lower(): v for k, v in resp.getheaders()}
+        return resp.status, resp_headers, resp.read()
+    finally:
+        conn.close()
+
+
+def make_server(corpus, index, registry=None, **config_kwargs):
+    registry = registry if registry is not None else MetricsRegistry()
+    config = ServeConfig(port=0, **config_kwargs)
+    slots = build_slots(lambda: corpus, index, config, registry)
+    service = QueryService(config, slots, registry=registry)
+    return ServerThread(service)
+
+
+def client_traceparent():
+    tid = "ab" * 16
+    sid = "cd" * 8
+    return tid, format_traceparent(tid, sid, sampled=True)
+
+
+@pytest.fixture(scope="module")
+def traced_server(corpus, multigram_index, tmp_path_factory):
+    """Sample-everything server with a query log, up for the module."""
+    log_path = str(tmp_path_factory.mktemp("serve") / "queries.jsonl")
+    thread = make_server(
+        corpus, multigram_index,
+        workers=2, queue_depth=16, timeout_seconds=30.0,
+        trace_sample_rate=1.0, slow_trace_seconds=30.0,
+        query_log_path=log_path,
+    )
+    with thread:
+        yield thread, log_path
+
+
+class TestEndToEndCorrelation:
+    def test_one_id_across_header_log_tracez_and_exemplar(
+        self, traced_server
+    ):
+        thread, log_path = traced_server
+        tid, header = client_traceparent()
+
+        status, headers, _body = request(
+            thread.port, "POST", "/search",
+            {"pattern": "stanford", "collect_matches": False},
+            headers={"traceparent": header},
+        )
+        assert status == 200
+
+        # 1. the response echoes the same trace id, flagged sampled
+        echoed = parse_traceparent(headers["traceparent"])
+        assert echoed is not None
+        assert echoed.trace_id == tid
+        assert echoed.sampled  # kept (rate=1.0) -> flag 01
+        # ...with a server-minted span id, not the client's
+        assert headers["traceparent"] != header
+
+        # 2. the JSONL query log entry carries it
+        with open(log_path, encoding="utf-8") as handle:
+            entries = [json.loads(line) for line in handle]
+        ours = [e for e in entries if e["trace_id"] == tid]
+        assert ours, "query log never saw the trace id"
+        entry = ours[-1]
+        assert entry["endpoint"] == "/search"
+        assert entry["outcome"] == "ok"
+        assert entry["sampled"] is True
+        assert "plan" in entry["phase_seconds"]
+        assert 0.0 <= entry["candidate_ratio"] <= 1.0
+
+        # 3. /debug/tracez serves the stored span tree
+        status, _h, body = request(thread.port, "GET", "/debug/tracez")
+        assert status == 200
+        traces = json.loads(body)["traces"]
+        match = [t for t in traces if t["trace_id"] == tid]
+        assert match, "trace store never kept the trace"
+        stored = match[-1]
+        assert stored["status"] == 200
+        assert stored["trace"]["trace_id"] == tid
+        span_names = [s["name"] for s in stored["trace"]["spans"]]
+        assert span_names == ["/search"]
+        # the engine's span taxonomy hangs under the endpoint root
+        children = {
+            c["name"] for c in stored["trace"]["spans"][0]["children"]
+        }
+        assert "search" in children
+        assert stored["phase_seconds"].keys() >= {"plan"}
+        # the client's span id is preserved as the parent link
+        assert stored["parent_span_id"] == "cd" * 8
+
+        # 4. /metrics carries the id as a latency-histogram exemplar
+        status, _h, body = request(thread.port, "GET", "/metrics")
+        assert status == 200
+        exposition = body.decode("utf-8")
+        exemplar_lines = [
+            line for line in exposition.splitlines()
+            if line.startswith("free_serve_request_seconds_bucket")
+            and f'# {{trace_id="{tid}"}}' in line
+        ]
+        assert exemplar_lines, "no exemplar carries the trace id"
+        assert 'endpoint="/search"' in exemplar_lines[0]
+        # and the strict parser accepts the exemplar-bearing text
+        parse_prometheus_text(exposition)
+
+    def test_fresh_identity_minted_without_inbound_header(
+        self, traced_server
+    ):
+        thread, _log_path = traced_server
+        _status, headers, _body = request(
+            thread.port, "POST", "/search",
+            {"pattern": "ebay", "collect_matches": False},
+        )
+        assert _TRACEPARENT_SHAPE.match(headers["traceparent"])
+
+    def test_malformed_inbound_header_is_replaced(self, traced_server):
+        thread, _log_path = traced_server
+        _status, headers, _body = request(
+            thread.port, "POST", "/search",
+            {"pattern": "ebay", "collect_matches": False},
+            headers={"traceparent": "00-zzz-bad-01"},
+        )
+        echoed = parse_traceparent(headers["traceparent"])
+        assert echoed is not None
+        assert echoed.trace_id != "zzz"
+
+    def test_every_endpoint_echoes_traceparent(self, traced_server):
+        thread, _log_path = traced_server
+        probes = [
+            ("GET", "/healthz", None),
+            ("GET", "/metrics", None),
+            ("GET", "/debug/vars", None),
+            ("GET", "/no/such/endpoint", None),  # 404 still echoes
+            ("GET", "/search", None),  # 405 still echoes
+        ]
+        for method, path, payload in probes:
+            _status, headers, _body = request(
+                thread.port, method, path, payload
+            )
+            assert "traceparent" in headers, path
+            assert _TRACEPARENT_SHAPE.match(headers["traceparent"]), path
+
+
+class TestSamplingBehaviour:
+    def test_rate_zero_marks_responses_unsampled(
+        self, corpus, multigram_index
+    ):
+        thread = make_server(
+            corpus, multigram_index,
+            trace_sample_rate=0.0, slow_trace_seconds=30.0,
+        )
+        with thread:
+            _status, headers, _body = request(
+                thread.port, "POST", "/search",
+                {"pattern": "stanford", "collect_matches": False},
+            )
+            echoed = parse_traceparent(headers["traceparent"])
+            assert echoed is not None and not echoed.sampled
+            _status, _h, body = request(
+                thread.port, "GET", "/debug/tracez"
+            )
+            assert json.loads(body)["traces"] == []
+
+    def test_slow_requests_always_retained(self, corpus, multigram_index):
+        # a 1ms threshold classifies every real query as slow even
+        # with probabilistic sampling off
+        thread = make_server(
+            corpus, multigram_index,
+            trace_sample_rate=0.0, slow_trace_seconds=0.001,
+        )
+        with thread:
+            _status, headers, _body = request(
+                thread.port, "POST", "/search",
+                {"pattern": "stanford", "collect_matches": False},
+            )
+            echoed = parse_traceparent(headers["traceparent"])
+            assert echoed is not None and echoed.sampled
+            _status, _h, body = request(
+                thread.port, "GET", "/debug/slowqueries"
+            )
+            slowest = json.loads(body)["slowest"]
+            assert len(slowest) == 1
+            assert slowest[0]["sampled_reason"] == "slow"
+            assert slowest[0]["duration_seconds"] >= 0.001
+
+
+class TestDebugEndpoints:
+    def test_tracez_text_format_renders_span_trees(self, traced_server):
+        thread, _log_path = traced_server
+        tid, header = client_traceparent()
+        request(
+            thread.port, "POST", "/first_k",
+            {"pattern": "stanford", "k": 2},
+            headers={"traceparent": header},
+        )
+        status, headers, body = request(
+            thread.port, "GET", "/debug/tracez?format=text&n=50"
+        )
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        text = body.decode("utf-8")
+        assert f"trace {tid} /first_k" in text
+        assert "/first_k" in text and "search" in text
+
+    def test_tracez_rejects_bad_n(self, traced_server):
+        thread, _log_path = traced_server
+        for query in ("?n=zero", "?n=0", "?n=-3"):
+            status, _h, _body = request(
+                thread.port, "GET", f"/debug/tracez{query}"
+            )
+            assert status == 400
+
+    def test_debug_endpoints_are_get_only(self, traced_server):
+        thread, _log_path = traced_server
+        for path in ("/debug/tracez", "/debug/slowqueries", "/debug/vars"):
+            status, _h, _body = request(thread.port, "POST", path, {})
+            assert status == 405
+
+    def test_vars_exposes_config_stats_and_store(self, traced_server):
+        thread, _log_path = traced_server
+        status, _h, body = request(thread.port, "GET", "/debug/vars")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["config"]["trace_sample_rate"] == 1.0
+        assert payload["config"]["workers"] == 2
+        assert payload["stats"]["queries"] >= 0
+        store = payload["trace_store"]
+        assert store["capacity"] == 128
+        assert store["offered"] >= store["kept_sampled"]
+        assert payload["query_log"]["path"].endswith("queries.jsonl")
+
+    def test_log_outcome_labels_cover_error_paths(self, traced_server):
+        thread, log_path = traced_server
+        tid = "ef" * 16
+        header = format_traceparent(tid, "ab" * 8)
+        status, _h, _body = request(
+            thread.port, "POST", "/search",
+            {"pattern": "unclosed("},  # engine parse error -> 400
+            headers={"traceparent": header},
+        )
+        assert status == 400
+        with open(log_path, encoding="utf-8") as handle:
+            entries = [json.loads(line) for line in handle]
+        ours = [e for e in entries if e["trace_id"] == tid]
+        assert ours and ours[-1]["outcome"] == "client_error"
+        assert ours[-1]["n_matches"] is None
