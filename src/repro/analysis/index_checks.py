@@ -29,6 +29,14 @@ SEG002       routing table == union of segment ids
 SEG003       tombstones are ids the segment actually holds
 SEG004       segment id count == its index's n_docs
 SEG005       epoch covers every recorded mutation
+SEG006       ingest manifest consistent and generation-monotone (the
+             on-disk manifest matches the mounted segments, the epoch
+             dominates the generation, and next ids cover every
+             recorded doc/segment id)
+SEG007       memtable doc ids disjoint from sealed segments, and the
+             live corpus is exactly sealed-live + memtable
+SEG008       tombstones only reference known sealed ids (never the
+             memtable, never unknown docs)
 SHD001       shard ranges are disjoint, contiguous, and tile the corpus
 SHD002       per-shard postings <= shard corpus chars (Obs 3.8 locally)
 SHD003       summed shard stats == whole-corpus stats
@@ -39,7 +47,7 @@ All checks are read-only and run without executing any query.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from repro.analysis.findings import Finding, Severity, make_finding
 from repro.index.multigram import GramIndex
@@ -52,6 +60,9 @@ from repro.index.presuf import (
 from repro.index.segmented import SegmentedGramIndex
 from repro.index.serialize import MappedGramIndex
 from repro.index.sharded import ShardedIndex
+
+if TYPE_CHECKING:  # runtime import stays deferred (layering)
+    from repro.index.ingest import IngestDirectory
 
 #: Cap on per-invariant witnesses so a badly broken index stays readable.
 MAX_WITNESSES = 5
@@ -429,6 +440,129 @@ def check_segmented_index(
             f"tombstones); some mutation skipped its epoch bump, so "
             f"candidate caches may serve stale results",
             subject="segmented index",
+        ))
+    return findings
+
+
+def check_ingest_directory(directory: "IngestDirectory") -> List[Finding]:
+    """Ingest lifecycle invariants (SEG006..SEG008) plus the full
+    segmented battery (SEG001..SEG005 and per-segment IDX checks) over
+    the mounted view.
+
+    The manifest is the durable source of truth, so most checks compare
+    the open directory's in-memory state against a fresh read of the
+    on-disk manifest: any disagreement means a crash at that moment
+    would recover a different view than the one being served.
+    """
+    from repro.index.ingest import read_manifest
+
+    findings = check_segmented_index(directory.index, corpus_chars=None)
+    subject = "ingest directory"
+    manifest = read_manifest(directory.path)
+    if manifest is None:
+        findings.append(make_finding(
+            "SEG006",
+            f"{directory.path!r} has no manifest on disk; a reopen "
+            "would recover nothing",
+            subject=subject,
+        ))
+        return findings
+
+    # SEG006: generation monotonicity and manifest/memory agreement.
+    if manifest.generation != directory.generation:
+        findings.append(make_finding(
+            "SEG006",
+            f"on-disk manifest generation {manifest.generation} != "
+            f"open directory generation {directory.generation}; a "
+            "manifest swap was lost or torn",
+            subject=subject,
+        ))
+    if directory.epoch < directory.generation:
+        findings.append(make_finding(
+            "SEG006",
+            f"epoch {directory.epoch} < generation "
+            f"{directory.generation}: a reopened directory could "
+            "collide with the previous incarnation's cache keys",
+            subject=subject,
+        ))
+    mounted = {
+        segment.file_name: list(segment.global_ids)
+        for segment in directory.index.segments
+    }
+    recorded = {
+        record.name: list(record.doc_ids) for record in manifest.segments
+    }
+    if mounted != recorded:
+        only_mounted = sorted(set(mounted) - set(recorded))
+        only_recorded = sorted(set(recorded) - set(mounted))
+        findings.append(make_finding(
+            "SEG006",
+            f"mounted segments disagree with the manifest "
+            f"(mounted-only: {only_mounted[:MAX_WITNESSES]}, "
+            f"manifest-only: {only_recorded[:MAX_WITNESSES]})",
+            subject=subject,
+        ))
+    sealed = {
+        gid for record in manifest.segments for gid in record.doc_ids
+    }
+    memtable_ids = set(directory.index.memtable)
+    known = sealed | memtable_ids | set(manifest.tombstones)
+    over = sorted(
+        gid for gid in known if gid >= manifest.next_doc_id
+    )
+    if over:
+        findings.append(make_finding(
+            "SEG006",
+            f"doc ids at/past next_doc_id {manifest.next_doc_id}: "
+            f"{over[:MAX_WITNESSES]}; a future add would reuse a "
+            "live id",
+            subject=subject,
+        ))
+
+    # SEG007: the memtable and the sealed segments partition the view.
+    overlap = sorted(memtable_ids & sealed)
+    if overlap:
+        findings.append(make_finding(
+            "SEG007",
+            f"doc ids in both the memtable and a sealed segment: "
+            f"{overlap[:MAX_WITNESSES]}; queries would double-count "
+            "them",
+            subject=subject,
+        ))
+    live_sealed = {
+        gid for segment in directory.index.segments
+        for gid in segment.live_global_ids()
+    }
+    expected_corpus = live_sealed | memtable_ids
+    actual_corpus = {unit.doc_id for unit in directory.corpus}
+    if expected_corpus != actual_corpus:
+        missing = sorted(expected_corpus - actual_corpus)
+        extra = sorted(actual_corpus - expected_corpus)
+        findings.append(make_finding(
+            "SEG007",
+            f"live corpus out of sync with the index "
+            f"(index-only ids: {missing[:MAX_WITNESSES]}, "
+            f"corpus-only ids: {extra[:MAX_WITNESSES]})",
+            subject=subject,
+        ))
+
+    # SEG008: tombstones reference known sealed docs only.
+    unknown = sorted(set(manifest.tombstones) - sealed)
+    if unknown:
+        findings.append(make_finding(
+            "SEG008",
+            f"manifest tombstones referencing no sealed doc: "
+            f"{unknown[:MAX_WITNESSES]}",
+            subject=subject,
+        ))
+    in_memtable = sorted(set(manifest.tombstones) & memtable_ids)
+    if in_memtable:
+        findings.append(make_finding(
+            "SEG008",
+            f"manifest tombstones naming memtable docs: "
+            f"{in_memtable[:MAX_WITNESSES]} (memtable deletes must "
+            "drop the doc, not tombstone it)",
+            subject=subject,
         ))
     return findings
 

@@ -17,6 +17,7 @@ from repro.analysis.build_checks import check_build_report
 from repro.analysis.findings import AnalysisReport, Finding
 from repro.analysis.index_checks import (
     check_gram_index,
+    check_ingest_directory,
     check_segmented_index,
     check_sharded_index,
 )
@@ -140,7 +141,12 @@ def run_check(
                 build_report = candidate
         index = _resolve_index(index)
         report.begin_section("index invariants")
-        if isinstance(index, SegmentedGramIndex):
+        from repro.index.ingest import IngestDirectory
+
+        if isinstance(index, IngestDirectory):
+            report.extend(check_ingest_directory(index))
+            index = index.index  # plan checks run over the mounted view
+        elif isinstance(index, SegmentedGramIndex):
             report.extend(check_segmented_index(index, corpus_chars))
         elif isinstance(index, ShardedIndex):
             report.extend(check_sharded_index(index, corpus_chars))
@@ -174,9 +180,15 @@ def run_check(
 
 def _resolve_index(
     index: Union[GramIndex, SegmentedGramIndex, ShardedIndex, str],
-) -> Union[GramIndex, SegmentedGramIndex, ShardedIndex]:
+) -> Union[GramIndex, SegmentedGramIndex, ShardedIndex, "object"]:
     if isinstance(index, (GramIndex, SegmentedGramIndex, ShardedIndex)):
         return index
+    if os.path.isdir(index):
+        # An ingest directory: open read-only (no WAL handle taken, no
+        # mutation possible) so the check can run next to a writer.
+        from repro.index.ingest import IngestDirectory
+
+        return IngestDirectory(index, create=False, read_only=True)
     from repro.index.serialize import load_any_index
 
     return load_any_index(index)

@@ -12,8 +12,11 @@ from __future__ import annotations
 import json
 import math
 import os
+import shutil
+import tempfile
+import threading
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.queries import BENCHMARK_QUERIES
 from repro.bench.workloads import Workload, default_workload
@@ -717,6 +720,329 @@ def write_bench_serve(
         closed_requests=closed_requests,
         open_rate=open_rate,
         open_requests=open_requests,
+    )
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(record, out, indent=2, sort_keys=True)
+        out.write("\n")
+    return record
+
+
+# ---------------------------------------------------------------------------
+# E14: LSM ingest lifecycle (CI artifact BENCH_free_ingest.json)
+# ---------------------------------------------------------------------------
+
+#: Format tag of the BENCH_free_ingest.json artifact.
+BENCH_INGEST_SCHEMA = "free-bench-ingest/1"
+
+
+def _counter_total(snapshot: Dict[str, object], name: str) -> float:
+    """Sum every sample of one counter family in a registry snapshot."""
+    family = snapshot.get(name, {})
+    samples = family.get("samples", {}) if isinstance(family, dict) else {}
+    return float(sum(samples.values()))
+
+
+def _ingest_writer(
+    directory: object,
+    units: Sequence[object],
+    delete_every: int,
+    memtable_docs: int,
+    compacting: threading.Event,
+    result: Dict[str, object],
+    errors: List[str],
+) -> None:
+    """Drive adds, interleaved deletes, and explicit tiered compactions.
+
+    Compactions run under the ``compacting`` event so concurrent reader
+    latency samples can be tagged "taken while a merge was in flight".
+    """
+    added = deleted = 0
+    backlog: List[int] = []
+    try:
+        started = time.perf_counter()
+        for unit in units:
+            doc_id = directory.add(unit.text, unit.url)
+            added += 1
+            backlog.append(doc_id)
+            if delete_every and added % delete_every == 0:
+                victim = backlog.pop(0)
+                if directory.delete(victim):
+                    deleted += 1
+            if added % memtable_docs == 0:
+                compacting.set()
+                try:
+                    directory.maybe_compact()
+                finally:
+                    compacting.clear()
+        compacting.set()
+        try:
+            directory.compact()
+        finally:
+            compacting.clear()
+        result["seconds"] = time.perf_counter() - started
+        result["added"] = added
+        result["deleted"] = deleted
+    except Exception as exc:  # pragma: no cover - reported in the record
+        errors.append(f"{type(exc).__name__}: {exc}")
+
+
+def _ingest_reader(
+    directory: object,
+    patterns: Sequence[str],
+    stop: threading.Event,
+    compacting: threading.Event,
+    samples: List[Tuple[float, bool]],
+    errors: List[str],
+) -> None:
+    """Issue the fixed query mix against a private engine until told
+    to stop, tagging samples taken while a compaction was in flight."""
+    from repro.index.segmented import SegmentedFreeEngine
+
+    engine = SegmentedFreeEngine(
+        directory.corpus,
+        directory.index,
+        registry=MetricsRegistry(),
+    )
+    with engine:
+        position = 0
+        while not stop.is_set():
+            pattern = patterns[position % len(patterns)]
+            position += 1
+            during = compacting.is_set()
+            started = time.perf_counter()
+            try:
+                engine.search(pattern, collect_matches=False)
+            except Exception as exc:
+                errors.append(f"{type(exc).__name__}: {exc}")
+            else:
+                samples.append((time.perf_counter() - started, during))
+
+
+def _ingest_differential(
+    directory: object, patterns: Sequence[str]
+) -> Tuple[bool, int]:
+    """Compare the segmented view against a flat rebuild of the
+    surviving corpus; returns (byte-identical, total matches)."""
+    from repro.corpus.document import DataUnit
+    from repro.corpus.store import InMemoryCorpus
+    from repro.index.segmented import SegmentedFreeEngine
+
+    surviving = [directory.corpus.get(gid) for gid in directory.corpus.ids()]
+    dense = {
+        unit.doc_id: ordinal for ordinal, unit in enumerate(surviving)
+    }
+    flat_corpus = InMemoryCorpus(
+        [
+            DataUnit(ordinal, unit.text, unit.url)
+            for ordinal, unit in enumerate(surviving)
+        ]
+    )
+    flat_index = directory.index.builder.build(flat_corpus)
+    identical = True
+    total_matches = 0
+    with FreeEngine(flat_corpus, flat_index) as flat_engine, \
+            SegmentedFreeEngine(
+                directory.corpus,
+                directory.index,
+                registry=MetricsRegistry(),
+            ) as seg_engine:
+        for pattern in patterns:
+            seg_report = seg_engine.search(pattern)
+            flat_report = flat_engine.search(pattern)
+            seg_matches = sorted(
+                (dense[m.doc_id], m.start, m.end, m.text)
+                for m in seg_report.matches
+            )
+            flat_matches = sorted(
+                (m.doc_id, m.start, m.end, m.text)
+                for m in flat_report.matches
+            )
+            total_matches += flat_report.n_matches
+            if seg_matches != flat_matches:
+                identical = False
+    return identical, total_matches
+
+
+def run_ingest(
+    workload: Optional[Workload] = None,
+    queries: Optional[Dict[str, str]] = None,
+    readers: int = 2,
+    memtable_docs: int = 32,
+    fanout: int = 4,
+    delete_every: int = 7,
+) -> Dict[str, object]:
+    """Ingest-while-query load test of the LSM segment lifecycle.
+
+    A writer thread streams the workload corpus into a fresh
+    :class:`~repro.index.ingest.IngestDirectory` (small memtable so
+    seals and tiered merges actually happen), deleting every
+    ``delete_every``-th surviving document, while ``readers`` threads
+    run the benchmark query mix against private
+    :class:`~repro.index.segmented.SegmentedFreeEngine` views of the
+    same live directory.  Latency samples taken while a merge was in
+    flight are reported separately.  After the final full compaction
+    the segmented view is differentially verified against a flat
+    one-shot rebuild of the surviving corpus.
+
+    The CI gate is ``query.errors == 0``, ``verified_identical`` and a
+    nonzero ingest rate.  ``free bench --experiment ingest`` writes the
+    record to ``BENCH_free_ingest.json``.
+    """
+    from repro.index.ingest import IngestDirectory
+
+    workload = workload or default_workload()
+    queries = queries or BENCHMARK_QUERIES
+    if readers < 1:
+        raise ValueError("readers must be >= 1")
+    patterns = list(queries.values())
+    units = list(workload.corpus)
+    registry = MetricsRegistry()
+    tmpdir = tempfile.mkdtemp(prefix="free-bench-ingest-")
+    compacting = threading.Event()
+    stop = threading.Event()
+    writer_result: Dict[str, object] = {}
+    writer_errors: List[str] = []
+    reader_samples: List[List[Tuple[float, bool]]] = [
+        [] for _ in range(readers)
+    ]
+    reader_errors: List[List[str]] = [[] for _ in range(readers)]
+    try:
+        with IngestDirectory(
+            tmpdir,
+            memtable_docs=memtable_docs,
+            fanout=fanout,
+            auto_compact=False,
+            registry=registry,
+        ) as directory:
+            writer = threading.Thread(
+                target=_ingest_writer,
+                args=(
+                    directory, units, delete_every, memtable_docs,
+                    compacting, writer_result, writer_errors,
+                ),
+                name="ingest-writer",
+            )
+            reader_threads = [
+                threading.Thread(
+                    target=_ingest_reader,
+                    args=(
+                        directory, patterns, stop, compacting,
+                        reader_samples[position], reader_errors[position],
+                    ),
+                    name=f"ingest-reader-{position}",
+                )
+                for position in range(readers)
+            ]
+            writer.start()
+            for thread in reader_threads:
+                thread.start()
+            writer.join()
+            stop.set()
+            for thread in reader_threads:
+                thread.join()
+            verified, total_matches = _ingest_differential(
+                directory, patterns
+            )
+            stats = directory.stats()
+        snapshot = registry.snapshot()
+        all_samples = [
+            sample for samples in reader_samples for sample in samples
+        ]
+        query_errors = [
+            message for errors in reader_errors for message in errors
+        ]
+        latencies = sorted(latency for latency, _ in all_samples)
+        during = sorted(
+            latency for latency, in_flight in all_samples if in_flight
+        )
+        added = int(writer_result.get("added", 0))
+        seconds = float(writer_result.get("seconds", 0.0))
+        return {
+            "schema": BENCH_INGEST_SCHEMA,
+            "name": "free_ingest",
+            "workload": {
+                "pages": len(units),
+                "corpus_chars": workload.corpus.total_chars,
+                "seed": workload.seed,
+                "threshold": workload.threshold,
+                "queries": len(patterns),
+            },
+            "config": {
+                "memtable_docs": memtable_docs,
+                "fanout": fanout,
+                "readers": readers,
+                "delete_every": delete_every,
+            },
+            "ingest": {
+                "docs_added": added,
+                "docs_deleted": int(writer_result.get("deleted", 0)),
+                "seconds": seconds,
+                "docs_per_second": added / seconds if seconds else 0.0,
+                "seals": _counter_total(
+                    snapshot, "free_ingest_seals_total"
+                ),
+                "compactions": _counter_total(
+                    snapshot, "free_ingest_compactions_total"
+                ),
+                "merged_segments": _counter_total(
+                    snapshot, "free_ingest_merged_segments_total"
+                ),
+                "tombstones_dropped": _counter_total(
+                    snapshot, "free_ingest_tombstones_dropped_total"
+                ),
+                "image_bytes_written": _counter_total(
+                    snapshot, "free_ingest_image_bytes_written_total"
+                ),
+                "final_segments": stats["n_segments"],
+                "final_generation": stats["generation"],
+                "final_tombstones": stats["n_tombstones"],
+            },
+            "query": {
+                "n_queries": len(all_samples),
+                "errors": len(query_errors),
+                "error_samples": query_errors[:5],
+                "latency_seconds": {
+                    "p50": _percentile(latencies, 0.50),
+                    "p95": _percentile(latencies, 0.95),
+                },
+                "while_compacting": {
+                    "n": len(during),
+                    "p50": _percentile(during, 0.50),
+                    "p95": _percentile(during, 0.95),
+                },
+            },
+            "matches": total_matches,
+            "verified_identical": verified,
+            "writer_errors": writer_errors[:5],
+            "ok": (
+                not writer_errors
+                and not query_errors
+                and verified
+                and added > 0
+                and seconds > 0.0
+            ),
+        }
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def write_bench_ingest(
+    path: str,
+    workload: Optional[Workload] = None,
+    queries: Optional[Dict[str, str]] = None,
+    readers: int = 2,
+    memtable_docs: int = 32,
+    fanout: int = 4,
+    delete_every: int = 7,
+) -> Dict[str, object]:
+    """Run :func:`run_ingest` and persist the record as JSON."""
+    record = run_ingest(
+        workload,
+        queries=queries,
+        readers=readers,
+        memtable_docs=memtable_docs,
+        fanout=fanout,
+        delete_every=delete_every,
     )
     with open(path, "w", encoding="utf-8") as out:
         json.dump(record, out, indent=2, sort_keys=True)

@@ -123,10 +123,61 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_convert.set_defaults(func=_cmd_convert)
 
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="ingest a line-per-doc log file into an index directory "
+             "(LSM lifecycle: memtable -> sealed mmap segments)",
+    )
+    p_ingest.add_argument("dir", help="ingest directory (created if new)")
+    p_ingest.add_argument(
+        "log",
+        help="log file: one document per line; '!delete <id>' "
+             "tombstones a previous document",
+    )
+    p_ingest.add_argument(
+        "--follow", action="store_true",
+        help="keep tailing the log for growth (Ctrl-C stops cleanly)",
+    )
+    p_ingest.add_argument(
+        "--memtable-docs", type=int, default=256, metavar="N",
+        help="seal the memtable into a segment at this many docs",
+    )
+    p_ingest.add_argument(
+        "--fanout", type=int, default=4, metavar="N",
+        help="tiered compaction fanout (merge a size class at N "
+             "segments)",
+    )
+    p_ingest.add_argument(
+        "--no-compact", action="store_true",
+        help="disable automatic tiered compaction after seals",
+    )
+    p_ingest.add_argument(
+        "--seal", action="store_true",
+        help="seal any remaining memtable docs before exiting",
+    )
+    p_ingest.add_argument(
+        "--poll-seconds", type=float, default=0.2, metavar="S",
+        help="polling interval for --follow",
+    )
+    p_ingest.set_defaults(func=_cmd_ingest)
+
+    p_compact = sub.add_parser(
+        "compact",
+        help="fully compact an ingest directory: seal the memtable, "
+             "merge every segment into one, drop tombstones, "
+             "checkpoint the WAL",
+    )
+    p_compact.add_argument("dir", help="ingest directory")
+    p_compact.set_defaults(func=_cmd_compact)
+
     p_search = sub.add_parser("search", help="run a regex query")
-    p_search.add_argument("corpus")
+    p_search.add_argument(
+        "corpus",
+        help="corpus image, or an ingest directory (then the second "
+             "positional is the pattern)",
+    )
     p_search.add_argument("index")
-    p_search.add_argument("pattern")
+    p_search.add_argument("pattern", nargs="?", default=None)
     p_search.add_argument("--limit", type=int, default=None)
     p_search.add_argument(
         "--ranked", action="store_true",
@@ -149,9 +200,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_search.set_defaults(func=_cmd_search)
 
     p_explain = sub.add_parser("explain", help="show the access plan")
-    p_explain.add_argument("corpus")
+    p_explain.add_argument(
+        "corpus",
+        help="corpus image, or an ingest directory (then the second "
+             "positional is the pattern)",
+    )
     p_explain.add_argument("index")
-    p_explain.add_argument("pattern")
+    p_explain.add_argument("pattern", nargs="?", default=None)
     p_explain.add_argument(
         "--analyze", action="store_true",
         help="run the query and annotate the plan with actual postings "
@@ -245,7 +300,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[
             "table3", "fig9", "fig10", "fig11", "fig12",
             "threshold", "policy", "repeat", "core", "sharded",
-            "postings", "serve", "all",
+            "postings", "serve", "ingest", "all",
         ],
         default="all",
     )
@@ -299,8 +354,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve queries over HTTP (see docs/serving.md)",
     )
-    p_serve.add_argument("corpus", help="corpus image path")
-    p_serve.add_argument("index", help="index image path")
+    p_serve.add_argument(
+        "corpus",
+        help="corpus image path, or an ingest directory (then the "
+             "index positional may be omitted)",
+    )
+    p_serve.add_argument(
+        "index", nargs="?", default=None,
+        help="index image path (or an ingest directory)",
+    )
     p_serve.add_argument(
         "--host", default="127.0.0.1",
         help="interface to bind (default: loopback)",
@@ -473,16 +535,46 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_query_target(
+    args: argparse.Namespace,
+) -> Tuple[Optional[str], str, str]:
+    """(corpus_path, index_path, pattern) for the two query spellings:
+    ``free search corpus.img index.img PAT`` and
+    ``free search <ingest-dir> PAT`` (corpus_path None for the
+    latter — the directory carries its own documents)."""
+    import os
+
+    if args.pattern is None:
+        if not os.path.isdir(args.corpus):
+            raise FreeError(
+                f"{args.corpus!r} is not an ingest directory; with an "
+                "image, pass: corpus index pattern"
+            )
+        return None, args.corpus, args.index
+    return args.corpus, args.index, args.pattern
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
+    import contextlib
+
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    corpus_path, index_path, pattern = _split_query_target(args)
+    args.pattern = pattern
     # Engines are context-managed on every CLI path: a sharded image
     # opens a worker pool and registers a fork token that must be
-    # released even when printing fails (see ShardedFreeEngine.close).
-    with DiskCorpus(args.corpus) as corpus, open_engine(
-        corpus, args.index, workers=args.workers
-    ) as engine:
+    # released even when printing fails (see ShardedFreeEngine.close);
+    # an ingest directory's handle closes with its engine.
+    with contextlib.ExitStack() as stack:
+        corpus = (
+            stack.enter_context(DiskCorpus(corpus_path))
+            if corpus_path is not None
+            else None
+        )
+        engine = stack.enter_context(
+            open_engine(corpus, index_path, workers=args.workers)
+        )
         report = engine.search(
             args.pattern, limit=args.limit, trace=args.trace
         )
@@ -503,12 +595,68 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    with DiskCorpus(args.corpus) as corpus, open_engine(
-        corpus, args.index
-    ) as engine:
+    import contextlib
+
+    corpus_path, index_path, pattern = _split_query_target(args)
+    with contextlib.ExitStack() as stack:
+        corpus = (
+            stack.enter_context(DiskCorpus(corpus_path))
+            if corpus_path is not None
+            else None
+        )
+        engine = stack.enter_context(open_engine(corpus, index_path))
         print(engine.explain(
-            args.pattern, analyze=args.analyze, trace=args.trace
+            pattern, analyze=args.analyze, trace=args.trace
         ))
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.index.ingest import IngestDirectory
+
+    with IngestDirectory(
+        args.dir,
+        memtable_docs=args.memtable_docs,
+        fanout=args.fanout,
+        auto_compact=not args.no_compact,
+    ) as directory:
+        try:
+            added, deleted = directory.ingest_log(
+                args.log,
+                follow=args.follow,
+                poll_seconds=args.poll_seconds,
+            )
+        except KeyboardInterrupt:
+            # --follow runs until interrupted; the WAL already holds
+            # everything acknowledged, so this is a clean stop.
+            added = deleted = -1
+            print()
+        if args.seal:
+            directory.seal()
+        stats = directory.stats()
+        if added >= 0:
+            print(f"free ingest: +{added} docs, -{deleted} docs")
+        print(
+            f"free ingest: {stats['n_live']} live docs in "
+            f"{stats['n_segments']} segments + {stats['n_memtable']} "
+            f"memtable ({stats['n_tombstones']} tombstones), "
+            f"generation {stats['generation']}"
+        )
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.index.ingest import IngestDirectory
+
+    with IngestDirectory(args.dir, create=False) as directory:
+        merged = directory.compact()
+        stats = directory.stats()
+        print(
+            f"free compact: merged {merged} segments -> "
+            f"{stats['n_segments']}, {stats['n_live']} live docs, "
+            f"{stats['n_tombstones']} tombstones, generation "
+            f"{stats['generation']}"
+        )
     return 0
 
 
@@ -569,7 +717,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slow_store_size=max(args.trace_store // 4, 1),
     )
     registry = get_registry()
-    slots = slots_from_paths(args.corpus, args.index, config, registry)
+    # ``free serve <ingest-dir>``: the directory is both corpus and
+    # index; slots_from_paths dispatches on the directory itself.
+    index_path = args.index if args.index is not None else args.corpus
+    slots = slots_from_paths(args.corpus, index_path, config, registry)
     service = QueryService(config, slots, registry=registry)
 
     def on_start(svc: QueryService) -> None:
@@ -762,6 +913,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{lat['v2']['p50'] * 1000:.2f}ms -> {out}"
         )
         return 0
+    if args.experiment == "ingest":
+        out = args.out or "BENCH_free_ingest.json"
+        record = runner_mod.write_bench_ingest(out, workload)
+        ingest = cast(Dict[str, float], record["ingest"])
+        query = cast(Dict[str, object], record["query"])
+        lat = cast(Dict[str, float], query["latency_seconds"])
+        during = cast(Dict[str, float], query["while_compacting"])
+        print(
+            f"ingest: {ingest['docs_added']:.0f} docs "
+            f"(-{ingest['docs_deleted']:.0f}) at "
+            f"{ingest['docs_per_second']:.0f} docs/s; "
+            f"{ingest['seals']:.0f} seals "
+            f"{ingest['compactions']:.0f} merges -> "
+            f"{ingest['final_segments']:.0f} segments; "
+            f"query p50 {lat['p50'] * 1000:.2f}ms "
+            f"(compacting p50 {during['p50'] * 1000:.2f}ms, "
+            f"n={cast(float, during['n']):.0f}) "
+            f"errors={cast(int, query['errors'])} "
+            f"identical={record['verified_identical']} -> {out}"
+        )
+        return 0 if record["ok"] else 1
     if args.experiment == "core":
         out = args.out or "BENCH_free_core.json"
         record = runner_mod.write_bench_core(out, workload)

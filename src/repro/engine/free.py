@@ -85,7 +85,7 @@ from repro.regex.matcher import Matcher
 _SCAN_ALL = object()
 
 #: Closed vocabulary of engine metric label values (CONC005).
-_ENGINE_LABELS = frozenset({"free", "scan", "sharded"})
+_ENGINE_LABELS = frozenset({"free", "scan", "sharded", "segmented"})
 
 
 class _BatchGroup:

@@ -56,6 +56,11 @@ class InternalError(FreeError):
     """
 
 
+class IngestError(FreeError):
+    """An ingest directory rejected an operation (read-only mode,
+    missing manifest, a manifest referencing a lost segment image...)."""
+
+
 class AnalysisError(FreeError):
     """A static analysis run could not be performed (not a violation —
     violations are reported as findings, not raised)."""

@@ -20,7 +20,9 @@ holds segment-by-segment, therefore globally (property-tested).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Union
+from typing import (
+    TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Union,
+)
 
 from repro.corpus.document import DataUnit
 from repro.corpus.store import CorpusStore, InMemoryCorpus
@@ -31,6 +33,7 @@ from repro.iomodel.diskmodel import DiskModel
 from repro.metrics import QueryMetrics
 
 if TYPE_CHECKING:  # plan/engine layers import this package: defer.
+    from repro.obs.registry import MetricsRegistry
     from repro.plan.logical import LogicalPlan
     from repro.plan.physical import CoverPolicy
 
@@ -47,6 +50,9 @@ class Segment:
         self.global_ids: List[int] = list(global_ids)
         self.index = index
         self.deleted: Set[int] = set()  # global ids
+        #: Image file name when this segment is a sealed on-disk image
+        #: (set by the ingest lifecycle); None for in-memory segments.
+        self.file_name: Optional[str] = None
 
     @property
     def n_docs(self) -> int:
@@ -258,11 +264,28 @@ class SegmentedGramIndex:
         )
 
 
-class SegmentedFreeEngine:
+from repro.engine.free import FreeEngine  # noqa: E402  (import cycle:
+# the engine layer imports this module's index classes at type-check
+# time only, so the runtime import must sit below their definitions)
+
+
+class SegmentedFreeEngine(FreeEngine):
     """FREE's runtime over a segmented index (supports add/delete).
 
-    A thin composition: plan per segment, merge candidates, then reuse
-    :class:`~repro.engine.free.FreeEngine`'s confirmation machinery.
+    A real :class:`~repro.engine.free.FreeEngine` subclass (like the
+    sharded engine): plan per segment, merge candidates in the
+    ``_candidates`` hook, and inherit the whole confirmation, caching,
+    metrics, batching, and lifecycle surface — including ``close``,
+    ``prewarm`` and context management, which the serve stack needs.
+
+    Args:
+        corpus: the live documents (segments address it by global id).
+        seg_index: the segmented index to execute against.
+        owned: an optional closeable (e.g. an
+            :class:`~repro.index.ingest.IngestDirectory`) whose
+            lifetime this engine manages; closed by :meth:`close`.
+        Remaining arguments as for :class:`FreeEngine` (``index`` is
+        managed per segment and must not be passed).
     """
 
     def __init__(
@@ -274,68 +297,107 @@ class SegmentedFreeEngine:
         cover_policy: Union["CoverPolicy", str] = "all",
         distribute: bool = False,
         candidate_cache_size: int = 0,
+        min_candidate_ratio: Optional[float] = None,
+        plan_cache_size: int = 128,
+        matcher_cache_size: int = 128,
+        registry: Optional["MetricsRegistry"] = None,
+        owned: Optional[Any] = None,
     ):
-        from repro.engine.free import FreeEngine
-        from repro.plan.logical import LogicalPlan
-        from repro.plan.physical import CoverPolicy
-
-        self.seg_index = seg_index
-        self.cover_policy = CoverPolicy(cover_policy)
-
-        outer = self
-
-        class _Engine(FreeEngine):
-            def _candidates(self, pattern, metrics=None, first_k=None):
-                # ``first_k`` (the min_candidate_ratio cap) is accepted
-                # but not threaded into the segment merge: segmented
-                # candidates stay exhaustive, which is always sound.
-                from repro.obs.trace import maybe_span
-
-                trace = metrics.trace if metrics is not None else None
-                logical = LogicalPlan.from_pattern(
-                    pattern, distribute=self.distribute, trace=trace
-                )
-                with maybe_span(trace, "postings"):
-                    return outer.seg_index.candidates(
-                        logical, outer.cover_policy, self.disk, metrics
-                    )
-
-            def _cache_epoch(self):
-                return outer.seg_index.epoch
-
-        self._engine = _Engine(
+        if not isinstance(seg_index, SegmentedGramIndex):
+            raise IndexBuildError(
+                "SegmentedFreeEngine requires a SegmentedGramIndex; got "
+                f"{type(seg_index).__name__}"
+            )
+        super().__init__(
             corpus,
             index=None,
             backend=backend,
             disk=disk,
+            cover_policy=cover_policy,
+            min_candidate_ratio=min_candidate_ratio,
             distribute=distribute,
+            plan_cache_size=plan_cache_size,
             candidate_cache_size=candidate_cache_size,
+            matcher_cache_size=matcher_cache_size,
+            registry=registry,
         )
+        self.seg_index = seg_index
+        self._owned = owned
 
     @property
-    def disk(self) -> DiskModel:
-        return self._engine.disk
+    def name(self) -> str:
+        return "segmented"
 
-    def invalidate_caches(self) -> None:
-        """Drop plan/candidate caches (epoch keys already prevent
-        stale hits after index mutations; this frees the memory too)."""
-        self._engine.invalidate_caches()
+    def _cache_epoch(self) -> int:
+        return self.seg_index.epoch
 
-    def cache_stats(self) -> dict:
-        return self._engine.cache_stats()
+    def _candidates(
+        self,
+        pattern: str,
+        metrics: Optional[QueryMetrics] = None,
+        first_k: Optional[int] = None,
+    ) -> Optional[List[int]]:
+        # ``first_k`` (the min_candidate_ratio cap) is accepted but not
+        # threaded into the segment merge: segmented candidates stay
+        # exhaustive, which is always sound.
+        from repro.obs.trace import maybe_span
 
-    def search(self, pattern: str, limit: Optional[int] = None,
-               collect_matches: bool = True, trace: bool = False):
-        return self._engine.search(
-            pattern, limit=limit, collect_matches=collect_matches,
-            trace=trace,
+        logical, _physical = self.plan(pattern, metrics)
+        trace = metrics.trace if metrics is not None else None
+        with maybe_span(
+            trace, "postings", segments=len(self.seg_index.segments)
+        ):
+            return self.seg_index.candidates(
+                logical, self.cover_policy, self.disk, metrics
+            )
+
+    def explain(
+        self,
+        pattern: str,
+        analyze: bool = False,
+        trace: bool = False,
+    ) -> str:
+        """Logical plan plus every segment's physical plan.
+
+        Per-segment plans legitimately differ: each segment compiles
+        against its own key directory (a gram useful in one segment may
+        be useless in another).
+        """
+        from repro.plan.physical import PhysicalPlan
+
+        logical, _ = self.plan(pattern)
+        parts = [logical.pretty()]
+        for ordinal, segment in enumerate(self.seg_index.segments):
+            physical = PhysicalPlan.compile(
+                logical, segment.index, self.cover_policy
+            )
+            if physical.is_full_scan:
+                parts.append(f"segment {ordinal}: segment-scan")
+            else:
+                plan_text = physical.pretty().replace("\n", "\n  ")
+                parts.append(f"segment {ordinal}:\n  {plan_text}")
+        memtable = getattr(self.seg_index, "memtable", None)
+        if memtable:
+            parts.append(f"memtable: {len(memtable)} unindexed docs")
+        if analyze:
+            report = self.search(pattern, collect_matches=False, trace=trace)
+            parts.append(self._analyze_text(report, None))
+            if report.trace is not None:
+                parts.append(report.trace.render())
+        return "\n".join(parts)
+
+    def close(self) -> None:
+        """Drop caches and close the owned ingest directory, if any.
+
+        Idempotent, like every engine close; errors from the owned
+        resource propagate (never swallowed on a close path)."""
+        owned, self._owned = self._owned, None
+        if owned is not None:
+            owned.close()
+        super().close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentedFreeEngine({len(self.seg_index.segments)} segments, "
+            f"epoch {self.seg_index.epoch})"
         )
-
-    def first_k(self, pattern: str, k: int = 10):
-        return self._engine.first_k(pattern, k)
-
-    def count(self, pattern: str) -> int:
-        return self._engine.count(pattern)
-
-    def frequency_ranked(self, pattern: str, top: Optional[int] = None):
-        return self._engine.frequency_ranked(pattern, top)

@@ -45,6 +45,7 @@ class DiskModel:
     random_chars: int = field(default=0, init=False)
     postings_read: int = field(default=0, init=False)
     random_accesses: int = field(default=0, init=False)
+    write_chars: int = field(default=0, init=False)
 
     _metrics: Optional[QueryMetrics] = field(
         default=None, init=False, repr=False, compare=False
@@ -71,6 +72,13 @@ class DiskModel:
             self._metrics.random_accesses += 1
             self._metrics.random_chars += n_chars
 
+    def charge_write(self, n_chars: int) -> None:
+        """A forward streaming write of ``n_chars`` (segment seal or
+        compaction rewrite; charged at the sequential rate — LSM
+        maintenance is exactly the sequential-I/O trade the lifecycle
+        makes to keep queries on mmap images)."""
+        self.write_chars += n_chars
+
     def charge_postings(self, n_postings: int) -> None:
         """Reading a postings list (they are stored contiguously)."""
         self.postings_read += n_postings
@@ -89,6 +97,7 @@ class DiskModel:
         self.random_chars += other.random_chars
         self.random_accesses += other.random_accesses
         self.postings_read += other.postings_read
+        self.write_chars += other.write_chars
         if self._metrics is not None:
             self._metrics.sequential_chars += other.sequential_chars
             self._metrics.random_chars += other.random_chars
@@ -104,6 +113,7 @@ class DiskModel:
             * self.sequential_cost_per_char
             * self.random_multiplier
             + self.postings_read * self.posting_cost_chars
+            + self.write_chars * self.sequential_cost_per_char
         )
 
     def reset(self) -> None:
@@ -111,6 +121,7 @@ class DiskModel:
         self.random_chars = 0
         self.postings_read = 0
         self.random_accesses = 0
+        self.write_chars = 0
 
     def snapshot(self) -> dict:
         """A plain-dict view for reports."""
@@ -119,5 +130,6 @@ class DiskModel:
             "random_chars": self.random_chars,
             "random_accesses": self.random_accesses,
             "postings_read": self.postings_read,
+            "write_chars": self.write_chars,
             "total_cost": self.total_cost,
         }

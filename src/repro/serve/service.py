@@ -94,13 +94,11 @@ from typing import (
 
 from repro.corpus.document import DataUnit
 from repro.corpus.store import CorpusStore, DiskCorpus
-from repro.engine.factory import wrap_index
+from repro.engine.factory import AnyIndex, wrap_index
 from repro.engine.free import FreeEngine
 from repro.engine.results import SearchReport
 from repro.errors import FreeError
-from repro.index.multigram import GramIndex
 from repro.index.serialize import load_any_index
-from repro.index.sharded import ShardedIndex
 from repro.obs.clock import monotonic
 from repro.obs.ids import (
     format_traceparent,
@@ -340,7 +338,7 @@ class _EngineSlot:
 
 def build_slots(
     corpus_opener: Callable[[], CorpusStore],
-    index: Union[GramIndex, ShardedIndex],
+    index: "AnyIndex",
     config: ServeConfig,
     registry: MetricsRegistry,
 ) -> List[_EngineSlot]:
@@ -382,7 +380,23 @@ def slots_from_paths(
     config: ServeConfig,
     registry: MetricsRegistry,
 ) -> List[_EngineSlot]:
-    """Load the image once; open a private corpus handle per worker."""
+    """Load the image once; open a private corpus handle per worker.
+
+    When ``index_path`` is an ingest directory it is opened read-only
+    once and every worker shares its live in-memory corpus + segmented
+    index (``corpus_path`` is ignored — the directory carries its own
+    documents).  A read-only directory holds no OS resources, so the
+    slots' normal close path suffices.
+    """
+    if os.path.isdir(index_path):
+        from repro.index.ingest import IngestDirectory
+
+        directory = IngestDirectory(
+            index_path, create=False, read_only=True, registry=registry
+        )
+        return build_slots(
+            lambda: directory.corpus, directory.index, config, registry
+        )
     index = load_any_index(index_path)
     return build_slots(
         lambda: DiskCorpus(corpus_path), index, config, registry

@@ -8,6 +8,7 @@ from repro.analysis import (
     check_key_set,
     check_segmented_index,
 )
+from repro.analysis.index_checks import check_ingest_directory
 from repro.corpus.document import DataUnit
 from repro.corpus.store import InMemoryCorpus
 from repro.index.builder import MultigramIndexBuilder
@@ -288,3 +289,119 @@ class TestSegmented:
         assert "segment[0]" in next(
             f for f in findings if f.code == "IDX008"
         ).subject
+
+
+def ingest_dir(tmp_path, n_docs=6, deletes=(), memtable_docs=2):
+    from repro.index.ingest import IngestDirectory
+    from repro.obs.registry import MetricsRegistry
+
+    directory = IngestDirectory(
+        str(tmp_path),
+        builder=BUILDER,
+        memtable_docs=memtable_docs,
+        auto_compact=False,
+        registry=MetricsRegistry(),
+    )
+    for text in TEXTS[:n_docs]:
+        directory.add(text)
+    for doc_id in deletes:
+        directory.delete(doc_id)
+    return directory
+
+
+class TestIngestDirectoryChecks:
+    """SEG006..SEG008: the durable-lifecycle invariants."""
+
+    def test_clean_directory_passes(self, tmp_path):
+        with ingest_dir(tmp_path, deletes=[1]) as directory:
+            assert errors(check_ingest_directory(directory)) == []
+
+    def test_clean_after_compaction(self, tmp_path):
+        with ingest_dir(tmp_path, deletes=[1, 4]) as directory:
+            directory.compact()
+            assert errors(check_ingest_directory(directory)) == []
+
+    def test_clean_reopened_read_only(self, tmp_path):
+        from repro.index.ingest import IngestDirectory
+        from repro.obs.registry import MetricsRegistry
+
+        ingest_dir(tmp_path, deletes=[3]).close()
+        with IngestDirectory(
+            str(tmp_path), create=False, read_only=True,
+            registry=MetricsRegistry(),
+        ) as reader:
+            assert errors(check_ingest_directory(reader)) == []
+
+    def test_generation_drift_detected(self, tmp_path):
+        with ingest_dir(tmp_path) as directory:
+            directory._generation += 1  # forge a lost swap
+            findings = check_ingest_directory(directory)
+            assert "SEG006" in codes(findings)
+            assert "generation" in next(
+                f for f in findings if f.code == "SEG006"
+            ).message
+
+    def test_unmounted_segment_detected(self, tmp_path):
+        with ingest_dir(tmp_path) as directory:
+            # Drop a mounted segment behind the manifest's back.
+            victim = directory.index.segments[0]
+            directory.index.drop_segments([victim])
+            findings = check_ingest_directory(directory)
+            assert "SEG006" in codes(findings)
+
+    def test_epoch_below_generation_detected(self, tmp_path):
+        with ingest_dir(tmp_path) as directory:
+            directory.index.epoch = 0
+            findings = check_ingest_directory(directory)
+            assert "SEG006" in codes(findings)
+
+    def test_corpus_index_desync_detected(self, tmp_path):
+        with ingest_dir(tmp_path) as directory:
+            # Remove a unit from the corpus only: the index still
+            # routes queries to it.
+            directory.corpus.remove(0)
+            findings = check_ingest_directory(directory)
+            assert "SEG007" in codes(findings)
+
+    def test_memtable_sealed_overlap_detected(self, tmp_path):
+        with ingest_dir(tmp_path) as directory:
+            sealed_id = directory.index.segments[0].global_ids[0]
+            directory.index.memtable[sealed_id] = (
+                directory.corpus.get(sealed_id)
+            )
+            findings = check_ingest_directory(directory)
+            assert "SEG007" in codes(findings)
+
+    def test_phantom_tombstone_detected(self, tmp_path):
+        from repro.index.ingest import read_manifest, write_manifest
+
+        with ingest_dir(tmp_path) as directory:
+            manifest = read_manifest(directory.path)
+            manifest.tombstones = [99999]
+            manifest.generation += 1
+            write_manifest(directory.path, manifest)
+            directory._generation = manifest.generation
+            findings = check_ingest_directory(directory)
+            assert "SEG008" in codes(findings)
+            # The forged id also breaks the next_doc_id bound.
+            assert "SEG006" in codes(findings)
+
+    def test_missing_manifest_detected(self, tmp_path):
+        import os
+
+        with ingest_dir(tmp_path) as directory:
+            os.unlink(os.path.join(directory.path, "MANIFEST.json"))
+            findings = check_ingest_directory(directory)
+            assert "SEG006" in codes(findings)
+            assert "no manifest" in findings[0].message
+
+    def test_run_check_resolves_directory_path(self, tmp_path):
+        from repro.analysis.runner import run_check
+
+        ingest_dir(tmp_path, deletes=[1]).close()
+        report = run_check(
+            index=str(tmp_path), patterns=["clinton", "cat"]
+        )
+        assert report.ok
+        assert "index invariants" in report.sections
+        assert "plan soundness" in report.sections

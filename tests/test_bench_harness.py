@@ -5,15 +5,18 @@ import pytest
 from repro.bench.queries import BENCHMARK_QUERIES, NULL_PLAN_QUERIES
 from repro.bench.report import format_bar_chart, format_table
 from repro.bench.runner import (
+    BENCH_INGEST_SCHEMA,
     BENCH_POSTINGS_SCHEMA,
     run_cover_policy_ablation,
     run_fig9,
     run_fig10,
     run_fig11,
     run_fig12,
+    run_ingest,
     run_postings,
     run_table3,
     run_threshold_ablation,
+    write_bench_ingest,
     write_bench_postings,
 )
 from repro.bench.workloads import Workload, default_workload
@@ -119,6 +122,38 @@ class TestRunners:
     def test_run_postings_rejects_bad_args(self, mini_workload):
         with pytest.raises(ValueError):
             run_postings(mini_workload, repeats=0)
+
+    def test_run_ingest_record(self, mini_workload, tmp_path):
+        path = str(tmp_path / "BENCH_free_ingest.json")
+        record = write_bench_ingest(
+            path, mini_workload, readers=2, memtable_docs=16,
+            fanout=2, delete_every=5,
+        )
+        assert record["schema"] == BENCH_INGEST_SCHEMA
+        assert record["ok"] is True
+        assert record["verified_identical"] is True
+        assert record["writer_errors"] == []
+        ingest = record["ingest"]
+        assert ingest["docs_added"] == len(mini_workload.corpus)
+        assert ingest["docs_deleted"] > 0
+        assert ingest["docs_per_second"] > 0
+        assert ingest["seals"] > 0
+        assert ingest["compactions"] > 0
+        assert ingest["final_segments"] == 1  # ends fully compacted
+        assert ingest["final_tombstones"] == 0
+        assert ingest["image_bytes_written"] > 0
+        query = record["query"]
+        assert query["errors"] == 0
+        assert query["n_queries"] > 0
+        assert query["latency_seconds"]["p95"] >= \
+            query["latency_seconds"]["p50"]
+        import json
+
+        assert json.load(open(path))["schema"] == BENCH_INGEST_SCHEMA
+
+    def test_run_ingest_rejects_bad_args(self, mini_workload):
+        with pytest.raises(ValueError):
+            run_ingest(mini_workload, readers=0)
 
 
 class TestReportFormatting:

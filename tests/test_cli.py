@@ -414,6 +414,130 @@ class TestCpusText:
         assert "None" not in text
 
 
+class TestIngestCli:
+    DOCS = [
+        "the cat sat on the mat",
+        "william jefferson clinton",
+        "motorola mpc750 chip",
+        "nothing to see here",
+        "the cat ran fast",
+        "buy this mp3 song now",
+        "another page of words",
+        "clinton spoke again",
+    ]
+
+    def _write_log(self, path, lines):
+        with open(path, "w", encoding="utf-8") as out:
+            for line in lines:
+                out.write(line + "\n")
+
+    def _matched_texts(self, capsys):
+        """(summary line, sorted matched texts) from search output."""
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        texts = sorted(
+            line.split(": ", 1)[1]
+            for line in lines
+            if line.startswith("  unit ")
+        )
+        return lines[0].split(" in ")[0], texts
+
+    def test_ingest_compact_search_round_trip(self, tmp_path, capsys):
+        log = str(tmp_path / "docs.log")
+        self._write_log(log, self.DOCS)
+        ingest_dir = str(tmp_path / "idx")
+        assert main(["ingest", ingest_dir, log,
+                     "--memtable-docs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert f"+{len(self.DOCS)} docs, -0 docs" in out
+        assert main(["search", ingest_dir, "clinton"]) == 0
+        assert "2 matches" in capsys.readouterr().out
+        assert main(["compact", ingest_dir]) == 0
+        assert "free compact: merged" in capsys.readouterr().out
+        assert main(["search", ingest_dir, "clinton"]) == 0
+        assert "2 matches" in capsys.readouterr().out
+
+    def test_deletes_then_compact_equals_one_shot_build(
+        self, tmp_path, capsys
+    ):
+        """The acceptance round trip at the CLI level: ingest with
+        interleaved deletes, compact to one segment, and answer
+        byte-identically to a one-shot ingest of the survivors."""
+        # Doc ids are assigned in log order: 0..7; delete 1 and 4.
+        interleaved = (
+            self.DOCS[:3] + ["!delete 1"] + self.DOCS[3:6]
+            + ["!delete 4"] + self.DOCS[6:]
+        )
+        survivors = [
+            text for position, text in enumerate(self.DOCS)
+            if position not in (1, 4)
+        ]
+        dir_a = str(tmp_path / "interleaved")
+        dir_b = str(tmp_path / "oneshot")
+        log_a = str(tmp_path / "a.log")
+        log_b = str(tmp_path / "b.log")
+        self._write_log(log_a, interleaved)
+        self._write_log(log_b, survivors)
+        assert main(["ingest", dir_a, log_a,
+                     "--memtable-docs", "2"]) == 0
+        assert main(["compact", dir_a]) == 0
+        assert main(["ingest", dir_b, log_b, "--seal"]) == 0
+        assert main(["compact", dir_b]) == 0
+        capsys.readouterr()
+        for pattern in ("cat", "clinton", "mp3", "th. cat", "zzz"):
+            assert main(["search", dir_a, pattern]) == 0
+            summary_a, texts_a = self._matched_texts(capsys)
+            assert main(["search", dir_b, pattern]) == 0
+            summary_b, texts_b = self._matched_texts(capsys)
+            assert summary_a == summary_b
+            assert texts_a == texts_b
+
+    def test_ingest_resumes_offsets(self, tmp_path, capsys):
+        log = str(tmp_path / "docs.log")
+        self._write_log(log, self.DOCS[:3])
+        ingest_dir = str(tmp_path / "idx")
+        assert main(["ingest", ingest_dir, log, "--seal"]) == 0
+        capsys.readouterr()
+        assert main(["ingest", ingest_dir, log]) == 0
+        assert "+0 docs, -0 docs" in capsys.readouterr().out
+
+    def test_explain_on_ingest_dir(self, tmp_path, capsys):
+        log = str(tmp_path / "docs.log")
+        self._write_log(log, self.DOCS)
+        ingest_dir = str(tmp_path / "idx")
+        assert main(["ingest", ingest_dir, log,
+                     "--memtable-docs", "4"]) == 0
+        capsys.readouterr()
+        assert main(["explain", ingest_dir, "clinton"]) == 0
+        out = capsys.readouterr().out
+        assert "segment" in out
+
+    def test_check_gates_ingest_dir(self, tmp_path, capsys):
+        log = str(tmp_path / "docs.log")
+        self._write_log(log, self.DOCS + ["!delete 3"])
+        ingest_dir = str(tmp_path / "idx")
+        assert main(["ingest", ingest_dir, log,
+                     "--memtable-docs", "2"]) == 0
+        capsys.readouterr()
+        assert main(["check", "--index", ingest_dir,
+                     "--pattern", "clinton"]) == 0
+        out = capsys.readouterr().out
+        assert "index invariants" in out
+        assert "check: OK" in out
+
+    def test_search_missing_pattern_is_clean_error(
+        self, tmp_path, capsys
+    ):
+        # Two-arg form where the first is not a directory.
+        assert main(["search", str(tmp_path / "nope.img"),
+                     "clinton"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compact_missing_dir_is_clean_error(self, tmp_path, capsys):
+        assert main(["compact", str(tmp_path / "missing")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestServeCli:
     def test_bad_worker_count_is_a_clean_error(self, images, capsys):
         corpus_path, index_path = images

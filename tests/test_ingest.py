@@ -1,0 +1,604 @@
+"""Ingest directory lifecycle: WAL, seal, manifest, compaction, reopen."""
+
+import json
+import os
+
+import pytest
+
+from repro.engine.free import FreeEngine
+from repro.engine.scan import ScanEngine
+from repro.errors import CorpusError, IngestError
+from repro.index.builder import MultigramIndexBuilder
+from repro.index.ingest import (
+    DELETE_DIRECTIVE,
+    MANIFEST_NAME,
+    WAL_NAME,
+    IngestCorpus,
+    IngestDirectory,
+    Manifest,
+    SegmentRecord,
+    is_segment_file,
+    read_manifest,
+    segment_file_name,
+    write_manifest,
+)
+from repro.index.segmented import SegmentedFreeEngine
+from repro.obs.registry import MetricsRegistry
+
+BUILDER = MultigramIndexBuilder(threshold=0.3, max_gram_len=5)
+
+TEXTS = [
+    "the cat sat on the mat",
+    "william jefferson clinton",
+    "motorola mpc750 chip",
+    "nothing to see here",
+    "the cat ran fast",
+    "buy this mp3 song now",
+    "another page of words",
+    "clinton spoke again",
+]
+
+
+def open_dir(path, **kwargs):
+    kwargs.setdefault("builder", BUILDER)
+    kwargs.setdefault("registry", MetricsRegistry())
+    return IngestDirectory(str(path), **kwargs)
+
+
+def count(directory, pattern):
+    engine = SegmentedFreeEngine(
+        directory.corpus, directory.index, registry=MetricsRegistry()
+    )
+    with engine:
+        return engine.count(pattern)
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = Manifest(
+            generation=3,
+            next_doc_id=9,
+            next_segment_id=2,
+            segments=[SegmentRecord(name="seg-0.img", doc_ids=[0, 2])],
+            tombstones=[1],
+            source_offsets={"/var/log/app.log": 120},
+        )
+        write_manifest(str(tmp_path), manifest)
+        back = read_manifest(str(tmp_path))
+        assert back is not None
+        assert back.as_dict() == manifest.as_dict()
+
+    def test_missing_is_none(self, tmp_path):
+        assert read_manifest(str(tmp_path)) is None
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        path.write_text(json.dumps({"format": "nope/9"}))
+        with pytest.raises(IngestError):
+            read_manifest(str(tmp_path))
+
+    def test_non_object_rejected(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("[1, 2]")
+        with pytest.raises(IngestError):
+            read_manifest(str(tmp_path))
+
+    def test_missing_field_rejected(self, tmp_path):
+        payload = Manifest().as_dict()
+        del payload["next_doc_id"]
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(payload))
+        with pytest.raises(IngestError):
+            read_manifest(str(tmp_path))
+
+    def test_segment_file_names(self):
+        assert segment_file_name(7) == "seg-7.img"
+        assert is_segment_file("seg-7.img")
+        assert not is_segment_file("wal.jsonl")
+        assert not is_segment_file("seg-7.img.tmp")
+
+
+class TestIngestCorpus:
+    def test_sparse_ids(self):
+        corpus = IngestCorpus()
+        from repro.corpus.document import DataUnit
+
+        corpus.add(DataUnit(5, "hello"))
+        corpus.add(DataUnit(9, "world"))
+        assert len(corpus) == 2
+        assert corpus.ids() == [5, 9]
+        assert 5 in corpus and 7 not in corpus
+        assert corpus.total_chars == 10
+        with pytest.raises(CorpusError):
+            corpus.get(7)
+        with pytest.raises(CorpusError):
+            corpus.add(DataUnit(5, "dup"))
+
+    def test_graveyard_keeps_deleted_readable(self):
+        from repro.corpus.document import DataUnit
+
+        corpus = IngestCorpus([DataUnit(0, "abc")])
+        corpus.remove(0)
+        assert 0 not in corpus
+        assert len(corpus) == 0
+        assert corpus.total_chars == 0
+        # In-flight readers holding a pre-delete snapshot still resolve.
+        assert corpus.get(0).text == "abc"
+        assert corpus.purge_graveyard() == 1
+        with pytest.raises(CorpusError):
+            corpus.get(0)
+
+
+class TestAddSealDelete:
+    def test_add_is_immediately_searchable(self, tmp_path):
+        with open_dir(tmp_path) as directory:
+            doc_id = directory.add("william jefferson clinton")
+            assert doc_id == 0
+            assert count(directory, "clinton") == 1
+            assert directory.stats()["n_memtable"] == 1
+            assert directory.stats()["n_segments"] == 0
+
+    def test_auto_seal_at_threshold(self, tmp_path):
+        with open_dir(tmp_path, memtable_docs=2) as directory:
+            for text in TEXTS[:4]:
+                directory.add(text)
+            stats = directory.stats()
+            assert stats["n_segments"] == 2
+            assert stats["n_memtable"] == 0
+            names = sorted(
+                n for n in os.listdir(directory.path)
+                if is_segment_file(n)
+            )
+            assert names == ["seg-0.img", "seg-1.img"]
+            assert count(directory, "cat") == 1
+
+    def test_seal_empty_memtable_is_none(self, tmp_path):
+        with open_dir(tmp_path) as directory:
+            assert directory.seal() is None
+            directory.add("abc")
+            assert directory.seal() is not None
+            assert directory.seal() is None
+
+    def test_seal_bumps_generation_by_one(self, tmp_path):
+        with open_dir(tmp_path) as directory:
+            directory.add("abc def")
+            before = directory.generation
+            directory.seal()
+            assert directory.generation == before + 1
+
+    def test_delete_memtable_doc_drops_it(self, tmp_path):
+        with open_dir(tmp_path) as directory:
+            doc_id = directory.add("the cat sat")
+            assert directory.delete(doc_id)
+            assert count(directory, "cat") == 0
+            assert directory.stats()["n_tombstones"] == 0
+            assert not directory.delete(doc_id)
+
+    def test_delete_sealed_doc_tombstones_it(self, tmp_path):
+        with open_dir(tmp_path, memtable_docs=2) as directory:
+            for text in TEXTS[:2]:
+                directory.add(text)
+            assert directory.delete(1)
+            assert count(directory, "clinton") == 0
+            assert directory.stats()["n_tombstones"] == 1
+            # The delete is durable via the WAL (the manifest's
+            # tombstone list refreshes at the next swap).
+            wal = os.path.join(directory.path, WAL_NAME)
+            with open(wal, encoding="utf-8") as infile:
+                records = [json.loads(line) for line in infile]
+            assert {"op": "del", "id": 1} in records
+            directory.add("one more page")
+            directory.add("and another")  # triggers a seal -> swap
+            manifest = read_manifest(directory.path)
+            assert manifest.tombstones == [1]
+
+    def test_delete_unknown_is_false(self, tmp_path):
+        with open_dir(tmp_path) as directory:
+            assert not directory.delete(42)
+
+
+class TestCompaction:
+    def test_full_compact_to_one_segment(self, tmp_path):
+        with open_dir(tmp_path, memtable_docs=2,
+                      auto_compact=False) as directory:
+            for text in TEXTS:
+                directory.add(text)
+            directory.delete(1)
+            directory.delete(4)
+            before = {
+                q: count(directory, q)
+                for q in ("cat", "clinton", "mp3", "the")
+            }
+            assert directory.stats()["n_segments"] == 4
+            merged = directory.compact()
+            assert merged == 4
+            stats = directory.stats()
+            assert stats["n_segments"] == 1
+            assert stats["n_tombstones"] == 0
+            assert stats["n_live"] == len(TEXTS) - 2
+            after = {
+                q: count(directory, q)
+                for q in ("cat", "clinton", "mp3", "the")
+            }
+            assert before == after
+            # Victim images are gone; only the merged one remains.
+            images = [
+                n for n in os.listdir(directory.path)
+                if is_segment_file(n)
+            ]
+            assert len(images) == 1
+
+    def test_tiered_compaction_bounds_segments(self, tmp_path):
+        with open_dir(tmp_path, memtable_docs=1, fanout=2,
+                      auto_compact=True) as directory:
+            for position in range(16):
+                directory.add(f"page number {position} cat")
+            # 16 one-doc seals under fanout 2 must have cascaded.
+            assert directory.stats()["n_segments"] < 16
+            assert count(directory, "cat") == 16
+
+    def test_compact_checkpoints_wal(self, tmp_path):
+        with open_dir(tmp_path, memtable_docs=2,
+                      auto_compact=False) as directory:
+            for text in TEXTS:
+                directory.add(text)
+            directory.delete(0)
+            directory.compact()
+            wal = os.path.join(directory.path, WAL_NAME)
+            with open(wal, encoding="utf-8") as infile:
+                records = [json.loads(line) for line in infile]
+            # Only surviving adds remain: no del records, no doc 0.
+            assert all(r["op"] == "add" for r in records)
+            assert sorted(r["id"] for r in records) == list(
+                range(1, len(TEXTS))
+            )
+
+    def test_compact_purges_graveyard(self, tmp_path):
+        with open_dir(tmp_path, memtable_docs=2,
+                      auto_compact=False) as directory:
+            for text in TEXTS[:4]:
+                directory.add(text)
+            directory.delete(1)
+            assert directory.corpus.get(1).text == TEXTS[1]
+            directory.compact()
+            with pytest.raises(CorpusError):
+                directory.corpus.get(1)
+
+    def test_merge_equals_one_shot_build(self, tmp_path):
+        """The acceptance round trip: interleaved adds/deletes then a
+        full compact answers byte-identically to a one-shot flat build
+        of the surviving corpus."""
+        with open_dir(tmp_path, memtable_docs=3,
+                      auto_compact=False) as directory:
+            survivors = []
+            for position, text in enumerate(TEXTS):
+                doc_id = directory.add(text)
+                survivors.append((doc_id, text))
+                if position % 3 == 2:
+                    victim_id, _ = survivors.pop(0)
+                    assert directory.delete(victim_id)
+            directory.compact()
+            from repro.corpus.store import InMemoryCorpus
+
+            flat_corpus = InMemoryCorpus.from_texts(
+                [text for _, text in survivors]
+            )
+            flat_index = BUILDER.build(flat_corpus)
+            dense = {
+                doc_id: ordinal
+                for ordinal, (doc_id, _) in enumerate(survivors)
+            }
+            seg_engine = SegmentedFreeEngine(
+                directory.corpus, directory.index,
+                registry=MetricsRegistry(),
+            )
+            with seg_engine, FreeEngine(flat_corpus, flat_index) as flat:
+                for pattern in ("cat", "clinton", "mp3", "th. cat",
+                                "(cat|mp3)", "zzz"):
+                    a = seg_engine.search(pattern)
+                    b = flat.search(pattern)
+                    assert sorted(
+                        (dense[m.doc_id], m.start, m.end, m.text)
+                        for m in a.matches
+                    ) == sorted(
+                        (m.doc_id, m.start, m.end, m.text)
+                        for m in b.matches
+                    )
+
+
+class TestReopen:
+    def test_reopen_recovers_everything(self, tmp_path):
+        with open_dir(tmp_path, memtable_docs=3,
+                      auto_compact=False) as directory:
+            for text in TEXTS:
+                directory.add(text)
+            directory.delete(1)
+            directory.delete(6)  # memtable doc
+            expect = {
+                q: count(directory, q) for q in ("cat", "clinton", "the")
+            }
+            stats = directory.stats()
+        with open_dir(tmp_path, memtable_docs=3) as reopened:
+            assert reopened.stats()["n_live"] == stats["n_live"]
+            assert reopened.stats()["n_segments"] == stats["n_segments"]
+            got = {
+                q: count(reopened, q) for q in ("cat", "clinton", "the")
+            }
+            assert got == expect
+
+    def test_reopen_never_reuses_doc_ids(self, tmp_path):
+        with open_dir(tmp_path) as directory:
+            for text in TEXTS[:3]:
+                directory.add(text)
+        with open_dir(tmp_path) as reopened:
+            # Unsealed docs persist only in the WAL; their ids must
+            # still never be reissued.
+            assert reopened.add("fresh doc") == 3
+
+    def test_reopen_epoch_dominates_generation(self, tmp_path):
+        with open_dir(tmp_path, memtable_docs=1,
+                      auto_compact=False) as directory:
+            for text in TEXTS[:4]:
+                directory.add(text)
+            generation = directory.generation
+        with open_dir(tmp_path) as reopened:
+            assert reopened.epoch >= generation
+            assert reopened.epoch >= reopened.generation
+
+    def test_reopen_matches_scan_engine(self, tmp_path):
+        with open_dir(tmp_path, memtable_docs=2) as directory:
+            for text in TEXTS:
+                directory.add(text)
+            directory.delete(3)
+        with open_dir(tmp_path, memtable_docs=2) as reopened:
+            with ScanEngine(reopened.corpus) as scan:
+                for pattern in ("cat", "clinton", "mpc[0-9]+"):
+                    assert count(reopened, pattern) == \
+                        scan.search(pattern).n_matches
+
+
+class TestLogIngestion:
+    def test_log_round_trip_with_deletes(self, tmp_path):
+        log = tmp_path / "docs.log"
+        log.write_text(
+            "\n".join(TEXTS[:4])
+            + f"\n{DELETE_DIRECTIVE} 1\n"
+            + TEXTS[4] + "\n"
+        )
+        with open_dir(tmp_path / "idx", memtable_docs=2) as directory:
+            added, deleted = directory.ingest_log(str(log))
+            assert (added, deleted) == (5, 1)
+            assert count(directory, "clinton") == 0
+            assert count(directory, "cat") == 2
+
+    def test_log_offset_resumes(self, tmp_path):
+        log = tmp_path / "docs.log"
+        log.write_text(TEXTS[0] + "\n")
+        with open_dir(tmp_path / "idx") as directory:
+            assert directory.ingest_log(str(log)) == (1, 0)
+            # Re-running the same log must not double-ingest.
+            assert directory.ingest_log(str(log)) == (0, 0)
+            with open(log, "a", encoding="utf-8") as out:
+                out.write(TEXTS[1] + "\n")
+            assert directory.ingest_log(str(log)) == (1, 0)
+            assert len(directory.corpus) == 2
+
+    def test_log_offset_survives_reopen(self, tmp_path):
+        log = tmp_path / "docs.log"
+        log.write_text(TEXTS[0] + "\n" + TEXTS[1] + "\n")
+        with open_dir(tmp_path / "idx") as directory:
+            directory.ingest_log(str(log))
+            directory.seal()  # persists offsets with the manifest
+        with open_dir(tmp_path / "idx") as reopened:
+            assert reopened.ingest_log(str(log)) == (0, 0)
+
+    def test_incomplete_tail_line_waits(self, tmp_path):
+        log = tmp_path / "docs.log"
+        log.write_text(TEXTS[0] + "\n" + "partial line without newline")
+        with open_dir(tmp_path / "idx") as directory:
+            assert directory.ingest_log(str(log)) == (1, 0)
+
+    def test_follow_stops_after_max_polls(self, tmp_path):
+        log = tmp_path / "docs.log"
+        log.write_text(TEXTS[0] + "\n")
+        with open_dir(tmp_path / "idx") as directory:
+            added, _ = directory.ingest_log(
+                str(log), follow=True, poll_seconds=0.01, max_polls=2
+            )
+            assert added == 1
+
+    def test_bad_delete_directive_is_a_document(self, tmp_path):
+        log = tmp_path / "docs.log"
+        log.write_text(f"{DELETE_DIRECTIVE} notanumber\n")
+        with open_dir(tmp_path / "idx") as directory:
+            assert directory.ingest_log(str(log)) == (1, 0)
+
+
+class TestOpenModes:
+    def test_read_only_refuses_mutation(self, tmp_path):
+        with open_dir(tmp_path) as directory:
+            directory.add("abc")
+            directory.seal()
+        with open_dir(tmp_path, read_only=True) as reader:
+            with pytest.raises(IngestError):
+                reader.add("nope")
+            with pytest.raises(IngestError):
+                reader.delete(0)
+            with pytest.raises(IngestError):
+                reader.compact()
+            assert count(reader, "abc") == 1
+
+    def test_read_only_missing_dir_fails(self, tmp_path):
+        with pytest.raises(IngestError):
+            open_dir(tmp_path / "missing", read_only=True)
+
+    def test_no_create_missing_dir_fails(self, tmp_path):
+        with pytest.raises(IngestError):
+            open_dir(tmp_path / "missing", create=False)
+
+    def test_bad_parameters_rejected(self, tmp_path):
+        with pytest.raises(IngestError):
+            open_dir(tmp_path, memtable_docs=0)
+        with pytest.raises(IngestError):
+            open_dir(tmp_path, fanout=1)
+
+    def test_close_is_idempotent(self, tmp_path):
+        directory = open_dir(tmp_path)
+        directory.add("abc")
+        directory.close()
+        directory.close()
+
+
+class TestIngestIndexUnit:
+    """IngestIndex delete/seal edge cases, independent of the disk."""
+
+    def _index_with_memtable(self, texts):
+        from repro.corpus.document import DataUnit
+        from repro.index.ingest import IngestIndex
+
+        index = IngestIndex(BUILDER)
+        for position, text in enumerate(texts):
+            index.memtable_add(DataUnit(position, text))
+        return index
+
+    def test_double_delete_false_without_double_count(self):
+        index = self._index_with_memtable(TEXTS[:4])
+        from repro.corpus.store import InMemoryCorpus
+
+        gram = BUILDER.build(InMemoryCorpus.from_texts(TEXTS[:2]))
+        index.seal_segment([0, 1], gram)
+        assert index.delete(0)
+        n_deleted = index.n_deleted
+        assert not index.delete(0)
+        assert index.n_deleted == n_deleted  # no double count
+        assert not index.delete(99)
+        assert index.n_deleted == n_deleted
+
+    def test_memtable_delete_drops_before_seal(self):
+        index = self._index_with_memtable(TEXTS[:3])
+        assert index.delete(1)  # straight out of the memtable
+        assert index.n_deleted == 0  # no tombstone was needed
+        assert sorted(index.memtable) == [0, 2]
+
+    def test_duplicate_memtable_add_rejected(self):
+        from repro.corpus.document import DataUnit
+        from repro.errors import IngestError as IE
+
+        index = self._index_with_memtable(TEXTS[:1])
+        with pytest.raises(IE):
+            index.memtable_add(DataUnit(0, "dup"))
+
+    def test_seal_of_unknown_doc_is_internal_error(self):
+        from repro.corpus.store import InMemoryCorpus
+        from repro.errors import InternalError
+
+        index = self._index_with_memtable(TEXTS[:1])
+        gram = BUILDER.build(InMemoryCorpus.from_texts(["zzz"]))
+        with pytest.raises(InternalError):
+            index.seal_segment([42], gram)
+
+    def test_every_mutation_bumps_epoch(self):
+        from repro.corpus.document import DataUnit
+        from repro.corpus.store import InMemoryCorpus
+
+        index = self._index_with_memtable(TEXTS[:2])
+        epoch = index.epoch
+        index.memtable_add(DataUnit(5, "fresh"))
+        assert index.epoch > epoch
+        epoch = index.epoch
+        gram = BUILDER.build(InMemoryCorpus.from_texts(TEXTS[:2]))
+        segment = index.seal_segment([0, 1], gram)
+        assert index.epoch > epoch
+        epoch = index.epoch
+        assert index.delete(0)
+        assert index.epoch > epoch
+        epoch = index.epoch
+        index.replace_segments([segment], None, None)
+        assert index.epoch > epoch
+
+    def test_replace_segments_is_one_swap(self):
+        from repro.corpus.store import InMemoryCorpus
+
+        index = self._index_with_memtable(TEXTS[:4])
+        gram_a = BUILDER.build(InMemoryCorpus.from_texts(TEXTS[:2]))
+        seg_a = index.seal_segment([0, 1], gram_a)
+        gram_b = BUILDER.build(InMemoryCorpus.from_texts(TEXTS[2:4]))
+        seg_b = index.seal_segment([2, 3], gram_b)
+        merged_gram = BUILDER.build(
+            InMemoryCorpus.from_texts(TEXTS[:4])
+        )
+        replacement = index.replace_segments(
+            [seg_a, seg_b], [0, 1, 2, 3], merged_gram
+        )
+        assert replacement is not None
+        assert index.segments == [replacement]
+        assert index.n_live == 4
+
+    def test_merge_resets_deletion_counters(self, tmp_path):
+        with open_dir(tmp_path, memtable_docs=2,
+                      auto_compact=False) as directory:
+            for text in TEXTS[:6]:
+                directory.add(text)
+            directory.delete(0)
+            directory.delete(3)
+            assert directory.index.n_deleted == 2
+            assert any(s.deleted for s in directory.index.segments)
+            directory.compact()
+            assert directory.index.n_deleted == 0
+            assert all(
+                not s.deleted for s in directory.index.segments
+            )
+            assert directory.index.n_live == 4
+
+
+class TestObservability:
+    def test_metrics_families_update(self, tmp_path):
+        registry = MetricsRegistry()
+        with open_dir(tmp_path, memtable_docs=2, auto_compact=False,
+                      registry=registry) as directory:
+            for text in TEXTS[:4]:
+                directory.add(text)
+            directory.delete(0)
+            directory.compact()
+        snapshot = registry.snapshot()
+
+        def total(name):
+            return sum(snapshot[name]["samples"].values())
+
+        assert total("free_ingest_docs_total") == 4
+        assert total("free_ingest_deletes_total") == 1
+        assert total("free_ingest_seals_total") == 2
+        assert total("free_ingest_compactions_total") == 1
+        assert total("free_ingest_merged_segments_total") == 2
+        assert total("free_ingest_tombstones_dropped_total") == 1
+        assert total("free_ingest_image_bytes_written_total") > 0
+        assert total("free_ingest_segments") == 1
+
+    def test_disk_write_charge(self, tmp_path):
+        from repro.iomodel.diskmodel import DiskModel
+
+        disk = DiskModel()
+        with open_dir(tmp_path, memtable_docs=2,
+                      disk=disk) as directory:
+            directory.add("abc def")
+            directory.add("ghi jkl")
+        assert disk.write_chars > 0
+        assert disk.total_cost > 0
+        snapshot = disk.snapshot()
+        assert snapshot["write_chars"] == disk.write_chars
+
+    def test_trace_spans_cover_lifecycle(self, tmp_path):
+        from repro.obs.trace import Trace
+
+        with open_dir(tmp_path, memtable_docs=8,
+                      auto_compact=False) as directory:
+            trace = Trace()
+            with trace.span("ingest"):
+                for text in TEXTS[:4]:
+                    directory.add(text, trace=trace)
+                directory.delete(0, trace=trace)
+                directory.seal(trace=trace)
+                directory.compact(trace=trace)
+            rendered = trace.render()
+            assert "ingest_add" in rendered
+            assert "ingest_delete" in rendered
+            assert "ingest_seal" in rendered
+            assert "ingest_compact" in rendered

@@ -1,0 +1,274 @@
+"""Crash recovery: kills between the lifecycle's durability steps.
+
+Each test freezes the directory at a point a real crash could produce
+— image written but manifest not swapped, WAL appended but torn,
+compaction output written but victims still live — then reopens and
+proves the recovered state is exactly the last acknowledged one.
+"""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.errors import IngestError
+from repro.index.builder import MultigramIndexBuilder
+from repro.index.ingest import (
+    MANIFEST_NAME,
+    WAL_NAME,
+    IngestDirectory,
+    is_segment_file,
+    read_manifest,
+    write_manifest,
+)
+from repro.index.segmented import SegmentedFreeEngine
+from repro.obs.registry import MetricsRegistry
+
+BUILDER = MultigramIndexBuilder(threshold=0.3, max_gram_len=5)
+
+TEXTS = [
+    "the cat sat on the mat",
+    "william jefferson clinton",
+    "motorola mpc750 chip",
+    "nothing to see here",
+    "the cat ran fast",
+    "buy this mp3 song now",
+]
+
+
+def open_dir(path, **kwargs):
+    kwargs.setdefault("builder", BUILDER)
+    kwargs.setdefault("registry", MetricsRegistry())
+    return IngestDirectory(str(path), **kwargs)
+
+
+def count(directory, pattern):
+    engine = SegmentedFreeEngine(
+        directory.corpus, directory.index, registry=MetricsRegistry()
+    )
+    with engine:
+        return engine.count(pattern)
+
+
+def segment_files(path):
+    return sorted(n for n in os.listdir(str(path)) if is_segment_file(n))
+
+
+class TestCrashBetweenImageAndManifest:
+    def test_orphan_image_is_gced_and_docs_recover(self, tmp_path):
+        with open_dir(tmp_path, memtable_docs=16) as directory:
+            for text in TEXTS[:3]:
+                directory.add(text)
+            # Crash after the image write, before the manifest swap:
+            # run only the first half of seal().
+            units = [directory.corpus.get(i) for i in range(3)]
+            name, _ = directory._write_segment_image(units)
+            assert name in segment_files(tmp_path)
+            assert read_manifest(str(tmp_path)).segments == []
+        registry = MetricsRegistry()
+        with open_dir(tmp_path, registry=registry) as reopened:
+            # The orphan is gone; the docs are back in the memtable.
+            assert segment_files(tmp_path) == []
+            assert reopened.stats()["n_memtable"] == 3
+            assert reopened.stats()["n_segments"] == 0
+            assert count(reopened, "cat") == 1
+        snapshot = registry.snapshot()
+        assert sum(
+            snapshot["free_ingest_orphans_gc_total"]["samples"].values()
+        ) == 1
+
+    def test_read_only_open_does_not_gc(self, tmp_path):
+        with open_dir(tmp_path, memtable_docs=16) as directory:
+            for text in TEXTS[:3]:
+                directory.add(text)
+            units = [directory.corpus.get(i) for i in range(3)]
+            orphan, _ = directory._write_segment_image(units)
+        with open_dir(tmp_path, read_only=True):
+            pass
+        # A read-only observer must not mutate the directory.
+        assert orphan in segment_files(tmp_path)
+
+
+class TestTornWal:
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        with open_dir(tmp_path) as directory:
+            for text in TEXTS[:2]:
+                directory.add(text)
+        wal = tmp_path / WAL_NAME
+        with open(wal, "a", encoding="utf-8") as out:
+            out.write('{"op": "add", "id": 2, "te')  # torn mid-record
+        with open_dir(tmp_path) as reopened:
+            # The torn record was never acknowledged: 2 docs, and the
+            # next add re-uses the never-acknowledged id safely.
+            assert len(reopened.corpus) == 2
+            assert reopened.add("fresh") == 2
+
+    def test_malformed_interior_record_fails_loudly(self, tmp_path):
+        with open_dir(tmp_path) as directory:
+            directory.add(TEXTS[0])
+        wal = tmp_path / WAL_NAME
+        original = wal.read_text()
+        wal.write_text('{"op": "bogus"}\n' + original)
+        with pytest.raises(IngestError, match="malformed WAL"):
+            open_dir(tmp_path)
+
+    def test_missing_wal_with_sealed_docs_fails_loudly(self, tmp_path):
+        with open_dir(tmp_path, memtable_docs=2) as directory:
+            for text in TEXTS[:2]:
+                directory.add(text)
+        os.unlink(tmp_path / WAL_NAME)
+        with pytest.raises(IngestError, match="no WAL record"):
+            open_dir(tmp_path)
+
+
+class TestCrashMidCompaction:
+    def test_manifest_swap_failure_preserves_old_state(
+        self, tmp_path, monkeypatch
+    ):
+        directory = open_dir(tmp_path, memtable_docs=2,
+                             auto_compact=False)
+        for text in TEXTS:
+            directory.add(text)
+        directory.delete(1)
+        expect = {q: count(directory, q) for q in ("cat", "clinton")}
+        images_before = segment_files(tmp_path)
+        generation = directory.generation
+
+        # The merged image hits disk, then the machine dies before the
+        # manifest swap.
+        import repro.index.ingest as ingest_mod
+
+        def explode(dirpath, manifest):
+            raise OSError("simulated power loss")
+
+        monkeypatch.setattr(ingest_mod, "write_manifest", explode)
+        with pytest.raises(OSError, match="power loss"):
+            directory.compact()
+        monkeypatch.undo()
+        directory.close()
+
+        with open_dir(tmp_path, memtable_docs=2) as reopened:
+            # The orphaned merge output was GC'd; the victims (still
+            # referenced by the durable manifest) survived.
+            assert segment_files(tmp_path) == images_before
+            assert reopened.generation == generation
+            got = {q: count(reopened, q) for q in ("cat", "clinton")}
+            assert got == expect
+            # And the directory is fully operational: retry succeeds.
+            reopened.compact()
+            assert reopened.stats()["n_segments"] == 1
+            assert {
+                q: count(reopened, q) for q in ("cat", "clinton")
+            } == expect
+
+    def test_wal_checkpoint_failure_keeps_old_log(
+        self, tmp_path, monkeypatch
+    ):
+        directory = open_dir(tmp_path, memtable_docs=2,
+                             auto_compact=False)
+        for text in TEXTS:
+            directory.add(text)
+        directory.delete(1)
+
+        real_replace = os.replace
+
+        def explode(src, dst):
+            if os.path.basename(dst) == WAL_NAME:
+                raise OSError("simulated power loss")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError, match="power loss"):
+            directory.compact()
+        monkeypatch.undo()
+        directory.close()
+
+        with open_dir(tmp_path, memtable_docs=2) as reopened:
+            assert len(reopened.corpus) == len(TEXTS) - 1
+            assert count(reopened, "cat") == 2
+
+
+class TestCorruptDirectory:
+    def test_lost_segment_image_fails_loudly(self, tmp_path):
+        with open_dir(tmp_path, memtable_docs=2) as directory:
+            for text in TEXTS[:2]:
+                directory.add(text)
+        os.unlink(tmp_path / segment_files(tmp_path)[0])
+        with pytest.raises(IngestError, match="lost segment image"):
+            open_dir(tmp_path)
+
+    def test_phantom_tombstone_fails_loudly(self, tmp_path):
+        with open_dir(tmp_path, memtable_docs=2) as directory:
+            for text in TEXTS[:2]:
+                directory.add(text)
+        manifest = read_manifest(str(tmp_path))
+        manifest.tombstones = [99]
+        manifest.generation += 1
+        write_manifest(str(tmp_path), manifest)
+        with pytest.raises(IngestError, match="tombstone 99"):
+            open_dir(tmp_path)
+
+    def test_truncated_manifest_fails_loudly(self, tmp_path):
+        with open_dir(tmp_path) as directory:
+            directory.add(TEXTS[0])
+        payload = (tmp_path / MANIFEST_NAME).read_text()
+        (tmp_path / MANIFEST_NAME).write_text(payload[: len(payload) // 2])
+        with pytest.raises(IngestError, match="unreadable manifest"):
+            open_dir(tmp_path)
+
+    def test_copy_of_directory_is_equivalent(self, tmp_path):
+        """An rsync-style snapshot of a quiesced directory serves the
+        same answers — nothing depends on absolute paths or inodes."""
+        src = tmp_path / "src"
+        with open_dir(src, memtable_docs=2) as directory:
+            for text in TEXTS:
+                directory.add(text)
+            directory.delete(4)
+            expect = {q: count(directory, q) for q in ("cat", "mp3")}
+        dst = tmp_path / "dst"
+        shutil.copytree(src, dst)
+        with open_dir(dst, read_only=True) as copy:
+            assert {q: count(copy, q) for q in ("cat", "mp3")} == expect
+
+
+class TestAcknowledgedSurvivesCrash:
+    def test_every_acknowledged_add_survives(self, tmp_path):
+        """Close is *not* required for durability: state rebuilt from
+        disk alone (simulating a process kill) equals the acknowledged
+        state, whether or not a seal intervened."""
+        directory = open_dir(tmp_path, memtable_docs=3,
+                             auto_compact=False)
+        acknowledged = {}
+        for position, text in enumerate(TEXTS):
+            doc_id = directory.add(text)
+            acknowledged[doc_id] = text
+            if position == 3:
+                directory.delete(0)
+                del acknowledged[0]
+        # Kill: no close(), no flush beyond what add() already did.
+        del directory
+        with open_dir(tmp_path, memtable_docs=3) as reopened:
+            survivors = {
+                unit.doc_id: unit.text for unit in reopened.corpus
+            }
+            assert survivors == acknowledged
+
+    def test_wal_fsynced_before_manifest_claims_sealed(self, tmp_path):
+        """After a seal, every sealed doc's text must be recoverable
+        from disk — the WAL fsync precedes the manifest swap."""
+        with open_dir(tmp_path, memtable_docs=2) as directory:
+            directory.add(TEXTS[0])
+            directory.add(TEXTS[1])  # triggers the seal
+            manifest = read_manifest(str(tmp_path))
+            assert manifest.segments, "expected a sealed segment"
+            sealed_ids = {
+                i for record in manifest.segments
+                for i in record.doc_ids
+            }
+            with open(tmp_path / WAL_NAME, encoding="utf-8") as infile:
+                wal_ids = {
+                    json.loads(line)["id"] for line in infile
+                    if json.loads(line)["op"] == "add"
+                }
+            assert sealed_ids <= wal_ids

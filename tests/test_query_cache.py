@@ -238,7 +238,7 @@ class TestSegmentedEpoch:
         assert engine.count("clinton") == 2  # prime the candidate cache
         texts.append("president clinton returns")
         new_corpus = InMemoryCorpus.from_texts(texts)
-        engine._engine.corpus = new_corpus
+        engine.corpus = new_corpus
         seg.add_documents([DataUnit(len(TEXTS), texts[-1])])
         assert engine.count("clinton") == 3  # epoch key -> no stale hit
 

@@ -31,6 +31,7 @@ from repro.serve.service import (
     ServeConfig,
     ServerThread,
     build_slots,
+    slots_from_paths,
 )
 
 
@@ -580,6 +581,42 @@ class TestLifecycle:
         )
         try:
             assert slots[0].engine._pool is not None
+        finally:
+            for slot in slots:
+                slot.close()
+
+    def test_slots_from_ingest_directory(self, tmp_path):
+        # An ingest directory path in place of an index image: the
+        # directory is opened read-only once and every worker slot
+        # serves out of its live corpus/index pair.
+        from repro.index.builder import MultigramIndexBuilder
+        from repro.index.ingest import IngestDirectory
+
+        ingest_root = str(tmp_path / "ingest")
+        with IngestDirectory(
+            ingest_root,
+            builder=MultigramIndexBuilder(
+                threshold=0.3, max_gram_len=5
+            ),
+            memtable_docs=2,
+            registry=MetricsRegistry(),
+        ) as directory:
+            directory.add("william jefferson clinton")
+            directory.add("the cat sat on the mat")
+            directory.add("cats and more cats")
+
+        config = ServeConfig(port=0, workers=2)
+        slots = slots_from_paths(
+            "ignored-corpus-path", ingest_root, config,
+            MetricsRegistry(),
+        )
+        try:
+            assert len(slots) == config.workers
+            for slot in slots:
+                report = slot.engine.search(
+                    "cat", collect_matches=True
+                )
+                assert report.n_matches == 3
         finally:
             for slot in slots:
                 slot.close()
