@@ -25,13 +25,12 @@ from concurrent.futures import Executor
 from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 from repro.errors import PlanError
+from repro.index.kernels import PYTHON_KERNEL, PostingsKernel
 from repro.index.multigram import GramIndex
 from repro.index.postings import (
     BlockCursor,
     ListCursor,
     PostingsCursor,
-    intersect_cursors,
-    union_many,
 )
 from repro.iomodel.diskmodel import DiskModel
 from repro.metrics import QueryMetrics
@@ -50,6 +49,7 @@ def execute_plan(
     disk: Optional[DiskModel] = None,
     metrics: Optional[QueryMetrics] = None,
     first_k: Optional[int] = None,
+    kernel: Optional[PostingsKernel] = None,
 ) -> Optional[List[int]]:
     """Evaluate ``plan`` to a sorted candidate id list.
 
@@ -62,9 +62,17 @@ def execute_plan(
     truncation: only pass it when a result of exactly ``first_k`` ids
     is treated as "too many" and discarded — the engine's
     ``min_candidate_ratio`` guard is the intended caller.
+
+    ``kernel`` selects the postings backend running the AND/OR set
+    operations (see :mod:`repro.index.kernels`); the pure-python
+    reference kernel is the default.
     """
+    if kernel is None:
+        kernel = PYTHON_KERNEL
+    if metrics is not None and metrics.kernel_backend is None:
+        metrics.kernel_backend = kernel.name
     root = plan.root
-    result = _evaluate(root, index, disk, metrics, first_k)
+    result = _evaluate(root, index, disk, metrics, first_k, kernel)
     if result is None:
         return None
     if isinstance(root, PLookup):
@@ -109,6 +117,7 @@ def _evaluate(
     disk: Optional[DiskModel],
     metrics: Optional[QueryMetrics] = None,
     first_k: Optional[int] = None,
+    kernel: PostingsKernel = PYTHON_KERNEL,
 ) -> Optional[List[int]]:
     if isinstance(node, PAll):
         return None
@@ -143,12 +152,12 @@ def _evaluate(
             if isinstance(child, PLookup):
                 cursors.append(_lookup_cursor(child.key, index, disk, metrics))
             else:
-                result = _evaluate(child, index, disk, metrics)
+                result = _evaluate(child, index, disk, metrics, kernel=kernel)
                 if result is not None:
                     cursors.append(ListCursor(result))
         if not cursors:
             return None
-        merged = intersect_cursors(cursors, limit=first_k)
+        merged = kernel.intersect_cursors(cursors, limit=first_k)
         if metrics is not None:
             metrics.record_intersection(
                 sum(cursor.count for cursor in cursors), len(merged)
@@ -157,11 +166,11 @@ def _evaluate(
     if isinstance(node, POr):
         child_sets = []
         for child in node.children:
-            result = _evaluate(child, index, disk, metrics)
+            result = _evaluate(child, index, disk, metrics, kernel=kernel)
             if result is None:
                 return None  # one unconstrained branch floods the OR
             child_sets.append(result)
-        merged = union_many(child_sets, limit=first_k)
+        merged = kernel.union_many(child_sets, limit=first_k)
         if metrics is not None:
             metrics.record_union(
                 sum(len(s) for s in child_sets), len(merged)
@@ -214,6 +223,7 @@ def execute_plan_sharded(
     pool: Optional[Executor] = None,
     disk: Optional[DiskModel] = None,
     metrics: Optional[QueryMetrics] = None,
+    kernel: Optional[PostingsKernel] = None,
 ) -> Optional[List[int]]:
     """Evaluate ``logical`` against every shard; union the results.
 
@@ -235,12 +245,18 @@ def execute_plan_sharded(
     ordinals = range(sharded.n_shards)
     if pool is None or sharded.n_shards == 1:
         results = [
-            sharded.shard_candidates(ordinal, logical, policy)
+            sharded.shard_candidates(ordinal, logical, policy, kernel=kernel)
             for ordinal in ordinals
         ]
     else:
         futures = [
-            pool.submit(sharded.shard_candidates, ordinal, logical, policy)
+            pool.submit(
+                sharded.shard_candidates,
+                ordinal,
+                logical,
+                policy,
+                kernel=kernel,
+            )
             for ordinal in ordinals
         ]
         results = [future.result() for future in futures]

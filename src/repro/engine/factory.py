@@ -41,12 +41,15 @@ def wrap_index(
     plan_cache_size: int = 128,
     candidate_cache_size: int = 0,
     matcher_cache_size: int = 128,
+    kernel: Optional[str] = None,
 ) -> FreeEngine:
     """Wrap an already-loaded index in the right engine kind.
 
     ``workers`` only applies to sharded images (per-shard fan-out);
     single-index images ignore it.  The service layer loads one index
-    and calls this once per worker thread with that shared object.
+    and calls this once per worker thread with that shared object —
+    each engine resolves ``kernel`` to a private kernel instance, so
+    decoded-block caches are never shared across worker threads.
     """
     if isinstance(index, ShardedIndex):
         return ShardedFreeEngine(
@@ -57,6 +60,7 @@ def wrap_index(
             plan_cache_size=plan_cache_size,
             candidate_cache_size=candidate_cache_size,
             matcher_cache_size=matcher_cache_size,
+            kernel=kernel,
         )
     if isinstance(index, SegmentedGramIndex):
         return SegmentedFreeEngine(
@@ -66,6 +70,7 @@ def wrap_index(
             plan_cache_size=plan_cache_size,
             candidate_cache_size=candidate_cache_size,
             matcher_cache_size=matcher_cache_size,
+            kernel=kernel,
         )
     return FreeEngine(
         corpus,
@@ -74,6 +79,7 @@ def wrap_index(
         plan_cache_size=plan_cache_size,
         candidate_cache_size=candidate_cache_size,
         matcher_cache_size=matcher_cache_size,
+        kernel=kernel,
     )
 
 
@@ -84,6 +90,7 @@ def open_ingest_engine(
     candidate_cache_size: int = 0,
     matcher_cache_size: int = 128,
     read_only: bool = True,
+    kernel: Optional[str] = None,
 ) -> SegmentedFreeEngine:
     """Open an ingest directory and wrap its live view in an engine.
 
@@ -94,7 +101,8 @@ def open_ingest_engine(
     from repro.index.ingest import IngestDirectory
 
     directory = IngestDirectory(
-        path, create=False, read_only=read_only, registry=registry
+        path, create=False, read_only=read_only, registry=registry,
+        kernel=kernel,
     )
     return SegmentedFreeEngine(
         directory.corpus,
@@ -104,6 +112,7 @@ def open_ingest_engine(
         candidate_cache_size=candidate_cache_size,
         matcher_cache_size=matcher_cache_size,
         owned=directory,
+        kernel=kernel,
     )
 
 
@@ -115,6 +124,7 @@ def open_engine(
     plan_cache_size: int = 128,
     candidate_cache_size: int = 0,
     matcher_cache_size: int = 128,
+    kernel: Optional[str] = None,
 ) -> FreeEngine:
     """Load either index image kind — or an ingest directory — and wrap
     it in the right engine.
@@ -130,6 +140,7 @@ def open_engine(
             plan_cache_size=plan_cache_size,
             candidate_cache_size=candidate_cache_size,
             matcher_cache_size=matcher_cache_size,
+            kernel=kernel,
         )
     if corpus is None:
         raise IngestError(
@@ -138,10 +149,11 @@ def open_engine(
         )
     return wrap_index(
         corpus,
-        load_any_index(index_path),
+        load_any_index(index_path, kernel=kernel),
         workers=workers,
         registry=registry,
         plan_cache_size=plan_cache_size,
         candidate_cache_size=candidate_cache_size,
         matcher_cache_size=matcher_cache_size,
+        kernel=kernel,
     )

@@ -66,6 +66,7 @@ from repro.corpus.document import DataUnit
 from repro.corpus.store import CorpusStore
 from repro.engine.executor import execute_plan
 from repro.engine.results import Match, SearchReport, frequency_ranked
+from repro.index.kernels import PostingsKernel, resolve_kernel
 from repro.index.multigram import GramIndex
 from repro.iomodel.diskmodel import DiskModel
 from repro.metrics import LRUCache, QueryMetrics
@@ -86,6 +87,9 @@ _SCAN_ALL = object()
 
 #: Closed vocabulary of engine metric label values (CONC005).
 _ENGINE_LABELS = frozenset({"free", "scan", "sharded", "segmented"})
+
+#: Closed vocabulary of postings-kernel backend labels (CONC005).
+_KERNEL_LABELS = frozenset({"python", "numpy"})
 
 
 class _BatchGroup:
@@ -134,6 +138,13 @@ class FreeEngine:
             are recorded into (default: the process-wide registry of
             :func:`repro.obs.registry.get_registry`; pass a private
             registry to isolate an engine's numbers, e.g. in tests).
+        kernel: postings-kernel backend for the plan's set operations —
+            a name ("python", "numpy", "auto") or an already-built
+            :class:`~repro.index.kernels.PostingsKernel`.  ``None``
+            defers to the index's recorded ``kernel_backend``, then the
+            ``FREE_KERNEL`` environment variable, then "python".  The
+            engine owns a private kernel instance (its decoded-block
+            cache is not shared across engines or threads).
     """
 
     def __init__(
@@ -149,6 +160,7 @@ class FreeEngine:
         candidate_cache_size: int = 0,
         matcher_cache_size: int = 128,
         registry: Optional[MetricsRegistry] = None,
+        kernel: Optional[Union[str, PostingsKernel]] = None,
     ):
         self.corpus = corpus
         self.backend = backend
@@ -161,6 +173,10 @@ class FreeEngine:
         self._candidate_cache = LRUCache(candidate_cache_size)
         self._matcher_cache = LRUCache(matcher_cache_size)
         self._index = index
+        if kernel is None:
+            kernel = getattr(index, "kernel_backend", None)
+        #: The resolved postings kernel; private to this engine.
+        self.kernel: PostingsKernel = resolve_kernel(kernel)
 
     @property
     def index(self) -> Optional[GramIndex]:
@@ -487,7 +503,7 @@ class FreeEngine:
         group: Optional[_BatchGroup],
     ) -> SearchReport:
         """The shared body of :meth:`search` and :meth:`search_batch`."""
-        metrics = QueryMetrics()
+        metrics = QueryMetrics(kernel_backend=self.kernel.name)
         if isinstance(trace, Trace):
             request_trace: Optional[Trace] = trace
         else:
@@ -637,7 +653,12 @@ class FreeEngine:
         trace = metrics.trace if metrics is not None else None
         with maybe_span(trace, "postings"):
             return execute_plan(
-                physical, self._index, self.disk, metrics, first_k=first_k
+                physical,
+                self._index,
+                self.disk,
+                metrics,
+                first_k=first_k,
+                kernel=self.kernel,
             )
 
     def _matcher(
@@ -741,6 +762,16 @@ class FreeEngine:
             ["engine"],
             buckets=DEFAULT_SIZE_BUCKETS,
         ).labels(engine=engine).observe(report.n_candidates)
+        backend = (
+            self.kernel.name
+            if self.kernel.name in _KERNEL_LABELS
+            else "other"
+        )
+        registry.counter(
+            "free_kernel_backend",
+            "Queries executed per postings-kernel backend.",
+            ["backend"],
+        ).labels(backend=backend).inc()
         registry.counter(
             "free_postings_entries_decoded_total",
             "Postings entries varint-decoded (decoded-cache misses).",

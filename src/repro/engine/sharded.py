@@ -71,6 +71,7 @@ from repro.engine.executor import merge_shard_candidates
 from repro.engine.free import FreeEngine, _BatchGroup
 from repro.engine.results import Match, SearchReport
 from repro.errors import FreeError, InternalError
+from repro.index.kernels import PostingsKernel
 from repro.index.sharded import ShardedIndex
 from repro.iomodel.diskmodel import DiskModel
 from repro.metrics import QueryMetrics
@@ -170,6 +171,7 @@ class ShardedFreeEngine(FreeEngine):
         candidate_cache_size: int = 0,
         matcher_cache_size: int = 128,
         registry: Optional[MetricsRegistry] = None,
+        kernel: Optional[Union[str, "PostingsKernel"]] = None,
     ):
         if not isinstance(sharded_index, ShardedIndex):
             raise FreeError(
@@ -183,6 +185,8 @@ class ShardedFreeEngine(FreeEngine):
             )
         if workers < 1:
             raise FreeError("workers must be >= 1")
+        if kernel is None:
+            kernel = getattr(sharded_index, "kernel_backend", None)
         super().__init__(
             corpus,
             index=None,
@@ -195,8 +199,16 @@ class ShardedFreeEngine(FreeEngine):
             candidate_cache_size=candidate_cache_size,
             matcher_cache_size=matcher_cache_size,
             registry=registry,
+            kernel=kernel,
         )
         self.sharded = sharded_index
+        #: One kernel per shard ordinal: a thread-pool fan-out runs the
+        #: shards concurrently, and a kernel's decoded-block cache is
+        #: not thread-safe — clones give each shard its own (the
+        #: stateless python kernel clones to itself).
+        self._shard_kernels = [
+            self.kernel.clone() for _ in range(sharded_index.n_shards)
+        ]
         self.workers = workers
         self._pool: Optional[Executor] = None
         self._owns_pool = False
@@ -322,7 +334,8 @@ class ShardedFreeEngine(FreeEngine):
                 for ordinal in range(n_shards):
                     with maybe_span(trace, "shard", shard=ordinal) as span:
                         ids, shard_metrics = self.sharded.shard_candidates(
-                            ordinal, logical, policy, first_k=first_k
+                            ordinal, logical, policy, first_k=first_k,
+                            kernel=self._shard_kernels[ordinal],
                         )
                         if span is not None:
                             span.attrs["candidates"] = (
@@ -339,6 +352,7 @@ class ShardedFreeEngine(FreeEngine):
                     pool.submit(
                         self.sharded.shard_candidates, ordinal, logical,
                         policy, first_k=first_k,
+                        kernel=self._shard_kernels[ordinal],
                     )
                     for ordinal in range(n_shards)
                 ]
@@ -346,7 +360,8 @@ class ShardedFreeEngine(FreeEngine):
             else:
                 results = [
                     self.sharded.shard_candidates(
-                        ordinal, logical, policy, first_k=first_k
+                        ordinal, logical, policy, first_k=first_k,
+                        kernel=self._shard_kernels[ordinal],
                     )
                     for ordinal in range(n_shards)
                 ]
@@ -501,7 +516,8 @@ class ShardedFreeEngine(FreeEngine):
         )
         logical, _physical = self.plan(pattern)
         ids, shard_metrics = self.sharded.shard_candidates(
-            ordinal, logical, self.cover_policy, metrics=shard_metrics
+            ordinal, logical, self.cover_policy, metrics=shard_metrics,
+            kernel=self._shard_kernels[ordinal],
         )
         for record in shard_metrics.lookups:
             shard_disk.charge_postings(record.n_ids)

@@ -64,6 +64,7 @@ from repro.obs.registry import MetricsRegistry, get_registry
 from repro.obs.trace import Trace, maybe_span
 
 if TYPE_CHECKING:  # plan layer imports this package: defer.
+    from repro.index.kernels import PostingsKernel
     from repro.plan.logical import LogicalPlan
     from repro.plan.physical import CoverPolicy
 
@@ -439,6 +440,7 @@ class IngestIndex(SegmentedGramIndex):
         policy: Union["CoverPolicy", str] = "all",
         disk: Optional[DiskModel] = None,
         metrics: Optional[QueryMetrics] = None,
+        kernel: Optional["PostingsKernel"] = None,
     ) -> Optional[List[int]]:
         """Sorted global candidate ids across sealed segments and the
         memtable.
@@ -453,7 +455,9 @@ class IngestIndex(SegmentedGramIndex):
         segments, memtable_ids = self.snapshot()
         merged: List[int] = list(memtable_ids)
         for segment in segments:
-            merged.extend(segment.candidates(logical, policy, disk, metrics))
+            merged.extend(
+                segment.candidates(logical, policy, disk, metrics, kernel)
+            )
         merged.sort()
         return merged
 
@@ -502,6 +506,7 @@ class IngestDirectory:
         auto_compact: bool = True,
         registry: Optional[MetricsRegistry] = None,
         disk: Optional[DiskModel] = None,
+        kernel: Optional[str] = None,
     ):
         if memtable_docs < 1:
             raise IngestError("memtable_docs must be >= 1")
@@ -509,6 +514,9 @@ class IngestDirectory:
             raise IngestError("compaction fanout must be >= 2")
         self.path = os.path.abspath(path)
         self.read_only = read_only
+        #: Postings-kernel backend name stamped onto every segment
+        #: index this directory loads (see :mod:`repro.index.kernels`).
+        self.kernel = kernel
         self.memtable_docs = memtable_docs
         self.fanout = fanout
         self.auto_compact = auto_compact
@@ -535,6 +543,7 @@ class IngestDirectory:
             write_manifest(self.path, manifest)
 
         self.index = IngestIndex(builder)
+        self.index.kernel_backend = kernel
         self.corpus = IngestCorpus()
         self._generation = manifest.generation
         self._next_doc_id = manifest.next_doc_id
@@ -570,7 +579,7 @@ class IngestDirectory:
         for record in manifest.segments:
             image = os.path.join(self.path, record.name)
             try:
-                gram_index = load_index(image)
+                gram_index = load_index(image, kernel=self.kernel)
             except OSError as exc:
                 raise IngestError(
                     f"{self.path!r}: manifest generation "
@@ -750,7 +759,7 @@ class IngestDirectory:
             os.fsync(out.fileno())
         self.disk.charge_write(os.path.getsize(image))
         self._metrics.image_bytes.inc(os.path.getsize(image))
-        return name, load_index(image)
+        return name, load_index(image, kernel=self.kernel)
 
     def _commit_seal(
         self,

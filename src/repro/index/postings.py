@@ -124,7 +124,13 @@ def decode_gaps(data: ByteSource, previous: int = -1) -> List[int]:
 class PostingsList:
     """An immutable, gap-compressed sorted set of doc ids."""
 
-    __slots__ = ("_data", "_count")
+    __slots__ = ("_data", "_count", "_kernel_token")
+
+    #: Lazily-assigned identity for the numpy kernel's decoded-block
+    #: cache (see :func:`repro.index.kernels._token_of`).  Unlike
+    #: ``id()`` a token is never reused, so cache entries cannot alias
+    #: a different list after garbage collection.
+    _kernel_token: int
 
     def __init__(self, data: bytes, count: int):
         self._data = data
@@ -652,14 +658,16 @@ def intersect_sorted(a: List[int], b: List[int]) -> List[int]:
 def intersect_many(lists: Sequence[List[int]]) -> List[int]:
     """AND of several sorted lists, smallest-first for early shrink.
 
-    Fast paths: one list is returned *as is* (no copy — callers that
-    need ownership must copy), two lists go straight to the galloping
-    kernel without the sort/fold machinery.
+    Fast paths: one list is *copied* (the same fresh-list guarantee
+    every other path — and :func:`union_many` — gives, so callers may
+    mutate the result without corrupting the index's cached lists),
+    two lists go straight to the galloping kernel without the
+    sort/fold machinery.
     """
     if not lists:
         return []
     if len(lists) == 1:
-        return lists[0]
+        return list(lists[0])
     if len(lists) == 2:
         return intersect_sorted(lists[0], lists[1])
     ordered = sorted(lists, key=len)

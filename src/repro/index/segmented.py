@@ -33,6 +33,7 @@ from repro.iomodel.diskmodel import DiskModel
 from repro.metrics import QueryMetrics
 
 if TYPE_CHECKING:  # plan/engine layers import this package: defer.
+    from repro.index.kernels import PostingsKernel
     from repro.obs.registry import MetricsRegistry
     from repro.plan.logical import LogicalPlan
     from repro.plan.physical import CoverPolicy
@@ -71,6 +72,7 @@ class Segment:
         policy: "CoverPolicy",
         disk: Optional[DiskModel] = None,
         metrics: Optional[QueryMetrics] = None,
+        kernel: Optional["PostingsKernel"] = None,
     ) -> List[int]:
         """Global candidate ids in this segment (tombstones excluded)."""
         from repro.engine.executor import execute_plan
@@ -79,7 +81,9 @@ class Segment:
         physical = PhysicalPlan.compile(logical, self.index, policy)
         if physical.is_full_scan:
             return self.live_global_ids()
-        local = execute_plan(physical, self.index, disk, metrics)
+        local = execute_plan(
+            physical, self.index, disk, metrics, kernel=kernel
+        )
         if local is None:
             return self.live_global_ids()
         out = []
@@ -98,6 +102,10 @@ class Segment:
 
 class SegmentedGramIndex:
     """A growable multigram index made of independent segments."""
+
+    #: Postings-kernel backend name recorded at load time; engines
+    #: wrapping this index adopt it unless the caller overrides.
+    kernel_backend: Optional[str] = None
 
     def __init__(self, builder: Optional[MultigramIndexBuilder] = None):
         self.builder = builder or MultigramIndexBuilder()
@@ -225,6 +233,7 @@ class SegmentedGramIndex:
         policy: Union["CoverPolicy", str] = "all",
         disk: Optional[DiskModel] = None,
         metrics: Optional[QueryMetrics] = None,
+        kernel: Optional["PostingsKernel"] = None,
     ) -> Optional[List[int]]:
         """Sorted global candidate ids, or None for "scan everything".
 
@@ -242,7 +251,9 @@ class SegmentedGramIndex:
             physical = PhysicalPlan.compile(logical, segment.index, policy)
             if not physical.is_full_scan:
                 all_null = False
-            merged.extend(segment.candidates(logical, policy, disk, metrics))
+            merged.extend(
+                segment.candidates(logical, policy, disk, metrics, kernel)
+            )
         if all_null and not self.has_deletions:
             return None
         merged.sort()
@@ -302,12 +313,15 @@ class SegmentedFreeEngine(FreeEngine):
         matcher_cache_size: int = 128,
         registry: Optional["MetricsRegistry"] = None,
         owned: Optional[Any] = None,
+        kernel: Optional[Union[str, "PostingsKernel"]] = None,
     ):
         if not isinstance(seg_index, SegmentedGramIndex):
             raise IndexBuildError(
                 "SegmentedFreeEngine requires a SegmentedGramIndex; got "
                 f"{type(seg_index).__name__}"
             )
+        if kernel is None:
+            kernel = getattr(seg_index, "kernel_backend", None)
         super().__init__(
             corpus,
             index=None,
@@ -320,6 +334,7 @@ class SegmentedFreeEngine(FreeEngine):
             candidate_cache_size=candidate_cache_size,
             matcher_cache_size=matcher_cache_size,
             registry=registry,
+            kernel=kernel,
         )
         self.seg_index = seg_index
         self._owned = owned
@@ -348,7 +363,8 @@ class SegmentedFreeEngine(FreeEngine):
             trace, "postings", segments=len(self.seg_index.segments)
         ):
             return self.seg_index.candidates(
-                logical, self.cover_policy, self.disk, metrics
+                logical, self.cover_policy, self.disk, metrics,
+                kernel=self.kernel,
             )
 
     def explain(

@@ -49,6 +49,7 @@ from repro.iomodel.diskmodel import DiskModel
 from repro.metrics import QueryMetrics
 
 if TYPE_CHECKING:  # plan layer imports this package: defer.
+    from repro.index.kernels import PostingsKernel
     from repro.plan.logical import LogicalPlan
     from repro.plan.physical import CoverPolicy
 
@@ -83,6 +84,10 @@ class ShardedIndex:
             ``global_ids`` must be the contiguous ranges produced by
             :func:`shard_ranges` (validated).
     """
+
+    #: Postings-kernel backend name recorded at load time; engines
+    #: wrapping this index adopt it unless the caller overrides.
+    kernel_backend: Optional[str] = None
 
     def __init__(self, shards: Sequence[Segment]):
         if not shards:
@@ -201,6 +206,7 @@ class ShardedIndex:
         policy: "CoverPolicy",
         metrics: Optional[QueryMetrics] = None,
         first_k: Optional[int] = None,
+        kernel: Optional["PostingsKernel"] = None,
     ) -> Tuple[Optional[List[int]], QueryMetrics]:
         """One shard's global candidate ids for ``logical``.
 
@@ -227,7 +233,12 @@ class ShardedIndex:
         if physical.is_full_scan:
             return None, shard_metrics
         local = execute_plan(
-            physical, shard.index, None, shard_metrics, first_k=first_k
+            physical,
+            shard.index,
+            None,
+            shard_metrics,
+            first_k=first_k,
+            kernel=kernel,
         )
         if local is None:
             return None, shard_metrics
@@ -240,6 +251,7 @@ class ShardedIndex:
         policy: Union["CoverPolicy", str] = "all",
         disk: Optional[DiskModel] = None,
         metrics: Optional[QueryMetrics] = None,
+        kernel: Optional["PostingsKernel"] = None,
     ) -> Optional[List[int]]:
         """Sorted global candidate ids, or ``None`` for "scan everything".
 
@@ -251,7 +263,13 @@ class ShardedIndex:
         from repro.engine.executor import execute_plan_sharded
 
         return execute_plan_sharded(
-            logical, self, policy, pool=None, disk=disk, metrics=metrics
+            logical,
+            self,
+            policy,
+            pool=None,
+            disk=disk,
+            metrics=metrics,
+            kernel=kernel,
         )
 
     def __repr__(self) -> str:

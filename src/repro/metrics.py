@@ -152,6 +152,11 @@ class QueryMetrics:
     candidate_cache_hit: Optional[bool] = None
     matcher_cache_hit: Optional[bool] = None
 
+    #: Postings-kernel backend that executed this query's set
+    #: operations ("python" or "numpy"); None before plan execution
+    #: (e.g. the scan path never touches a kernel).
+    kernel_backend: Optional[str] = None
+
     #: Batch execution (``FreeEngine.search_batch``): ``True`` when this
     #: query reused a candidate set computed earlier in the same batch
     #: (its postings phase never ran), ``False`` when it computed the
@@ -252,6 +257,8 @@ class QueryMetrics:
         self.intersect_output += other.intersect_output
         self.union_input += other.union_input
         self.union_output += other.union_output
+        if self.kernel_backend is None:
+            self.kernel_backend = other.kernel_backend
 
     # -- reporting ---------------------------------------------------------
 
@@ -271,6 +278,7 @@ class QueryMetrics:
             "candidate_cache_hit": self.candidate_cache_hit,
             "matcher_cache_hit": self.matcher_cache_hit,
             "batch_candidates_reused": self.batch_candidates_reused,
+            "kernel_backend": self.kernel_backend,
             "n_lookups": len(self.lookups),
             "postings_entries_decoded": self.postings_entries_decoded,
             "postings_bytes_decoded": self.postings_bytes_decoded,
@@ -318,6 +326,8 @@ class QueryMetrics:
             f"{self.sequential_chars} seq chars, "
             f"{self.postings_charged} postings charged",
         ]
+        if self.kernel_backend is not None:
+            lines.insert(1, f"  kernel: {self.kernel_backend}")
         if self.postings_blocks_decoded or self.postings_blocks_skipped:
             lines.append(
                 f"  blocks: {self.postings_blocks_decoded} decoded, "

@@ -5,7 +5,9 @@ loaded back; for the whole benchmark query set the two images must
 produce **byte-identical candidate lists** and identical
 ``QueryMetrics`` lookup records — the v2 layout (lazy directory,
 block-skip decode) may change *when* bytes are decoded, never *what*
-the executor returns.  Checked unsharded and sharded.
+the executor returns.  Checked unsharded and sharded, and under every
+available postings-kernel backend: the vectorized numpy kernel must be
+indistinguishable from the python reference in candidate output.
 """
 
 import pytest
@@ -15,6 +17,7 @@ from repro.corpus.synthesis import build_corpus
 from repro.engine.executor import execute_plan, execute_plan_sharded
 from repro.engine.free import FreeEngine
 from repro.index.builder import build_multigram_index
+from repro.index.kernels import numpy_available, resolve_kernel
 from repro.index.serialize import (
     load_any_index,
     load_index,
@@ -25,6 +28,16 @@ from repro.index.sharded import ShardedIndex
 from repro.metrics import QueryMetrics
 from repro.plan.logical import LogicalPlan
 from repro.plan.physical import CoverPolicy, PhysicalPlan
+
+KERNELS = ["python", "numpy"]
+
+
+@pytest.fixture(params=KERNELS)
+def kernel(request):
+    """A fresh kernel instance per test (isolated decoded-block cache)."""
+    if request.param == "numpy" and not numpy_available():
+        pytest.skip("numpy not installed")
+    return resolve_kernel(request.param)
 
 
 @pytest.fixture(scope="module")
@@ -53,13 +66,16 @@ def sharded_images(corpus, tmp_path_factory):
     return load_any_index(v1), load_any_index(v2)
 
 
-def _candidates(index, pattern):
+def _candidates(index, pattern, kernel=None):
     metrics = QueryMetrics()
     logical = LogicalPlan.from_pattern(pattern)
     physical = PhysicalPlan.compile(logical, index, CoverPolicy("all"))
     if physical.is_full_scan:
         return None, metrics
-    return execute_plan(physical, index, None, metrics), metrics
+    return (
+        execute_plan(physical, index, None, metrics, kernel=kernel),
+        metrics,
+    )
 
 
 def _lookup_counts(metrics):
@@ -67,27 +83,40 @@ def _lookup_counts(metrics):
 
 
 @pytest.mark.parametrize("name", sorted(BENCHMARK_QUERIES))
-def test_candidates_byte_identical(images, name):
+def test_candidates_byte_identical(images, name, kernel):
     eager, mapped = images
     pattern = BENCHMARK_QUERIES[name]
-    c1, m1 = _candidates(eager, pattern)
-    c2, m2 = _candidates(mapped, pattern)
+    c1, m1 = _candidates(eager, pattern, kernel)
+    c2, m2 = _candidates(mapped, pattern, kernel)
     assert c1 == c2
     assert _lookup_counts(m1) == _lookup_counts(m2)
 
 
 @pytest.mark.parametrize("name", sorted(BENCHMARK_QUERIES))
-def test_sharded_candidates_byte_identical(sharded_images, name):
+def test_sharded_candidates_byte_identical(sharded_images, name, kernel):
     v1, v2 = sharded_images
     logical = LogicalPlan.from_pattern(BENCHMARK_QUERIES[name])
     m1, m2 = QueryMetrics(), QueryMetrics()
-    c1 = execute_plan_sharded(logical, v1, "all", metrics=m1)
-    c2 = execute_plan_sharded(logical, v2, "all", metrics=m2)
+    c1 = execute_plan_sharded(logical, v1, "all", metrics=m1, kernel=kernel)
+    c2 = execute_plan_sharded(logical, v2, "all", metrics=m2, kernel=kernel)
     assert c1 == c2
     assert _lookup_counts(m1) == _lookup_counts(m2)
 
 
-def test_first_k_prefix_identical(images):
+@pytest.mark.parametrize("name", sorted(BENCHMARK_QUERIES))
+def test_candidates_identical_across_kernels(images, name):
+    # Cross-backend differential: for each image format, the numpy
+    # kernel must return exactly the python kernel's candidate list.
+    if not numpy_available():
+        pytest.skip("numpy not installed")
+    pattern = BENCHMARK_QUERIES[name]
+    for index in images:
+        py, _ = _candidates(index, pattern, resolve_kernel("python"))
+        np_, _ = _candidates(index, pattern, resolve_kernel("numpy"))
+        assert py == np_
+
+
+def test_first_k_prefix_identical(images, kernel):
     # The first_k upper-bound probe must truncate both formats to the
     # same sorted prefix (the streaming kernel's early exit).
     eager, mapped = images
@@ -104,7 +133,7 @@ def test_first_k_prefix_identical(images):
                 else:
                     results.append(
                         execute_plan(physical, index, None, None,
-                                     first_k=5)
+                                     first_k=5, kernel=kernel)
                     )
             assert results[0] == results[1]
 

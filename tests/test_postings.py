@@ -218,11 +218,14 @@ class TestMerges:
             expected &= set(lst)
         assert intersect_many(lists) == sorted(expected)
 
-    def test_intersect_many_single_list_returned_as_is(self):
-        # The documented 1-list fast path: no copy (callers that need
-        # ownership copy themselves — the executor does).
+    def test_intersect_many_single_list_is_a_fresh_copy(self):
+        # The 1-list fast path returns a fresh list, mirroring
+        # union_many: callers may mutate the result without corrupting
+        # the (possibly cached) input postings.
         only = [1, 2, 3]
-        assert intersect_many([only]) is only
+        result = intersect_many([only])
+        assert result == only
+        assert result is not only
 
     def test_union_many_single_list_is_a_fresh_copy(self):
         only = [1, 2, 3]
